@@ -1,0 +1,11 @@
+"""Helpers shared by the benchmark scripts."""
+
+import os
+
+from repro.bench.report import save_report
+
+
+def emit(results_dir: str, name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    print("\n" + text)
+    save_report(os.path.join(results_dir, name), text)

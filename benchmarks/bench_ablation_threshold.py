@@ -1,0 +1,52 @@
+"""Ablation — size_threshold sensitivity.
+
+The paper fixes size_threshold = 1024 ("chosen such that the extra effort
+of indexing would not outperform a simple scan").  This ablation sweeps
+the threshold for the Adaptive and Progressive KD-Trees and reports total
+workload time, final node count, and first-query cost, exposing the
+indexing-vs-scanning trade-off behind the chosen constant.
+"""
+
+from _bench_utils import emit
+
+from repro.bench import run_workload
+from repro.bench.measures import first_query_seconds, total_seconds
+from repro.bench.report import format_table
+from repro.workloads import make_synthetic_workload
+
+THRESHOLDS = (128, 512, 1024, 4096)
+
+
+def run_sweep(n_rows=40_000, n_queries=100):
+    workload = make_synthetic_workload(
+        "uniform", n_rows, 4, n_queries, 0.01, seed=11
+    )
+    rows = []
+    for threshold in THRESHOLDS:
+        for name in ("AKD", "PKD"):
+            run = run_workload(
+                name, workload, size_threshold=threshold, delta=0.2
+            )
+            rows.append(
+                [
+                    threshold,
+                    name,
+                    first_query_seconds(run),
+                    total_seconds(run),
+                    run.node_counts[-1],
+                ]
+            )
+    return rows
+
+
+def test_ablation_size_threshold(benchmark, results_dir):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    text = format_table(
+        "Ablation: size_threshold sweep (Uniform(4), 100 queries)",
+        ["threshold", "index", "first query (s)", "total (s)", "nodes"],
+        rows,
+    )
+    emit(results_dir, "ablation_threshold.txt", text)
+    akd_nodes = {row[0]: row[4] for row in rows if row[1] == "AKD"}
+    # Finer thresholds build bigger trees.
+    assert akd_nodes[128] > akd_nodes[4096]

@@ -1,0 +1,111 @@
+"""Fig. 5 — impact of delta on the Progressive KD-Tree.
+
+5a first-query cost, 5b queries until pay-off, 5c time until convergence,
+5d cumulative workload time (total vs after convergence), each over the
+delta sweep 0.1..1.0 for d in {2, 4, 6, 8}, with FS/AKD/Q/AvgKD/MedKD
+reference points.
+"""
+
+import pytest
+from _bench_utils import emit
+
+from repro.bench.experiments import Scale, fig5_delta_impact
+from repro.bench.report import format_series
+
+DELTAS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+DIMS = (2, 4, 6, 8)
+
+
+@pytest.fixture(scope="module")
+def fig5_scale(scale):
+    # The sweep needs a long enough workload tail for every delta to
+    # converge (paper: 1000 queries; delta=0.1 converged around query 103).
+    return Scale(
+        n_small=scale.n_small // 2,
+        n_large=scale.n_large,
+        n_queries=250,
+        selectivity=scale.selectivity,
+        size_threshold=scale.size_threshold,
+        seed=scale.seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(fig5_scale):
+    return fig5_delta_impact(fig5_scale, deltas=DELTAS, dims=DIMS)
+
+
+def test_fig5a_first_query(benchmark, sweep, results_dir):
+    results = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    series = [
+        (f"{d} cols", results[d]["first_query"]) for d in DIMS
+    ]
+    text = format_series(
+        "Fig 5a: First query cost vs delta (seconds)",
+        "delta",
+        list(DELTAS),
+        series,
+    )
+    refs = "\n".join(
+        f"  {d} cols: FS={results[d]['references']['FS']['first_query']:.4f}  "
+        f"AKD={results[d]['references']['AKD']['first_query']:.4f}  "
+        f"Q={results[d]['references']['Q']['first_query']:.4f}"
+        for d in DIMS
+    )
+    emit(results_dir, "fig5a_first_query.txt", text + "\nReference points:\n" + refs)
+    for d in DIMS:
+        first = results[d]["first_query"]
+        # Cost increases (roughly linearly) with delta.
+        assert first[-1] > first[0]
+        # QUASII's first query is costlier than any PKD delta (paper 5a).
+        assert results[d]["references"]["Q"]["first_query"] > first[0]
+
+
+def test_fig5b_payoff(benchmark, sweep, results_dir):
+    results = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    series = [(f"{d} cols", results[d]["payoff_queries"]) for d in DIMS]
+    text = format_series(
+        "Fig 5b: #Queries until pay-off vs delta",
+        "delta",
+        list(DELTAS),
+        series,
+    )
+    emit(results_dir, "fig5b_payoff.txt", text)
+
+
+def test_fig5c_convergence(benchmark, sweep, results_dir):
+    results = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    series = [(f"{d} cols", results[d]["convergence_seconds"]) for d in DIMS]
+    text = format_series(
+        "Fig 5c: Time until convergence vs delta (seconds)",
+        "delta",
+        list(DELTAS),
+        series,
+    )
+    emit(results_dir, "fig5c_convergence.txt", text)
+    for d in DIMS:
+        convergence = results[d]["convergence_seconds"]
+        assert all(value is not None for value in convergence)
+
+
+def test_fig5d_cumulative(benchmark, sweep, results_dir):
+    results = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    series = []
+    for d in DIMS:
+        series.append((f"{d} cols total", results[d]["total_seconds"]))
+        series.append(
+            (f"{d} cols after", results[d]["after_convergence_seconds"])
+        )
+    text = format_series(
+        "Fig 5d: Cumulative workload time vs delta (seconds)",
+        "delta",
+        list(DELTAS),
+        series,
+    )
+    emit(results_dir, "fig5d_cumulative.txt", text)
+    for d in DIMS:
+        totals = results[d]["total_seconds"]
+        after = results[d]["after_convergence_seconds"]
+        for total, tail in zip(totals, after):
+            if tail is not None:
+                assert tail < total

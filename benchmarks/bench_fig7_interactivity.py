@@ -1,0 +1,53 @@
+"""Fig. 7 — full scan cost above the interactivity threshold tau.
+
+Per-query model-domain costs for FS, AKD (pre-processing first query),
+PKD(0.2), GPFP(0.2), and GPFQ(10) over the first 100 queries, with
+tau set to half the measured full-scan cost.
+
+Paper shape: AKD pays one enormous first query and then stays under tau;
+PKD descends gradually; GPFQ holds a flat elevated cost for exactly ten
+queries then drops; GPFP similar with the drop slightly later.
+"""
+
+import numpy as np
+from _bench_utils import emit
+
+from repro.bench.asciiplot import line_chart
+from repro.bench.experiments import fig7_interactivity
+from repro.bench.report import format_series
+
+
+def test_fig7_interactivity(benchmark, scale, results_dir):
+    out = benchmark.pedantic(
+        lambda: fig7_interactivity(scale), rounds=1, iterations=1
+    )
+    tau = out["tau"]
+    text = format_series(
+        f"Fig 7: Per-query model cost with tau={tau:.6f}s "
+        "(scan exceeds the interactivity threshold)",
+        "query",
+        out["queries"],
+        out["series"],
+        precision=6,
+    )
+    chart = line_chart(
+        out["series"],
+        logy=True,
+        hline=tau,
+        hline_label="tau",
+        y_label="model seconds",
+        x_label="query",
+    )
+    emit(results_dir, "fig7_interactivity.txt", text + "\n\n" + chart)
+    by_name = dict(out["series"])
+    # FS sits permanently above tau.
+    assert all(value > tau for value in by_name["FS"])
+    # AKD's first query is an order of magnitude above the scan.
+    assert by_name["AKD"][0] > 5 * np.mean(by_name["FS"])
+    # GPFQ(10): flat spread for ten queries, then the drop.
+    gpfq = by_name["GPFQ(10)"]
+    spread = np.asarray(gpfq[:9])
+    assert spread.std() / spread.mean() < 0.2
+    assert gpfq[10] < gpfq[8] / 2
+    # PKD starts cheaper than GPFQ's spread but descends more gradually.
+    assert by_name["PKD(0.2)"][0] < gpfq[0]

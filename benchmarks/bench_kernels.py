@@ -1,0 +1,102 @@
+"""Kernel micro-benchmarks: the physical operations every index is built
+from, measured in elements/second on this machine.
+
+These are the numbers the calibrated cost model feeds on; printing them
+next to the calibrated profile makes the model's inputs inspectable.
+"""
+
+import numpy as np
+from _bench_utils import emit
+
+from repro import MachineProfile, RangeQuery
+from repro.bench.report import format_table
+from repro.core.metrics import QueryStats
+from repro.core.partition import IncrementalPartition, stable_partition
+from repro.core.scan import full_scan
+
+N = 2_000_000
+
+
+def measure_kernels():
+    import time
+
+    rng = np.random.default_rng(0)
+    rows = []
+
+    def best_of(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            begin = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - begin)
+        return min(times)
+
+    keys = rng.random(N)
+    payload = rng.random(N)
+    rowids = np.arange(N, dtype=np.int64)
+
+    def run_stable():
+        stable_partition(
+            [keys.copy(), payload.copy(), rowids.copy()], 0, N, 0, 0.5
+        )
+
+    seconds = best_of(run_stable)
+    rows.append(["stable_partition (3 arrays)", seconds, N / seconds])
+
+    def run_incremental():
+        job = IncrementalPartition(
+            [keys.copy(), payload.copy(), rowids.copy()], 0, N, 0, 0.5
+        )
+        job.run_to_completion()
+
+    seconds = best_of(run_incremental)
+    rows.append(["incremental partition (3 arrays)", seconds, N / seconds])
+
+    def run_incremental_chunked():
+        job = IncrementalPartition(
+            [keys.copy(), payload.copy(), rowids.copy()], 0, N, 0, 0.5
+        )
+        while not job.done:
+            job.advance(N // 100)
+
+    seconds = best_of(run_incremental_chunked)
+    rows.append(["incremental partition (100 pauses)", seconds, N / seconds])
+
+    columns = [rng.random(N) for _ in range(3)]
+    query = RangeQuery([0.2] * 3, [0.4] * 3)
+
+    def run_scan():
+        full_scan(columns, query, QueryStats())
+
+    seconds = best_of(run_scan)
+    rows.append(["candidate-list scan (3 dims)", seconds, N / seconds])
+    return rows
+
+
+def test_kernel_throughput(benchmark, results_dir):
+    rows = benchmark.pedantic(measure_kernels, rounds=1, iterations=1)
+    profile = MachineProfile.calibrate(n_elements=500_000, repeats=2)
+    profile_rows = [
+        ["seq_read (s/elem)", profile.seq_read],
+        ["seq_write (s/elem)", profile.seq_write],
+        ["random_access (s/hop)", profile.random_access],
+        ["random_write (s/elem)", profile.random_write],
+    ]
+    text = (
+        format_table(
+            f"Kernel throughput over N={N:,} rows",
+            ["kernel", "seconds", "rows/s"],
+            rows,
+        )
+        + "\n\n"
+        + format_table(
+            "Calibrated machine profile", ["parameter", "value"], profile_rows,
+            precision=12,
+        )
+    )
+    emit(results_dir, "kernels.txt", text)
+    by_name = {row[0]: row for row in rows}
+    # Pausing 100 times must not cost more than ~2.5x the one-shot run.
+    one_shot = by_name["incremental partition (3 arrays)"][1]
+    chunked = by_name["incremental partition (100 pauses)"][1]
+    assert chunked < one_shot * 2.5

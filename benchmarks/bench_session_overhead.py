@@ -1,0 +1,68 @@
+"""Extension bench — ExplorationSession facade overhead.
+
+The facade adds name resolution, dictionary translation, and per-group
+index routing on top of a raw index.  This bench confirms the layer costs
+a bounded constant per query, not a scan-proportional factor.
+"""
+
+import time
+
+import numpy as np
+from _bench_utils import emit
+
+from repro import GreedyProgressiveKDTree, RangeQuery, Table
+from repro.bench.report import format_table
+from repro.session import ExplorationSession
+
+
+def run_comparison(n_rows=40_000, n_queries=200):
+    rng = np.random.default_rng(41)
+    lat = rng.random(n_rows) * 90
+    lon = rng.random(n_rows) * 180
+
+    bounds = []
+    for _ in range(n_queries):
+        low_lat = float(rng.random() * 80)
+        low_lon = float(rng.random() * 160)
+        bounds.append((low_lat, low_lat + 9.0, low_lon, low_lon + 18.0))
+
+    # Raw index path.
+    table = Table([lat, lon], names=["lat", "lon"])
+    raw = GreedyProgressiveKDTree(table, delta=0.2, size_threshold=1024)
+    begin = time.perf_counter()
+    raw_rows = 0
+    for a, b, c, d in bounds:
+        raw_rows += raw.query(RangeQuery([a, c], [b, d])).count
+    raw_seconds = time.perf_counter() - begin
+
+    # Facade path (same technique underneath).
+    session = ExplorationSession()
+    session.register("geo", {"lat": lat, "lon": lon})
+    begin = time.perf_counter()
+    session_rows = 0
+    for a, b, c, d in bounds:
+        session_rows += session.query("geo", lat=(a, b), lon=(c, d)).count
+    session_seconds = time.perf_counter() - begin
+
+    assert raw_rows == session_rows
+    per_query_overhead = (session_seconds - raw_seconds) / n_queries
+    return [
+        ["raw index", raw_seconds, raw_seconds / n_queries],
+        ["session facade", session_seconds, session_seconds / n_queries],
+        ["overhead/query", per_query_overhead, None],
+    ]
+
+
+def test_session_overhead(benchmark, results_dir):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    text = format_table(
+        "Extension: session facade overhead (200 queries, 40k rows)",
+        ["path", "total (s)", "per query (s)"],
+        rows,
+        precision=6,
+    )
+    emit(results_dir, "session_overhead.txt", text)
+    by_name = {row[0]: row for row in rows}
+    # The facade must cost within ~75% of the raw path on small queries
+    # (bounded constant work: kwarg parsing, group lookup, result object).
+    assert by_name["session facade"][1] < by_name["raw index"][1] * 1.75

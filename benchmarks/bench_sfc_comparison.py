@@ -1,0 +1,46 @@
+"""Related-work comparison — Space-Filling-Curve cracking.
+
+Pavlovic et al. (and Section II of the paper) found SFC cracking's
+first-query mapping cost "prohibitively expensive ... excluding this
+strategy from truly adaptive indexes".  This benchmark puts SFC next to
+AKD/PKD/FS on the same workload and reports first-query and total times.
+"""
+
+from _bench_utils import emit
+
+from repro.bench import run_workload
+from repro.bench.measures import first_query_seconds, total_seconds
+from repro.bench.report import format_table
+from repro.workloads import make_synthetic_workload
+
+
+def run_comparison(n_rows=40_000, n_queries=100):
+    workload = make_synthetic_workload(
+        "uniform", n_rows, 4, n_queries, 0.01, seed=13
+    )
+    rows = []
+    for name in ("FS", "SFC", "AKD", "PKD"):
+        run = run_workload(name, workload, size_threshold=1024, delta=0.2)
+        rows.append(
+            [
+                name,
+                first_query_seconds(run),
+                total_seconds(run),
+                float(run.work()[0]),
+            ]
+        )
+    return rows
+
+
+def test_sfc_first_query_burden(benchmark, results_dir):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    text = format_table(
+        "Related work: SFC cracking vs the paper's techniques (Uniform(4))",
+        ["index", "first query (s)", "total (s)", "first query work"],
+        rows,
+    )
+    emit(results_dir, "sfc_comparison.txt", text)
+    by_name = {row[0]: row for row in rows}
+    # The curve-mapping step makes SFC's first query the most expensive
+    # work-wise among the incremental techniques.
+    assert by_name["SFC"][3] > by_name["PKD"][3]

@@ -1,0 +1,26 @@
+"""Table II — first query response time (seconds).
+
+Paper shape: MedKD > AvgKD > Q > AKD > PKD ~ GPKD > FS on every workload;
+the adaptive indexes are up to an order of magnitude cheaper than the full
+indexes, the progressive ones up to an order cheaper than the adaptive.
+"""
+
+from _bench_utils import emit
+
+from repro.bench.experiments import table2_first_query
+from repro.bench.report import format_table
+
+
+def test_table2_first_query(benchmark, scale, results_dir):
+    headers, rows = benchmark.pedantic(
+        lambda: table2_first_query(scale), rounds=1, iterations=1
+    )
+    text = format_table(
+        "Table II: First query response time (seconds)", headers, rows
+    )
+    emit(results_dir, "table2_first_query.txt", text)
+    by_name = {row[0]: dict(zip(headers[1:], row[1:])) for row in rows}
+    unif = by_name["Unif(8)"]
+    assert unif["MedKD"] >= unif["AvgKD"] > unif["AKD"] > unif["PKD(0.2)"]
+    assert unif["Q"] > unif["PKD(0.2)"]
+    assert unif["FS"] < unif["AKD"]

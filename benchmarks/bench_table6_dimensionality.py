@@ -1,0 +1,31 @@
+"""Table VI — the five measures on Uniform with d in {2, 4, 8, 16}.
+
+Paper shape: AvgKD leads on total cost and pay-off, the progressive
+indexes are the most robust with predictable convergence, and the gap
+between adaptive and progressive total times widens with dimensionality.
+"""
+
+from _bench_utils import emit
+
+from repro.bench.experiments import table6_dimensionality
+from repro.bench.report import format_table
+
+
+def test_table6_dimensionality(benchmark, scale, results_dir):
+    sections = benchmark.pedantic(
+        lambda: table6_dimensionality(scale), rounds=1, iterations=1
+    )
+    blocks = []
+    for title, headers, rows in sections:
+        blocks.append(format_table(f"Table VI: {title}", headers, rows))
+    text = "\n\n".join(blocks)
+    emit(results_dir, "table6_dimensionality.txt", text)
+    for title, headers, rows in sections:
+        measures = {row[0]: dict(zip(headers[1:], row[1:])) for row in rows}
+        # Progressive first queries stay the cheapest index at every d.
+        first = measures["First Query"]
+        assert first["PKD(0.2)"] < first["AKD"]
+        assert first["PKD(0.2)"] < first["AvgKD"]
+        # Progressive convergence exists; adaptive has no guarantee.
+        convergence = measures["Convergence"]
+        assert convergence["AKD"] is None and convergence["Q"] is None

@@ -1,0 +1,30 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table or figure of the paper at laptop
+scale, prints it, and saves it under ``benchmarks/results/`` (these files
+are the source for EXPERIMENTS.md).  The expensive (workload x algorithm)
+grid behind Tables II-V is computed once and shared.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_SCALE
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return DEFAULT_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

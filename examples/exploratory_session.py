@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""An exploratory data-analysis session on simulated sensor data.
+
+Models the paper's motivating scenario: a data scientist poking at a new
+multidimensional data set with trial-and-error queries under an
+interactivity threshold.  The session has three acts:
+
+1. *Broad sweep* — wide queries across the whole domain (hypothesis
+   generation).
+2. *Drill-down* — zooming into a suspicious region (hypothesis checking).
+3. *Pivot* — the analyst abandons that region and jumps elsewhere
+   (hypothesis revision), the access-pattern shift that breaks
+   workload-dependent indexes.
+
+The script compares how the Adaptive KD-Tree and the Greedy Progressive
+KD-Tree cope with each act, reporting per-act latency statistics and how
+often each index would have violated a 500 ms-style interactivity budget
+(scaled to this machine via the cost model).
+
+Run::
+
+    python examples/exploratory_session.py [n_rows]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+import numpy as np
+
+from repro import (
+    AdaptiveKDTree,
+    FullScan,
+    GreedyProgressiveKDTree,
+    RangeQuery,
+)
+from repro.workloads import power_workload
+
+
+def act_queries(table, rng) -> List[List[RangeQuery]]:
+    minimums = table.minimums()
+    spans = table.maximums() - minimums
+
+    def window(centre_fraction, width_fraction):
+        widths = spans * width_fraction
+        centres = minimums + spans * centre_fraction
+        half = widths / 2.0
+        centres = np.clip(centres, minimums + half, minimums + spans - half)
+        return RangeQuery(centres - half, centres + half)
+
+    broad = [
+        window(rng.random(3), 0.35) for _ in range(12)
+    ]
+    hot = rng.random(3) * 0.3 + 0.2
+    drill = [
+        window(hot + rng.normal(0, 0.02, 3), 0.30 / (1.15 ** step))
+        for step in range(15)
+    ]
+    elsewhere = rng.random(3) * 0.2 + 0.7
+    pivot = [
+        window(elsewhere + rng.normal(0, 0.03, 3), 0.12) for _ in range(12)
+    ]
+    return [broad, drill, pivot]
+
+
+def main(n_rows: int = 120_000) -> None:
+    workload = power_workload(n_rows=n_rows, n_queries=1)
+    table = workload.table
+    rng = np.random.default_rng(7)
+    acts = act_queries(table, rng)
+
+    # Interactivity budget: twice the *measured* full-scan latency — the
+    # scaled-down analogue of the paper's 500 ms threshold.
+    probe = FullScan(table)
+    probe_queries = act_queries(table, np.random.default_rng(99))[0][:5]
+    budget = 2.0 * float(
+        np.median([probe.query(q).stats.seconds for q in probe_queries])
+    )
+    print(
+        f"Sensor table: {table.n_rows} rows x {table.n_columns} dims; "
+        f"interactivity budget {budget * 1e3:.1f} ms\n"
+    )
+
+    for index in (
+        FullScan(table),
+        AdaptiveKDTree(table, size_threshold=1024),
+        GreedyProgressiveKDTree(table, delta=0.2, size_threshold=1024),
+    ):
+        print(f"== {index.name} ==")
+        for act_name, queries in zip(
+            ("broad sweep", "drill-down", "pivot elsewhere"), acts
+        ):
+            seconds = []
+            for query in queries:
+                seconds.append(index.query(query).stats.seconds)
+            seconds = np.asarray(seconds)
+            violations = int((seconds > budget).sum())
+            print(
+                f"  {act_name:<16} median {np.median(seconds)*1e3:7.2f} ms   "
+                f"worst {seconds.max()*1e3:7.2f} ms   "
+                f"budget violations {violations}/{len(seconds)}"
+            )
+        print(
+            f"  -> nodes={index.node_count}, converged={index.converged}\n"
+        )
+
+
+if __name__ == "__main__":
+    arguments = [int(value) for value in sys.argv[1:2]]
+    main(*arguments)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""The full lifecycle of an incremental index, end to end.
+
+1. **Profile** the workload (`repro.workloads.analysis`) and let the
+   profile pick the technique, following the paper's conclusions.
+2. **Run** the workload, watching the tree take shape
+   (`repro.core.inspect`).
+3. **Persist** the refined index (`repro.core.serialize`) and reload it in
+   a "new session" that answers instantly from the saved structure.
+4. **Evolve** the data: append fresh rows and delete stale ones through
+   `AppendableAdaptiveKDTree`, the updates extension.
+
+Run::
+
+    python examples/index_lifecycle.py [n_rows]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import (
+    AdaptiveKDTree,
+    GreedyProgressiveKDTree,
+    load_index,
+    render_tree,
+    save_index,
+    summarize_tree,
+)
+from repro.core.updates import AppendableAdaptiveKDTree
+from repro.workloads import make_synthetic_workload
+from repro.workloads.analysis import describe, profile_workload
+
+
+def choose_index(profile, table):
+    """The paper's decision rule (Section V), driven by the profile."""
+    if profile.is_sweeping:
+        return GreedyProgressiveKDTree(table, delta=0.2, size_threshold=512)
+    return AdaptiveKDTree(table, size_threshold=512)
+
+
+def main(n_rows: int = 60_000) -> None:
+    workload = make_synthetic_workload("skewed", n_rows, 3, 80, 0.01, seed=3)
+
+    print("=== 1. profile the workload ===")
+    profile = profile_workload(workload)
+    print(describe(profile))
+    index = choose_index(profile, workload.table)
+    print(f"\n-> chose {type(index).__name__}\n")
+
+    print("=== 2. run the session ===")
+    total = 0.0
+    for query in workload.queries:
+        total += index.query(query).stats.seconds
+    summary = summarize_tree(index.tree)
+    print(f"workload took {total:.3f}s; {summary}")
+    print("\ntop of the tree:")
+    print(render_tree(index.tree, max_depth=2))
+
+    print("\n=== 3. persist and reload ===")
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "session.npz")
+        save_index(index, path)
+        size_kb = os.path.getsize(path) / 1024
+        frozen = load_index(path)
+        check = frozen.query(workload.queries[0])
+        print(
+            f"saved {size_kb:.0f} KiB; reloaded index answers query 1 with "
+            f"{check.count} rows in {check.stats.seconds * 1e3:.2f} ms "
+            f"({frozen.node_count} nodes, no rebuilding)"
+        )
+
+    print("\n=== 4. evolve the data ===")
+    rng = np.random.default_rng(5)
+    live = AppendableAdaptiveKDTree(
+        workload.table, size_threshold=512, merge_fraction=0.04
+    )
+    for query in workload.queries[:20]:
+        live.query(query)
+    fresh_rows = rng.random((n_rows // 20, 3)) * n_rows
+    new_ids = live.append(fresh_rows)
+    live.delete(new_ids[:10])
+    result = live.query(workload.queries[0])
+    print(
+        f"after appending {len(new_ids)} rows and deleting 10: "
+        f"{live.logical_rows} logical rows, query 1 -> {result.count} rows, "
+        f"merges so far: {live.merges_performed}"
+    )
+    for query in workload.queries[20:40]:
+        live.query(query)
+    print(
+        f"after 20 more queries: merges={live.merges_performed}, "
+        f"pending={live.n_pending}, nodes={live.node_count}"
+    )
+
+
+if __name__ == "__main__":
+    arguments = [int(value) for value in sys.argv[1:2]]
+    main(*arguments)

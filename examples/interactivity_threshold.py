@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Keeping every query under an interactivity threshold (paper Fig. 7).
+
+When even one full scan busts the latency budget, the three techniques
+take different routes back under it:
+
+* the Adaptive KD-Tree pre-processes on the first query (one huge query,
+  then smooth sailing);
+* the Progressive KD-Tree chips away with its fixed delta;
+* the Greedy Progressive KD-Tree spreads the required work over exactly
+  ``x`` queries (GPFQ) or uses a fixed penalty (GPFP).
+
+This example runs all four and prints the per-query *model cost* series
+next to the threshold, reproducing the Fig. 7 shapes deterministically.
+
+Run::
+
+    python examples/interactivity_threshold.py [n_rows] [n_queries]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    AdaptiveKDTree,
+    CostModel,
+    FullScan,
+    GreedyProgressiveKDTree,
+    MachineProfile,
+    ProgressiveKDTree,
+)
+from repro.workloads import make_synthetic_workload
+
+
+def main(n_rows: int = 40_000, n_queries: int = 60) -> None:
+    # Four dimensions and a fine size threshold: at laptop row counts the
+    # tree needs ~two splits per dimension to prune scans below tau (see
+    # the Fig. 7 note in EXPERIMENTS.md).
+    workload = make_synthetic_workload(
+        "uniform", n_rows, 4, n_queries, 0.01, seed=7
+    )
+    table = workload.table
+    model = CostModel(
+        MachineProfile.deterministic(), table.n_rows, table.n_columns
+    )
+
+    # Measure the scan cost, then set tau to half of it (as the paper does).
+    scan = FullScan(table)
+    scan_costs = [
+        model.seconds_of(scan.query(query).stats)
+        for query in workload.queries[:5]
+    ]
+    tau = 0.5 * sum(scan_costs) / len(scan_costs)
+    print(
+        f"{n_rows} rows x 4 dims; full scan ~{scan_costs[0]*1e3:.2f} model-ms, "
+        f"tau = {tau*1e3:.2f} model-ms\n"
+    )
+
+    contenders = [
+        ("AKD", AdaptiveKDTree(table, 256, tau=tau, cost_model=model)),
+        (
+            "PKD(0.2)",
+            ProgressiveKDTree(table, 0.2, 256, tau=tau, cost_model=model),
+        ),
+        (
+            "GPFP(0.2)",
+            GreedyProgressiveKDTree(
+                table, 0.2, 256, tau=tau, cost_model=model
+            ),
+        ),
+        (
+            "GPFQ(10)",
+            GreedyProgressiveKDTree(
+                table, 0.2, 256, tau=tau, query_limit=10, cost_model=model
+            ),
+        ),
+    ]
+
+    print(f"{'query':>5}" + "".join(f"{name:>12}" for name, _ in contenders))
+    series = {name: [] for name, _ in contenders}
+    for number, query in enumerate(workload.queries, start=1):
+        cells = []
+        for name, index in contenders:
+            cost = model.seconds_of(index.query(query).stats)
+            series[name].append(cost)
+            marker = " " if cost <= tau * 1.02 else "*"
+            cells.append(f"{cost*1e3:>10.2f}{marker}")
+        print(f"{number:>5}" + " ".join(cells))
+
+    print("\n('*' marks queries above tau)")
+    for name, values in series.items():
+        above = sum(1 for value in values if value > tau * 1.02)
+        print(f"  {name:<10} queries above tau: {above}/{len(values)}")
+
+
+if __name__ == "__main__":
+    arguments = [int(value) for value in sys.argv[1:3]]
+    main(*arguments)

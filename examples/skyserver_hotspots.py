@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Sky-survey hotspot analysis: where aggressive refinement pays off.
+
+The SkyServer workload is heavily skewed — a few popular sky regions
+absorb most queries.  The paper found this is where QUASII's aggressive
+refinement beats the Adaptive KD-Tree's minimal indexing (Table V).  This
+example reproduces that comparison on the simulated SkyServer workload
+and shows *why*, by reporting per-index node counts and how latency decays
+on the hottest region.
+
+Run::
+
+    python examples/skyserver_hotspots.py [n_rows] [n_queries]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import AdaptiveKDTree, FullScan, Quasii
+from repro.workloads import skyserver_workload
+
+
+def main(n_rows: int = 150_000, n_queries: int = 400) -> None:
+    workload = skyserver_workload(n_rows=n_rows, n_queries=n_queries)
+    table = workload.table
+    print(
+        f"Simulated SkyServer: {table.n_rows} objects (ra, dec), "
+        f"{len(workload.queries)} skewed queries\n"
+    )
+
+    for index in (
+        FullScan(table),
+        AdaptiveKDTree(table, size_threshold=1024),
+        Quasii(table, size_threshold=1024),
+    ):
+        seconds = np.array(
+            [index.query(query).stats.seconds for query in workload.queries]
+        )
+        quarters = np.array_split(seconds, 4)
+        quarter_medians = "  ".join(
+            f"{np.median(part) * 1e3:6.2f}" for part in quarters
+        )
+        print(f"== {index.name} ==")
+        print(f"  total          {seconds.sum():8.3f} s")
+        print(f"  first query    {seconds[0] * 1e3:8.2f} ms")
+        print(f"  quarter medians (ms): {quarter_medians}")
+        print(f"  index pieces   {index.node_count}\n")
+
+    print(
+        "Reading the output: QUASII pays a heavier first touch and builds\n"
+        "far more pieces, but its hot regions end up so finely refined\n"
+        "that the revisit-heavy tail of the workload runs fastest — the\n"
+        "paper's explanation for QUASII winning on skewed workloads."
+    )
+
+
+if __name__ == "__main__":
+    arguments = [int(value) for value in sys.argv[1:3]]
+    main(*arguments)

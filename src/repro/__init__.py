@@ -1,0 +1,115 @@
+"""repro — Multidimensional Adaptive & Progressive Indexes (ICDE 2021).
+
+A complete, from-scratch Python reproduction of Nerone, Holanda,
+de Almeida & Manegold, *Multidimensional Adaptive & Progressive Indexes*,
+ICDE 2021: the Adaptive KD-Tree, the Progressive KD-Tree, the Greedy
+Progressive KD-Tree, every comparator the paper evaluates against
+(full scan, mean/median full KD-Trees, QUASII, space-filling-curve
+cracking), the synthetic and simulated-real workloads, and a benchmark
+harness that regenerates every table and figure of the evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Table, RangeQuery, AdaptiveKDTree
+
+    rng = np.random.default_rng(0)
+    table = Table.from_matrix(rng.random((100_000, 3)))
+    index = AdaptiveKDTree(table, size_threshold=1024)
+    result = index.query(RangeQuery([0.2, 0.2, 0.2], [0.3, 0.3, 0.3]))
+    print(result.count, result.stats.seconds)
+"""
+
+from .core import (
+    AdaptiveKDTree,
+    AggregateReader,
+    AdaptiveTablePartitioner,
+    AppendableAdaptiveKDTree,
+    ApproximateAnswer,
+    ApproximateProgressiveKDTree,
+    BaseIndex,
+    FrozenKDIndex,
+    load_index,
+    save_index,
+    snapshot_index,
+    summarize_tree,
+    render_tree,
+    export_dot,
+    CostModel,
+    DictionaryColumn,
+    EncodedTable,
+    GreedyProgressiveKDTree,
+    IndexTable,
+    MachineProfile,
+    PartitionedResult,
+    ProgressiveKDTree,
+    QueryResult,
+    QueryStats,
+    RangeQuery,
+    Table,
+    encode_table,
+)
+from .baselines import (
+    AverageKDTree,
+    CrackerColumn,
+    FullScan,
+    MedianKDTree,
+    Quasii,
+    SFCCracking,
+)
+from .session import ExplorationSession, SessionResult
+from .errors import (
+    IndexStateError,
+    InvalidParameterError,
+    InvalidQueryError,
+    InvalidTableError,
+    ReproError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Table",
+    "RangeQuery",
+    "AdaptiveTablePartitioner",
+    "AggregateReader",
+    "AppendableAdaptiveKDTree",
+    "ApproximateAnswer",
+    "ApproximateProgressiveKDTree",
+    "DictionaryColumn",
+    "EncodedTable",
+    "FrozenKDIndex",
+    "PartitionedResult",
+    "encode_table",
+    "ExplorationSession",
+    "SessionResult",
+    "save_index",
+    "load_index",
+    "snapshot_index",
+    "summarize_tree",
+    "render_tree",
+    "export_dot",
+    "QueryStats",
+    "QueryResult",
+    "BaseIndex",
+    "IndexTable",
+    "CostModel",
+    "MachineProfile",
+    "AdaptiveKDTree",
+    "ProgressiveKDTree",
+    "GreedyProgressiveKDTree",
+    "FullScan",
+    "AverageKDTree",
+    "MedianKDTree",
+    "Quasii",
+    "CrackerColumn",
+    "SFCCracking",
+    "ReproError",
+    "InvalidQueryError",
+    "InvalidTableError",
+    "InvalidParameterError",
+    "IndexStateError",
+    "WorkloadError",
+    "__version__",
+]

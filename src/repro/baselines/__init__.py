@@ -1,0 +1,31 @@
+"""Baseline and state-of-the-art comparator indexes.
+
+Everything the paper compares against, implemented from scratch:
+
+* :class:`FullScan` — candidate-list scans, no indexing.
+* :class:`AverageKDTree` / :class:`MedianKDTree` — up-front full KD-Trees.
+* :class:`Quasii` — Pavlovic et al.'s query-aware spatial incremental index.
+* :class:`CrackerColumn` — uni-dimensional database cracking substrate.
+* :class:`SFCCracking` — Z-order space-filling-curve cracking.
+"""
+
+from .full_scan import FullScan
+from .full_kdtree import AverageKDTree, FullKDTree, MedianKDTree
+from .quasii import Quasii
+from .cracking1d import CrackerColumn
+from .stochastic_cracking import StochasticCrackerColumn
+from .sfc_cracking import SFCCracking
+from .zorder import merge_ranges, z_query_ranges
+
+__all__ = [
+    "FullScan",
+    "FullKDTree",
+    "AverageKDTree",
+    "MedianKDTree",
+    "Quasii",
+    "CrackerColumn",
+    "StochasticCrackerColumn",
+    "SFCCracking",
+    "z_query_ranges",
+    "merge_ranges",
+]

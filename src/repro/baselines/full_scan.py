@@ -1,0 +1,39 @@
+"""Full scan baseline (FS in the paper's tables).
+
+No index is ever built; every query runs an option-2 candidate-list scan
+over the base table.  This is both the paper's baseline and the cost
+reference for the pay-off measure (how many queries until incremental
+indexing beats "just scan every time").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.index_base import BaseIndex
+from ..core.metrics import PhaseTimer, QueryStats
+from ..core.query import RangeQuery
+from ..core.scan import full_scan
+from ..core.table import Table
+
+__all__ = ["FullScan"]
+
+
+class FullScan(BaseIndex):
+    """Answer every query with a candidate-list scan of the base table."""
+
+    name = "FS"
+
+    def __init__(self, table: Table) -> None:
+        super().__init__(table)
+        self._columns = table.columns()
+
+    def _execute(self, query: RangeQuery, stats: QueryStats) -> np.ndarray:
+        with PhaseTimer(stats, "scan"):
+            return full_scan(self._columns, query, stats)
+
+    @property
+    def converged(self) -> bool:
+        # A scan never improves, but it also never spends indexing effort;
+        # for harness purposes it is "converged" from the start.
+        return True

@@ -1,0 +1,106 @@
+"""Stochastic cracking variants for the uni-dimensional substrate.
+
+Halim et al. (PVLDB 2012, "Stochastic Database Cracking") showed that
+plain query-bound cracking degenerates under sequential workloads — the
+same pathology the paper demonstrates for the Adaptive KD-Tree's
+linked-list worst case (Table V, Seq).  The cure is to inject
+workload-independent pivots next to the query-driven ones:
+
+* **DDC** (data-driven center): before cracking on a query bound, any
+  piece larger than a threshold is first split at its value-range centre,
+  recursively, bounding every piece the query touches;
+* **DDR** (data-driven random): like DDC, but the auxiliary pivot is a
+  random element of the piece, avoiding adversarial value distributions.
+
+These variants extend :class:`CrackerColumn` and serve two purposes here:
+they complete the 1-D cracking substrate the SFC comparator builds on,
+and they demonstrate (in `benchmarks/bench_stochastic.py`-style tests)
+the same robustness-vs-greed trade-off the paper's Progressive KD-Tree
+resolves in the multidimensional setting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.metrics import QueryStats
+from ..errors import InvalidParameterError
+from .cracking1d import CrackerColumn
+
+__all__ = ["StochasticCrackerColumn"]
+
+
+class StochasticCrackerColumn(CrackerColumn):
+    """A cracker column with DDC/DDR auxiliary pivots.
+
+    Parameters
+    ----------
+    keys, rowids:
+        As for :class:`CrackerColumn`.
+    variant:
+        ``"ddc"`` (centre pivots) or ``"ddr"`` (random-element pivots).
+    size_threshold:
+        Pieces at or below this size receive no auxiliary pivots.
+    seed:
+        Randomness for the DDR variant.
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        rowids: Optional[np.ndarray] = None,
+        variant: str = "ddc",
+        size_threshold: int = 128,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(keys, rowids)
+        if variant not in ("ddc", "ddr"):
+            raise InvalidParameterError(
+                f"variant must be 'ddc' or 'ddr', got {variant!r}"
+            )
+        if size_threshold < 1:
+            raise InvalidParameterError(
+                f"size_threshold must be >= 1, got {size_threshold}"
+            )
+        self.variant = variant
+        self.size_threshold = size_threshold
+        self._rng = np.random.default_rng(seed)
+
+    def _auxiliary_pivot(self, start: int, end: int) -> Optional[float]:
+        window = self.keys[start:end]
+        low = float(window.min())
+        high = float(window.max())
+        if low >= high:
+            return None  # constant piece; nothing can split it
+        if self.variant == "ddc":
+            pivot = (low + high) / 2.0
+        else:
+            pivot = float(window[self._rng.integers(0, window.shape[0])])
+        if pivot >= high:
+            pivot = low  # guarantee a two-sided split
+        return pivot
+
+    def _shrink_piece_around(self, value, stats: Optional[QueryStats]) -> None:
+        """Apply auxiliary pivots until the piece containing ``value`` is
+        at or below the size threshold."""
+        for _ in range(64):  # each round at least halves expected size
+            start, end = self._piece_for(value)
+            if end - start <= self.size_threshold:
+                return
+            pivot = self._auxiliary_pivot(start, end)
+            if pivot is None:
+                return
+            self.crack(pivot, stats)
+
+    def crack_query_bound(self, value, stats: Optional[QueryStats] = None) -> int:
+        """Crack at a query bound, preceded by auxiliary data-driven
+        pivots (the stochastic-cracking step)."""
+        self._shrink_piece_around(value, stats)
+        return self.crack(value, stats)
+
+    def range_positions(self, low, high, stats: Optional[QueryStats] = None):
+        start = self.crack_query_bound(low, stats)
+        end = self.crack_query_bound(high, stats)
+        return start, end

@@ -1,0 +1,40 @@
+"""Benchmark harness: runs workloads against indexes and reproduces every
+table and figure of the paper's evaluation (Section IV).
+
+* :mod:`~repro.bench.harness` — execute a workload against an index,
+  collecting per-query stats (and per-group indexes for shifting
+  workloads).
+* :mod:`~repro.bench.measures` — the paper's four measures: first-query
+  cost, pay-off, convergence, robustness (variance), plus totals.
+* :mod:`~repro.bench.report` — plain-text table/series rendering.
+* :mod:`~repro.bench.experiments` — one entry point per paper table and
+  figure, at laptop scale.
+"""
+
+from .harness import INDEX_FACTORIES, WorkloadRun, make_index, run_workload
+from .measures import (
+    convergence_query,
+    convergence_seconds,
+    first_query_seconds,
+    payoff_query,
+    payoff_seconds,
+    total_seconds,
+    variance,
+)
+from .report import format_series, format_table
+
+__all__ = [
+    "INDEX_FACTORIES",
+    "WorkloadRun",
+    "make_index",
+    "run_workload",
+    "first_query_seconds",
+    "payoff_query",
+    "payoff_seconds",
+    "convergence_query",
+    "convergence_seconds",
+    "variance",
+    "total_seconds",
+    "format_table",
+    "format_series",
+]

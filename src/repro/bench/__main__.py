@@ -1,0 +1,185 @@
+"""Command-line runner for the paper experiments.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench table2 [--small N] [--queries Q]
+    python -m repro.bench fig7
+    python -m repro.bench all
+
+Each experiment prints the same rows/series as its counterpart table or
+figure in the paper.  The pytest-benchmark suite under ``benchmarks/``
+wraps the same entry points; this CLI exists for quick ad-hoc runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from . import experiments
+from .report import format_series, format_table
+
+
+def _print_table2(scale):
+    headers, rows = experiments.table2_first_query(scale)
+    print(format_table("Table II: First query response time (s)", headers, rows))
+
+
+def _print_table3(scale):
+    headers, rows = experiments.table3_payoff(scale)
+    print(format_table("Table III: Pay-off (s)", headers, rows))
+
+
+def _print_table4(scale):
+    headers, rows = experiments.table4_robustness(scale)
+    print(
+        format_table(
+            "Table IV: Query time variance (smaller is better)",
+            headers,
+            rows,
+            precision=6,
+        )
+    )
+
+
+def _print_table5(scale):
+    headers, rows = experiments.table5_total_time(scale)
+    print(format_table("Table V: Total response time (s)", headers, rows))
+
+
+def _print_table6(scale):
+    for title, headers, rows in experiments.table6_dimensionality(scale):
+        print(format_table(f"Table VI: {title}", headers, rows))
+        print()
+
+
+def _print_fig5(scale):
+    sweep = experiments.fig5_delta_impact(scale)
+    for d, data in sweep.items():
+        print(
+            format_series(
+                f"Fig 5 ({d} cols): PKD delta sweep",
+                "delta",
+                data["deltas"],
+                [
+                    ("first query (s)", data["first_query"]),
+                    ("payoff (#q)", data["payoff_queries"]),
+                    ("convergence (s)", data["convergence_seconds"]),
+                    ("total (s)", data["total_seconds"]),
+                ],
+            )
+        )
+        print()
+
+
+def _print_fig6(scale):
+    xs, series = experiments.fig6a_genomics_cumulative(scale)
+    print(format_series("Fig 6a: Genomics cumulative (s)", "query", xs, series))
+    print()
+    xs, series = experiments.fig6b_per_query(scale)
+    print(
+        format_series(
+            "Fig 6b: Uniform(8) per-query (s)", "query", xs, series, precision=6
+        )
+    )
+    print()
+    breakdown = experiments.fig6c_breakdown(scale)
+    phases = ["initialization", "adaptation", "index_search", "scan"]
+    rows = [[name] + [breakdown[name][p] for p in phases] for name in breakdown]
+    print(format_table("Fig 6c: Periodic(8) breakdown (s)", ["Index"] + phases, rows))
+    print()
+    xs, series = experiments.fig6d_index_size(scale)
+    step = max(1, len(xs) // 25)
+    print(
+        format_series(
+            "Fig 6d: Periodic(8) index size",
+            "query",
+            xs[::step],
+            [(name, values[::step]) for name, values in series],
+        )
+    )
+
+
+def _print_fig7(scale):
+    out = experiments.fig7_interactivity(scale)
+    print(
+        format_series(
+            f"Fig 7: per-query model cost, tau={out['tau']:.6f}s",
+            "query",
+            out["queries"],
+            out["series"],
+            precision=6,
+        )
+    )
+
+
+def _print_report(scale):
+    from .paper_report import generate_report
+
+    print(generate_report(scale))
+
+
+EXPERIMENTS = {
+    "table2": _print_table2,
+    "table3": _print_table3,
+    "table4": _print_table4,
+    "table5": _print_table5,
+    "table6": _print_table6,
+    "fig5": _print_fig5,
+    "fig6": _print_fig6,
+    "fig7": _print_fig7,
+    "report": _print_report,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--small", type=int, help="rows for the 50M-row group")
+    parser.add_argument("--large", type=int, help="rows for the 300M-row group")
+    parser.add_argument("--queries", type=int, help="queries per workload")
+    parser.add_argument("--threshold", type=int, help="size threshold")
+    arguments = parser.parse_args(argv)
+
+    if arguments.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    scale = experiments.DEFAULT_SCALE
+    overrides = {}
+    if arguments.small:
+        overrides["n_small"] = arguments.small
+        overrides["real_rows"] = arguments.small
+    if arguments.large:
+        overrides["n_large"] = arguments.large
+    if arguments.queries:
+        overrides["n_queries"] = arguments.queries
+        overrides["real_queries"] = arguments.queries
+    if arguments.threshold:
+        overrides["size_threshold"] = arguments.threshold
+    if overrides:
+        scale = replace(scale, **overrides)
+
+    if arguments.experiment == "all":
+        for name in sorted(EXPERIMENTS):
+            if name == "report":
+                continue  # 'report' is the all-in-one document itself
+            EXPERIMENTS[name](scale)
+            print()
+    else:
+        EXPERIMENTS[arguments.experiment](scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Terminal line charts for the paper's figures.
+
+The benchmark reports emit the figure data as columns; this module renders
+the same series as an ASCII chart so a terminal session (and
+EXPERIMENTS.md) can *see* the shapes — the AKD first-query spike, the GPFQ
+plateau-and-drop, the convergence knees — without any plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["line_chart"]
+
+#: Plot glyph per series, cycled.
+GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(steps - 1, max(0, int(round(position * (steps - 1)))))
+
+
+def line_chart(
+    series: Sequence[Tuple[str, Sequence[Optional[float]]]],
+    width: int = 72,
+    height: int = 18,
+    logy: bool = False,
+    y_label: str = "",
+    x_label: str = "",
+    hline: Optional[float] = None,
+    hline_label: str = "",
+) -> str:
+    """Render named series as an ASCII scatter/line chart.
+
+    ``None`` values are skipped.  ``hline`` draws a horizontal reference
+    line (e.g. the interactivity threshold tau of Fig. 7).  With ``logy``,
+    values must be positive; zeros/negatives are skipped.
+    """
+    points: List[Tuple[int, float, int]] = []  # (x index, y value, series)
+    max_len = max((len(values) for _, values in series), default=0)
+    for series_index, (_, values) in enumerate(series):
+        for x, value in enumerate(values):
+            if value is None:
+                continue
+            if logy and value <= 0:
+                continue
+            points.append((x, float(value), series_index))
+    if not points or max_len < 2:
+        return "(no data to plot)"
+
+    def transform(value: float) -> float:
+        return math.log10(value) if logy else value
+
+    y_values = [transform(value) for _, value, _ in points]
+    if hline is not None and (not logy or hline > 0):
+        y_values.append(transform(hline))
+    y_low, y_high = min(y_values), max(y_values)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    if hline is not None and (not logy or hline > 0):
+        hrow = height - 1 - _scale(transform(hline), y_low, y_high, height)
+        for x in range(width):
+            grid[hrow][x] = "-"
+    for x, value, series_index in points:
+        column = _scale(x, 0, max_len - 1, width)
+        row = height - 1 - _scale(transform(value), y_low, y_high, height)
+        grid[row][column] = GLYPHS[series_index % len(GLYPHS)]
+
+    def fmt(value: float) -> str:
+        real = 10 ** value if logy else value
+        return f"{real:.3g}"
+
+    axis_width = max(len(fmt(y_low)), len(fmt(y_high))) + 1
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = fmt(y_high)
+        elif row_index == height - 1:
+            label = fmt(y_low)
+        else:
+            label = ""
+        lines.append(f"{label:>{axis_width}} |" + "".join(row))
+    lines.append(" " * axis_width + " +" + "-" * width)
+    footer = f"{'':>{axis_width}}  0{'':>{width - 8}}{max_len - 1:>5}"
+    lines.append(footer)
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={name}" for i, (name, _) in enumerate(series)
+    )
+    if hline is not None:
+        legend += f"  -={hline_label or 'reference'}"
+    lines.append(legend)
+    if y_label or x_label:
+        lines.append(f"[y: {y_label}{' (log)' if logy else ''}]  [x: {x_label}]")
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Workload execution harness.
+
+Runs a query sequence against one indexing technique and records the
+paper's per-query measurements.  Shifting workloads get one index instance
+per column group, reflecting how a system would index each newly-explored
+group of columns from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import (
+    AverageKDTree,
+    FullScan,
+    MedianKDTree,
+    Quasii,
+    SFCCracking,
+)
+from ..core import (
+    AdaptiveKDTree,
+    BaseIndex,
+    GreedyProgressiveKDTree,
+    ProgressiveKDTree,
+    QueryStats,
+    Table,
+)
+from ..core.scan import full_scan
+from ..errors import InvalidParameterError, WorkloadError
+from ..workloads.base import Workload
+
+__all__ = ["INDEX_FACTORIES", "make_index", "run_workload", "WorkloadRun"]
+
+
+def _adaptive(table: Table, size_threshold: int, **kw) -> BaseIndex:
+    return AdaptiveKDTree(
+        table, size_threshold=size_threshold, tau=kw.get("tau"),
+        cost_model=kw.get("cost_model"),
+    )
+
+
+def _progressive(table: Table, size_threshold: int, **kw) -> BaseIndex:
+    return ProgressiveKDTree(
+        table,
+        delta=kw.get("delta", 0.2),
+        size_threshold=size_threshold,
+        tau=kw.get("tau"),
+        cost_model=kw.get("cost_model"),
+    )
+
+
+def _greedy(table: Table, size_threshold: int, **kw) -> BaseIndex:
+    return GreedyProgressiveKDTree(
+        table,
+        delta=kw.get("delta", 0.2),
+        size_threshold=size_threshold,
+        tau=kw.get("tau"),
+        query_limit=kw.get("query_limit"),
+        cost_model=kw.get("cost_model"),
+    )
+
+
+#: Paper abbreviation -> factory(table, size_threshold, **params).
+INDEX_FACTORIES: Dict[str, Callable[..., BaseIndex]] = {
+    "FS": lambda table, size_threshold, **kw: FullScan(table),
+    "AvgKD": lambda table, size_threshold, **kw: AverageKDTree(
+        table, size_threshold=size_threshold
+    ),
+    "MedKD": lambda table, size_threshold, **kw: MedianKDTree(
+        table, size_threshold=size_threshold
+    ),
+    "Q": lambda table, size_threshold, **kw: Quasii(
+        table, size_threshold=size_threshold
+    ),
+    "AKD": _adaptive,
+    "PKD": _progressive,
+    "GPKD": _greedy,
+    "SFC": lambda table, size_threshold, **kw: SFCCracking(table),
+}
+
+
+def make_index(name: str, table: Table, size_threshold: int = 1024, **params) -> BaseIndex:
+    """Instantiate an index by its paper abbreviation."""
+    try:
+        factory = INDEX_FACTORIES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown index {name!r}; options: {sorted(INDEX_FACTORIES)}"
+        ) from None
+    return factory(table, size_threshold, **params)
+
+
+@dataclass
+class WorkloadRun:
+    """Per-query measurements of one index over one workload."""
+
+    workload_name: str
+    index_name: str
+    stats: List[QueryStats] = field(default_factory=list)
+    node_counts: List[int] = field(default_factory=list)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.stats)
+
+    def seconds(self) -> np.ndarray:
+        return np.array([s.seconds for s in self.stats])
+
+    def work(self) -> np.ndarray:
+        """Deterministic work units per query (noise-free 'time')."""
+        return np.array([s.work for s in self.stats], dtype=np.float64)
+
+    def cumulative_seconds(self) -> np.ndarray:
+        return np.cumsum(self.seconds())
+
+    def cumulative_work(self) -> np.ndarray:
+        return np.cumsum(self.work())
+
+    def converged_at(self) -> Optional[int]:
+        """Index of the first query after which the index was converged."""
+        for position, stat in enumerate(self.stats):
+            if stat.converged:
+                return position
+        return None
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Total seconds per cost phase (Fig. 6c breakdown)."""
+        totals: Dict[str, float] = {}
+        for stat in self.stats:
+            for phase, value in stat.phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + value
+        return totals
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadRun({self.index_name} on {self.workload_name}: "
+            f"{self.n_queries} queries, {self.seconds().sum():.3f}s)"
+        )
+
+
+def run_workload(
+    index_name: str,
+    workload: Workload,
+    size_threshold: int = 1024,
+    validate: bool = False,
+    max_queries: Optional[int] = None,
+    **params,
+) -> WorkloadRun:
+    """Execute ``workload`` against the named index technique.
+
+    ``validate=True`` cross-checks every answer against a fresh full scan
+    (slow; meant for tests).  ``max_queries`` truncates the workload.
+    """
+    queries = workload.queries
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    run = WorkloadRun(workload.name, index_name)
+    if workload.groups is None:
+        indexes: Dict[int, BaseIndex] = {
+            0: make_index(index_name, workload.table, size_threshold, **params)
+        }
+        tables = {0: workload.table}
+        pick = lambda query: 0
+    else:
+        indexes = {}
+        tables = {
+            g: workload.table.project(list(group))
+            for g, group in enumerate(workload.groups)
+        }
+        pick = lambda query: query.label
+    for query in queries:
+        group = pick(query)
+        if group not in indexes:
+            indexes[group] = make_index(
+                index_name, tables[group], size_threshold, **params
+            )
+        result = indexes[group].query(query)
+        if validate:
+            reference = full_scan(tables[group].columns(), query, QueryStats())
+            got = np.sort(result.row_ids)
+            want = np.sort(reference)
+            if not np.array_equal(got, want):
+                raise WorkloadError(
+                    f"{index_name} returned a wrong answer on {workload.name} "
+                    f"query {run.n_queries}: {got.size} rows vs {want.size}"
+                )
+        run.stats.append(result.stats)
+        run.node_counts.append(sum(ix.node_count for ix in indexes.values()))
+    return run

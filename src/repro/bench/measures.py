@@ -1,0 +1,102 @@
+"""The paper's four evaluation measures (Section IV-C).
+
+1. *First query cost* — the burden indexing places on the very first query.
+2. *Pay-off* — how long until cumulative cost undercuts a full-scan-only
+   baseline (Table III reports the cumulative seconds at that point; if an
+   index never pays off within the workload, its total time is reported,
+   as the paper does for Shift(8)).
+3. *Convergence* — cumulative time until the index answers like a full
+   index and stops refining.
+4. *Robustness* — per-query cost variance "for the first 50 queries or up
+   to full index convergence" (Table IV; smaller is better).
+
+Every measure exists in wall-clock seconds and in deterministic work
+units; the latter make small-scale runs reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .harness import WorkloadRun
+
+__all__ = [
+    "first_query_seconds",
+    "first_query_work",
+    "payoff_query",
+    "payoff_seconds",
+    "convergence_query",
+    "convergence_seconds",
+    "variance",
+    "total_seconds",
+    "total_work",
+]
+
+
+def first_query_seconds(run: WorkloadRun) -> float:
+    return float(run.stats[0].seconds)
+
+
+def first_query_work(run: WorkloadRun) -> float:
+    return float(run.stats[0].work)
+
+
+def _series(run: WorkloadRun, use_work: bool) -> np.ndarray:
+    return run.work() if use_work else run.seconds()
+
+
+def payoff_query(
+    run: WorkloadRun, baseline: WorkloadRun, use_work: bool = False
+) -> Optional[int]:
+    """Smallest q with cum(index)[q] <= cum(baseline)[q]; None if never."""
+    index_cumulative = np.cumsum(_series(run, use_work))
+    baseline_cumulative = np.cumsum(_series(baseline, use_work))
+    n = min(index_cumulative.size, baseline_cumulative.size)
+    hits = np.flatnonzero(index_cumulative[:n] <= baseline_cumulative[:n])
+    return int(hits[0]) if hits.size else None
+
+
+def payoff_seconds(
+    run: WorkloadRun, baseline: WorkloadRun, use_work: bool = False
+) -> float:
+    """Cumulative cost at the pay-off point, or the run's total when the
+    investment never pays off within the workload (paper convention)."""
+    cumulative = np.cumsum(_series(run, use_work))
+    at = payoff_query(run, baseline, use_work)
+    if at is None:
+        return float(cumulative[-1])
+    return float(cumulative[at])
+
+
+def convergence_query(run: WorkloadRun) -> Optional[int]:
+    return run.converged_at()
+
+
+def convergence_seconds(run: WorkloadRun, use_work: bool = False) -> Optional[float]:
+    """Cumulative cost up to and including the converging query."""
+    at = run.converged_at()
+    if at is None:
+        return None
+    return float(np.cumsum(_series(run, use_work))[at])
+
+
+def variance(
+    run: WorkloadRun, limit: int = 50, use_work: bool = False
+) -> float:
+    """Per-query cost variance over the first ``limit`` queries or until
+    convergence, whichever comes first (Table IV)."""
+    series = _series(run, use_work)
+    at = run.converged_at()
+    end = min(limit, series.size) if at is None else min(limit, at + 1, series.size)
+    end = max(end, 2)  # a single point has no variance
+    return float(np.var(series[:end]))
+
+
+def total_seconds(run: WorkloadRun) -> float:
+    return float(run.seconds().sum())
+
+
+def total_work(run: WorkloadRun) -> float:
+    return float(run.work().sum())

@@ -1,0 +1,114 @@
+"""One-shot report generator: the whole evaluation in a single document.
+
+``generate_report(scale)`` runs (or reuses, via the shared cache) every
+experiment and assembles the paper's tables and figures — including ASCII
+charts for the figures — into one plain-text document.  The CLI hook is
+``python -m repro.bench report``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import experiments
+from .asciiplot import line_chart
+from .report import format_series, format_table
+
+__all__ = ["generate_report"]
+
+
+def _section(title: str) -> str:
+    bar = "#" * (len(title) + 8)
+    return f"\n{bar}\n### {title} ###\n{bar}\n"
+
+
+def generate_report(scale: experiments.Scale = experiments.DEFAULT_SCALE) -> str:
+    """Build the full evaluation document; takes minutes at default scale."""
+    parts: List[str] = [
+        "Multidimensional Adaptive & Progressive Indexes — full evaluation",
+        f"scale: N={scale.n_small}/{scale.n_large} rows, "
+        f"{scale.n_queries} queries/workload, "
+        f"size_threshold={scale.size_threshold}, delta={scale.delta}",
+    ]
+
+    parts.append(_section("Table II: first query response time (s)"))
+    headers, rows = experiments.table2_first_query(scale)
+    parts.append(format_table("", headers, rows))
+
+    parts.append(_section("Table III: pay-off (s)"))
+    headers, rows = experiments.table3_payoff(scale)
+    parts.append(format_table("", headers, rows))
+
+    parts.append(_section("Table IV: query time variance"))
+    headers, rows = experiments.table4_robustness(scale)
+    parts.append(format_table("", headers, rows, precision=6))
+
+    parts.append(_section("Table V: total response time (s)"))
+    headers, rows = experiments.table5_total_time(scale)
+    parts.append(format_table("", headers, rows))
+
+    parts.append(_section("Table VI: dimensionality"))
+    for title, headers, rows in experiments.table6_dimensionality(scale):
+        parts.append(format_table(title, headers, rows))
+        parts.append("")
+
+    parts.append(_section("Fig 5: delta impact on the Progressive KD-Tree"))
+    sweep = experiments.fig5_delta_impact(scale)
+    for d, data in sweep.items():
+        parts.append(
+            format_series(
+                f"{d} columns",
+                "delta",
+                data["deltas"],
+                [
+                    ("first query (s)", data["first_query"]),
+                    ("payoff (#q, work)", data["payoff_queries"]),
+                    ("convergence (s)", data["convergence_seconds"]),
+                    ("total (s)", data["total_seconds"]),
+                ],
+            )
+        )
+        parts.append("")
+
+    parts.append(_section("Fig 6a: Genomics cumulative time"))
+    xs, series = experiments.fig6a_genomics_cumulative(scale)
+    parts.append(line_chart(series, y_label="cumulative s", x_label="query"))
+
+    parts.append(_section("Fig 6b: Uniform(8) per-query time"))
+    xs, series = experiments.fig6b_per_query(scale)
+    parts.append(
+        line_chart(series, logy=True, y_label="seconds", x_label="query")
+    )
+
+    parts.append(_section("Fig 6c: Periodic(8) breakdown"))
+    breakdown = experiments.fig6c_breakdown(scale)
+    phases = ["initialization", "adaptation", "index_search", "scan"]
+    parts.append(
+        format_table(
+            "",
+            ["Index"] + phases,
+            [
+                [name] + [breakdown[name][phase] for phase in phases]
+                for name in breakdown
+            ],
+        )
+    )
+
+    parts.append(_section("Fig 6d: Periodic(8) index size"))
+    xs, series = experiments.fig6d_index_size(scale)
+    parts.append(line_chart(series, y_label="nodes", x_label="query"))
+
+    parts.append(_section("Fig 7: scans above the interactivity threshold"))
+    out = experiments.fig7_interactivity(scale)
+    parts.append(
+        line_chart(
+            out["series"],
+            logy=True,
+            hline=out["tau"],
+            hline_label="tau",
+            y_label="model seconds",
+            x_label="query",
+        )
+    )
+
+    return "\n".join(parts) + "\n"

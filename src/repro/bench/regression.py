@@ -1,0 +1,112 @@
+"""Work-unit regression guard.
+
+The work counters are deterministic, so a fixed mini-grid of (workload x
+index) runs yields exact element counts that only change when an
+*algorithm* changes.  Recording them as a baseline turns any accidental
+behaviour change — an extra pass, a lost pruning opportunity, a budget
+leak — into a visible diff, without any timing noise.
+
+Usage::
+
+    from repro.bench.regression import record_baseline, compare_baseline
+    record_baseline("baseline.json")          # once, on known-good code
+    report = compare_baseline("baseline.json")  # in CI / after changes
+    assert report.ok, report
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..workloads import make_synthetic_workload
+from .harness import run_workload
+from .measures import total_work
+
+__all__ = ["baseline_metrics", "record_baseline", "compare_baseline", "Drift"]
+
+#: The fixed mini-grid: small, fast, and touching every technique.
+GRID = [
+    ("uniform", 2, 2_000, 20, 0.01),
+    ("sequential", 2, 2_000, 20, 1e-4),
+    ("skewed", 3, 2_000, 20, 0.01),
+]
+ALGORITHMS = ("FS", "AvgKD", "MedKD", "Q", "AKD", "PKD", "GPKD")
+
+
+def baseline_metrics() -> Dict[str, float]:
+    """Compute the deterministic metrics of the fixed mini-grid."""
+    metrics: Dict[str, float] = {}
+    for pattern, dims, rows, queries, selectivity in GRID:
+        workload = make_synthetic_workload(
+            pattern, rows, dims, queries, selectivity, seed=1234
+        )
+        for algorithm in ALGORITHMS:
+            run = run_workload(
+                algorithm, workload, size_threshold=128, delta=0.25
+            )
+            key = f"{workload.name}/{algorithm}"
+            metrics[f"{key}/total_work"] = total_work(run)
+            metrics[f"{key}/first_work"] = float(run.work()[0])
+            metrics[f"{key}/nodes"] = float(run.node_counts[-1])
+    return metrics
+
+
+@dataclass
+class Drift:
+    """All deviations between the current run and the baseline."""
+
+    changed: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.changed or self.missing or self.added)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "work-unit baseline: OK"
+        parts = []
+        if self.changed:
+            parts.append(f"{len(self.changed)} changed: {self.changed[:5]}")
+        if self.missing:
+            parts.append(f"{len(self.missing)} missing: {self.missing[:5]}")
+        if self.added:
+            parts.append(f"{len(self.added)} new: {self.added[:5]}")
+        return "work-unit baseline drift — " + "; ".join(parts)
+
+
+def record_baseline(path: str) -> Dict[str, float]:
+    """Compute and persist the baseline; returns the metrics."""
+    metrics = baseline_metrics()
+    with open(path, "w") as handle:
+        json.dump(metrics, handle, indent=2, sort_keys=True)
+    return metrics
+
+
+def compare_baseline(path: str, tolerance: float = 0.0) -> Drift:
+    """Re-run the mini-grid and diff against the stored baseline.
+
+    ``tolerance`` is a relative slack (0.0 = exact match, the default:
+    these numbers are deterministic).
+    """
+    with open(path) as handle:
+        stored: Dict[str, float] = json.load(handle)
+    current = baseline_metrics()
+    drift = Drift()
+    for key, value in stored.items():
+        if key not in current:
+            drift.missing.append(key)
+        else:
+            reference = max(abs(value), 1.0)
+            if abs(current[key] - value) > tolerance * reference:
+                if current[key] != value:
+                    drift.changed.append(
+                        f"{key}: {value:g} -> {current[key]:g}"
+                    )
+    for key in current:
+        if key not in stored:
+            drift.added.append(key)
+    return drift

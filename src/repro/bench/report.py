@@ -1,0 +1,84 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The benchmark scripts print the same rows and series the paper reports;
+these helpers keep the formatting consistent and readable in a terminal
+and in the saved ``benchmarks/results`` artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "save_report"]
+
+
+def _cell(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    text_rows: List[List[str]] = [
+        [_cell(value, precision) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[tuple],
+    precision: int = 4,
+) -> str:
+    """Render one figure as columns: x plus one column per (name, values).
+
+    This is the textual equivalent of a paper figure — each series can be
+    plotted directly from the emitted columns.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for position, x in enumerate(x_values):
+        row: List[object] = [x]
+        for _, values in series:
+            row.append(values[position] if position < len(values) else None)
+        rows.append(row)
+    return format_table(title, headers, rows, precision)
+
+
+def save_report(path: str, text: str) -> None:
+    """Write a report, creating the directory if needed."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")

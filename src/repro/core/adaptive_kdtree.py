@@ -1,0 +1,183 @@
+"""The Adaptive KD-Tree (Section III-A) — the paper's first contribution.
+
+Cracking philosophy applied to a KD-Tree: query predicate bounds become
+pivots, and only pieces that can still contain answers for the running
+query are physically reorganised.  Two canonical phases per query:
+
+* *initialization* (first query only): copy the base table into the index
+  table;
+* *adaptation*: for the pairs ``(dim, low_bound)...`` then
+  ``(dim, high_bound)...`` in schema order, partition every
+  query-intersecting piece larger than ``size_threshold`` around the pair.
+
+If the user supplies an interactivity threshold ``tau`` and a full scan
+already exceeds it, the first query additionally runs a pre-processing
+step that builds a partial KD-Tree with arithmetic-mean pivots until every
+piece scans under ``tau`` (Section III-A, "Interactivity Threshold").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .cost_model import CostModel, MachineProfile
+from .index_base import BaseIndex, IndexTable
+from .kdtree import KDTree
+from .metrics import PhaseTimer, QueryStats
+from .node import Piece
+from .partition import stable_partition
+from .query import RangeQuery
+from .table import Table
+
+__all__ = ["AdaptiveKDTree"]
+
+
+class AdaptiveKDTree(BaseIndex):
+    """Adaptive KD-Tree (AKD).
+
+    Parameters
+    ----------
+    table:
+        The base table to index.
+    size_threshold:
+        Pieces at or below this size are never partitioned further; chosen
+        "such that the extra effort of indexing would not outperform a
+        simple scan".
+    tau:
+        Optional interactivity threshold in seconds.  When the estimated
+        full-scan cost exceeds it, the first query pre-builds a partial
+        mean-pivot KD-Tree until piece scans fit under ``tau``.
+    cost_model:
+        Cost model used only for the ``tau`` estimate; a deterministic one
+        is created when omitted.
+    """
+
+    name = "AKD"
+
+    def __init__(
+        self,
+        table: Table,
+        size_threshold: int = 1024,
+        tau: Optional[float] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        super().__init__(table)
+        if size_threshold < 1:
+            raise InvalidParameterError(
+                f"size_threshold must be >= 1, got {size_threshold}"
+            )
+        if tau is not None and tau <= 0:
+            raise InvalidParameterError(f"tau must be positive, got {tau}")
+        self.size_threshold = size_threshold
+        self.tau = tau
+        self.cost_model = cost_model or CostModel(
+            MachineProfile.deterministic(), table.n_rows, table.n_columns
+        )
+        self._index: Optional[IndexTable] = None
+        self._tree: Optional[KDTree] = None
+        self._open_pieces = 1 if table.n_rows > size_threshold else 0
+
+    # -- phases -------------------------------------------------------------------
+
+    def _initialize(self, stats: QueryStats) -> None:
+        self._index = IndexTable.copy_of(self.table, stats)
+        self._tree = KDTree(self.n_rows, self.n_dims)
+        if self.tau is not None:
+            scan_estimate = self.cost_model.full_scan_seconds()
+            if scan_estimate > self.tau:
+                self._preprocess(stats)
+
+    def _preprocess(self, stats: QueryStats) -> None:
+        """Mean-pivot pre-partitioning until piece scans fit under tau."""
+        arrays = self._index.all_arrays
+        queue: List[Piece] = list(self._tree.iter_leaves())
+        while queue:
+            piece = queue.pop()
+            scan_cost = self.cost_model.scan_seconds(piece.size * self.n_dims)
+            if scan_cost <= self.tau or piece.size <= self.size_threshold:
+                continue
+            dim = piece.level % self.n_dims
+            values = self._index.columns[dim][piece.start : piece.end]
+            pivot = float(values.mean())
+            split = stable_partition(arrays, piece.start, piece.end, dim, pivot)
+            stats.copied += piece.size * (self.n_dims + 1)
+            if split == piece.start or split == piece.end:
+                continue  # constant column; cannot be narrowed further
+            left, right = self._split(piece, dim, pivot, split, stats)
+            queue.append(left)
+            queue.append(right)
+
+    def _split(
+        self, piece: Piece, dim: int, key: float, split: int, stats: QueryStats
+    ) -> tuple:
+        if piece.size > self.size_threshold:
+            self._open_pieces -= 1
+        left, right = self._tree.split_leaf(piece, dim, key, split)
+        stats.nodes_created += 1
+        for child in (left, right):
+            if child.size > self.size_threshold:
+                self._open_pieces += 1
+        return left, right
+
+    def _adapt(self, query: RangeQuery, stats: QueryStats) -> None:
+        """Insert every predicate bound as a pivot into the pieces that are
+        relevant to the query (Section III-A, "Adaptation phase")."""
+        arrays = self._index.all_arrays
+        for dim, value in query.adaptation_pairs():
+            # Materialise targets first: splitting mutates the tree.
+            targets = [
+                (piece, lob, hib)
+                for piece, lob, hib in self._tree.iter_leaves_with_bounds(query)
+                if piece.size > self.size_threshold
+            ]
+            for piece, lob, hib in targets:
+                if not (lob[dim] < value < hib[dim]):
+                    continue  # pivot cannot split this piece's key range
+                split = stable_partition(arrays, piece.start, piece.end, dim, value)
+                stats.copied += piece.size * (self.n_dims + 1)
+                if split == piece.start or split == piece.end:
+                    continue  # all rows on one side; no node worth creating
+                self._split(piece, dim, value, split, stats)
+
+    # -- query ----------------------------------------------------------------------
+
+    def _execute(self, query: RangeQuery, stats: QueryStats) -> np.ndarray:
+        if self._index is None:
+            with PhaseTimer(stats, "initialization"):
+                self._initialize(stats)
+        with PhaseTimer(stats, "adaptation"):
+            self._adapt(query, stats)
+        with PhaseTimer(stats, "index_search"):
+            matches = self._tree.search(query, stats)
+        with PhaseTimer(stats, "scan"):
+            parts = [self._index.scan_piece(match, query, stats) for match in matches]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def converged(self) -> bool:
+        """True when no piece above the size threshold remains.
+
+        The Adaptive KD-Tree has no convergence *guarantee* (it only
+        refines where queries land), but a workload may happen to refine
+        everything; the harness uses this flag either way.
+        """
+        return self._tree is not None and self._open_pieces == 0
+
+    @property
+    def node_count(self) -> int:
+        return 0 if self._tree is None else self._tree.node_count
+
+    @property
+    def tree(self) -> Optional[KDTree]:
+        return self._tree
+
+    @property
+    def index_table(self) -> Optional[IndexTable]:
+        return self._index

@@ -1,0 +1,249 @@
+"""Approximate Adaptive/Progressive Indexing (paper Section V, future work).
+
+    "To truly achieve interactive times also with huge data sets,
+    adaptive/progressive indexing would need to be integrated with
+    approximate query processing, and construct the index while accessing
+    samples of the data.  The advantage is that the further the index
+    progresses, the more precise the approximation would be."
+
+:class:`ApproximateProgressiveKDTree` realises that design on top of the
+Progressive KD-Tree:
+
+* the creation phase copies base rows in a *random permutation* order, so
+  at any moment the indexed fraction ``rho`` is a uniform sample of the
+  data;
+* :meth:`approximate_query` answers from the indexed fraction only — cost
+  proportional to ``rho * N`` instead of ``N`` — and returns the matching
+  rows found so far plus an unbiased count estimate with a normal-
+  approximation confidence interval that tightens as ``rho`` grows;
+* :meth:`query` (inherited, exact) keeps working at every stage, and once
+  the creation phase completes the approximate path *is* the exact path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .index_base import QueryResult
+from .metrics import PhaseTimer, QueryStats
+from .progressive_kdtree import CREATION, REFINEMENT, ProgressiveKDTree
+from .query import RangeQuery
+from .scan import range_scan
+from .table import Table
+
+__all__ = ["ApproximateAnswer", "ApproximateProgressiveKDTree"]
+
+#: z-value for the default 95% confidence interval.
+Z_95 = 1.959963984540054
+
+
+@dataclass
+class ApproximateAnswer:
+    """An approximate query answer.
+
+    Attributes
+    ----------
+    row_ids:
+        Qualifying rows found in the indexed sample (exact members of the
+        true answer).
+    estimated_count:
+        Unbiased estimate of the full answer cardinality.
+    low, high:
+        Confidence interval bounds on the count.
+    support:
+        Fraction of the data the answer is based on (``rho``; 1.0 means
+        the answer is exact).
+    stats:
+        Per-query measurements.
+    """
+
+    row_ids: np.ndarray
+    estimated_count: float
+    low: float
+    high: float
+    support: float
+    stats: QueryStats
+
+    @property
+    def exact(self) -> bool:
+        return self.support >= 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproximateAnswer(~{self.estimated_count:.0f} rows "
+            f"[{self.low:.0f}, {self.high:.0f}] @ {self.support:.0%} support)"
+        )
+
+
+class ApproximateProgressiveKDTree(ProgressiveKDTree):
+    """Progressive KD-Tree with sampled creation and approximate answers."""
+
+    name = "APKD"
+
+    def __init__(
+        self,
+        table: Table,
+        delta: float = 0.2,
+        size_threshold: int = 1024,
+        confidence_z: float = Z_95,
+        seed: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(table, delta=delta, size_threshold=size_threshold, **kwargs)
+        if confidence_z <= 0:
+            raise InvalidParameterError(
+                f"confidence_z must be positive, got {confidence_z}"
+            )
+        self.confidence_z = confidence_z
+        self._permutation = np.random.default_rng(seed).permutation(table.n_rows)
+
+    # -- sampled creation -------------------------------------------------------
+
+    def _creation_step(self, budget_rows: int, stats: QueryStats) -> int:
+        """Copy the next ``budget_rows`` rows *in permutation order* so the
+        indexed prefix is always a uniform sample."""
+        n_copy = min(budget_rows, self.n_rows - self._rows_copied)
+        if n_copy <= 0:
+            return 0
+        begin = self._rows_copied
+        chunk_rows = self._permutation[begin : begin + n_copy]
+        keys = self.table.column(0)[chunk_rows]
+        mask = keys <= self._pivot0
+        n_top = int(np.count_nonzero(mask))
+        n_bottom = n_copy - n_top
+        inverse = ~mask
+        top_slice = slice(self._top_write, self._top_write + n_top)
+        bottom_slice = slice(
+            self._bottom_write - n_bottom + 1, self._bottom_write + 1
+        )
+        for dim in range(self.n_dims):
+            chunk = self.table.column(dim)[chunk_rows]
+            self._index.columns[dim][top_slice] = chunk[mask]
+            self._index.columns[dim][bottom_slice] = chunk[inverse]
+        self._index.rowids[top_slice] = chunk_rows[mask]
+        self._index.rowids[bottom_slice] = chunk_rows[inverse]
+        self._top_write += n_top
+        self._bottom_write -= n_bottom
+        self._rows_copied = begin + n_copy
+        stats.copied += n_copy * (self.n_dims + 1)
+        if self._rows_copied == self.n_rows:
+            self._finish_creation(stats)
+        return n_copy
+
+    def _creation_scan(self, query: RangeQuery, stats: QueryStats) -> np.ndarray:
+        """Exact creation-phase answer: indexed sides plus the *not yet
+        copied* base rows, which under permutation order are a gather, not
+        a contiguous tail."""
+        parts: List[np.ndarray] = [self._indexed_hits(query, stats)]
+        remainder = self._permutation[self._rows_copied :]
+        if remainder.size:
+            candidates = remainder
+            for dim in range(self.n_dims):
+                if candidates.size == 0:
+                    break
+                values = self.table.column(dim)[candidates]
+                stats.scanned += int(candidates.size)
+                keep = (values > query.lows[dim]) & (values <= query.highs[dim])
+                candidates = candidates[keep]
+            parts.append(candidates.astype(np.int64))
+        return np.concatenate(parts)
+
+    def _indexed_hits(self, query: RangeQuery, stats: QueryStats) -> np.ndarray:
+        """Qualifying rows among the already-indexed fraction."""
+        parts: List[np.ndarray] = []
+        pivot = self._pivot0
+        check = np.ones(self.n_dims, dtype=bool)
+        if self._top_write > 0 and query.lows[0] < pivot:
+            top_high = check.copy()
+            top_high[0] = pivot > query.highs[0]
+            positions = range_scan(
+                self._index.columns, 0, self._top_write, query, stats,
+                check_low=check, check_high=top_high,
+            )
+            parts.append(self._index.rowids[positions])
+        if self._bottom_write < self.n_rows - 1 and query.highs[0] > pivot:
+            bottom_low = check.copy()
+            bottom_low[0] = pivot < query.lows[0]
+            positions = range_scan(
+                self._index.columns, self._bottom_write + 1, self.n_rows,
+                query, stats, check_low=bottom_low, check_high=check,
+            )
+            parts.append(self._index.rowids[positions])
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    # -- approximate answering ---------------------------------------------------
+
+    def approximate_query(self, query: RangeQuery) -> ApproximateAnswer:
+        """Answer from the indexed sample only; exact once creation is done.
+
+        Performs the same per-query indexing work as :meth:`query`, but the
+        scan is restricted to the indexed fraction, so early queries cost
+        ``O(rho * N)`` instead of ``O(N)``.
+        """
+        import time
+
+        stats = QueryStats()
+        begin = time.perf_counter()
+        self._ensure_initialized(stats)
+        budget = self._budget_rows()
+        stats.delta_used = budget / self.n_rows
+        if self.phase == CREATION:
+            with PhaseTimer(stats, "adaptation"):
+                copied = self._creation_step(budget, stats)
+                leftover = budget - copied
+                if leftover > 0 and self.phase == REFINEMENT:
+                    leftover = self.cost_model.rows_for_refinement_budget(
+                        leftover * self.cost_model.creation_row_seconds()
+                    )
+                    if leftover > 0:
+                        self._refine_step(leftover, query, stats)
+        elif self.phase == REFINEMENT:
+            with PhaseTimer(stats, "adaptation"):
+                self._refine_step(budget, query, stats)
+        if self.phase == CREATION:
+            with PhaseTimer(stats, "scan"):
+                hits = self._indexed_hits(query, stats)
+            support = self._rows_copied / self.n_rows
+        else:
+            with PhaseTimer(stats, "scan"):
+                hits = self._refined_scan(query, stats)
+            support = 1.0
+        stats.seconds = time.perf_counter() - begin
+        stats.converged = self.converged
+        stats.result_count = int(hits.size)
+        self.queries_executed += 1
+        return self._estimate(hits, support, stats)
+
+    def _estimate(
+        self, hits: np.ndarray, support: float, stats: QueryStats
+    ) -> ApproximateAnswer:
+        if support >= 1.0:
+            count = float(hits.size)
+            return ApproximateAnswer(hits, count, count, count, 1.0, stats)
+        if support <= 0.0:
+            return ApproximateAnswer(
+                hits, 0.0, 0.0, float(self.n_rows), 0.0, stats
+            )
+        sample_size = support * self.n_rows
+        p_hat = hits.size / sample_size
+        # Finite-population-corrected normal approximation.
+        correction = max(0.0, 1.0 - support)
+        standard_error = math.sqrt(
+            max(p_hat * (1.0 - p_hat), 1.0 / sample_size) / sample_size * correction
+        )
+        estimate = p_hat * self.n_rows
+        margin = self.confidence_z * standard_error * self.n_rows
+        low = max(float(hits.size), estimate - margin)
+        high = min(float(self.n_rows), estimate + margin)
+        return ApproximateAnswer(hits, estimate, low, high, support, stats)
+
+    def exact_query(self, query: RangeQuery) -> QueryResult:
+        """Alias for the inherited exact :meth:`query`."""
+        return self.query(query)

@@ -1,0 +1,181 @@
+"""Dictionary encoding for variable-length (string) attributes.
+
+The paper's techniques target fixed-width numerics; Section III notes that
+supporting strings "using a dictionary encoding and reorganizing only the
+fixed-width array of indices representing the actual columns is mainly an
+engineering exercise ... left for future work".  This module does that
+exercise.
+
+:class:`DictionaryColumn` maps arbitrary values to dense integer codes
+assigned in *sorted value order*, so that code comparisons agree with
+value comparisons and range predicates over the original values translate
+directly into range predicates over the codes.  :func:`encode_table`
+turns a mixed (numeric + string) column mapping into a numeric
+:class:`~repro.core.table.Table` plus the dictionaries needed to translate
+queries and decode results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import InvalidQueryError, InvalidTableError
+from .query import RangeQuery
+from .table import Table
+
+__all__ = ["DictionaryColumn", "EncodedTable", "encode_table"]
+
+
+class DictionaryColumn:
+    """A sorted dictionary encoding of one column.
+
+    Codes are assigned in sorted order of the distinct values, which makes
+    the encoding *order-preserving*: ``value_a <= value_b`` iff
+    ``code(value_a) <= code(value_b)``.  That property is what lets every
+    index in this package work on the codes unchanged.
+    """
+
+    __slots__ = ("_values", "_codes", "_lookup")
+
+    def __init__(self, values: Sequence) -> None:
+        if len(values) == 0:
+            raise InvalidTableError("cannot dictionary-encode an empty column")
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise InvalidTableError("dictionary column must be one-dimensional")
+        distinct, inverse = np.unique(array, return_inverse=True)
+        self._values = distinct
+        self._codes = inverse.astype(np.float64)
+        self._lookup: Dict[object, int] = {
+            self._key(value): position for position, value in enumerate(distinct)
+        }
+
+    @staticmethod
+    def _key(value) -> object:
+        # numpy scalars hash like their Python counterparts; normalise so
+        # callers can pass either.
+        return value.item() if isinstance(value, np.generic) else value
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The encoded column: float64 codes, one per input row."""
+        return self._codes
+
+    @property
+    def cardinality(self) -> int:
+        return int(self._values.shape[0])
+
+    def encode_value(self, value) -> int:
+        """The exact code for ``value``; raises if unseen."""
+        try:
+            return self._lookup[self._key(value)]
+        except KeyError:
+            raise InvalidQueryError(
+                f"value {value!r} does not appear in the dictionary"
+            ) from None
+
+    def code_floor(self, value) -> float:
+        """Largest code whose value is ``<= value`` (-1 when below all).
+
+        Used to translate an exclusive lower bound: ``x > value`` over
+        values becomes ``code > code_floor(value)`` over codes.
+        """
+        position = int(np.searchsorted(self._values, value, side="right")) - 1
+        return float(position)
+
+    def code_ceil(self, value) -> float:
+        """``code_floor`` is all that range translation needs for the
+        half-open semantics used here; the inclusive upper bound ``x <=
+        value`` becomes ``code <= code_floor(value)`` as well."""
+        return self.code_floor(value)
+
+    def decode(self, codes: Union[int, np.ndarray]) -> np.ndarray:
+        """Map codes back to original values."""
+        return self._values[np.asarray(codes, dtype=np.int64)]
+
+    def translate_bounds(self, low, high) -> Tuple[float, float]:
+        """Translate a value-domain range ``low < x <= high`` into the
+        equivalent code-domain range."""
+        return self.code_floor(low), self.code_floor(high)
+
+    def __repr__(self) -> str:
+        return f"DictionaryColumn({self.cardinality} distinct values)"
+
+
+class EncodedTable:
+    """A numeric table plus the per-column dictionaries that produced it.
+
+    Columns that were already numeric pass through unencoded
+    (``dictionaries[position] is None`` for them).
+    """
+
+    __slots__ = ("table", "dictionaries")
+
+    def __init__(
+        self, table: Table, dictionaries: List[Optional[DictionaryColumn]]
+    ) -> None:
+        if len(dictionaries) != table.n_columns:
+            raise InvalidTableError(
+                "need one dictionary slot per column "
+                f"({len(dictionaries)} for {table.n_columns} columns)"
+            )
+        self.table = table
+        self.dictionaries = dictionaries
+
+    def encode_query(self, lows: Sequence, highs: Sequence) -> RangeQuery:
+        """Build a code-domain :class:`RangeQuery` from value-domain bounds.
+
+        String bounds are translated through the dictionaries; numeric
+        columns pass through untouched.
+        """
+        if len(lows) != self.table.n_columns or len(highs) != self.table.n_columns:
+            raise InvalidQueryError(
+                f"query needs bounds for all {self.table.n_columns} columns"
+            )
+        encoded_lows: List[float] = []
+        encoded_highs: List[float] = []
+        for position, dictionary in enumerate(self.dictionaries):
+            low, high = lows[position], highs[position]
+            if dictionary is None:
+                encoded_lows.append(float(low))
+                encoded_highs.append(float(high))
+            else:
+                code_low, code_high = dictionary.translate_bounds(low, high)
+                encoded_lows.append(code_low)
+                encoded_highs.append(code_high)
+        return RangeQuery(encoded_lows, encoded_highs)
+
+    def decode_rows(self, row_ids: np.ndarray) -> List[tuple]:
+        """Materialise result rows in the original value domain."""
+        decoded_columns = []
+        for position, dictionary in enumerate(self.dictionaries):
+            column = self.table.column(position)[row_ids]
+            if dictionary is None:
+                decoded_columns.append(column)
+            else:
+                decoded_columns.append(dictionary.decode(column))
+        return list(zip(*decoded_columns))
+
+
+def encode_table(columns: Dict[str, Sequence]) -> EncodedTable:
+    """Encode a mapping of named columns (numeric or string) into an
+    :class:`EncodedTable` every index in this package can consume."""
+    if not columns:
+        raise InvalidTableError("a table needs at least one column")
+    numeric_columns: List[np.ndarray] = []
+    dictionaries: List[Optional[DictionaryColumn]] = []
+    for name, values in columns.items():
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise InvalidTableError(f"column {name!r} must be one-dimensional")
+        if np.issubdtype(array.dtype, np.number):
+            numeric_columns.append(array.astype(np.float64))
+            dictionaries.append(None)
+        else:
+            dictionary = DictionaryColumn(array)
+            numeric_columns.append(dictionary.codes)
+            dictionaries.append(dictionary)
+    table = Table(numeric_columns, names=list(columns.keys()))
+    return EncodedTable(table, dictionaries)

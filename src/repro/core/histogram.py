@@ -1,0 +1,137 @@
+"""Equi-width histograms for selectivity estimation.
+
+The Greedy Progressive KD-Tree estimates each query's net cost before
+spending the leftover budget on indexing.  Its default candidate-fraction
+guess (half the rows survive each extra column) is deliberately
+conservative; per-column histograms — built in one vectorised pass, like
+the means the creation phase already takes — turn that guess into a real
+estimate of how many candidates each predicate keeps.
+
+The module stands alone (estimate any conjunctive box's selectivity) and
+plugs into :class:`GreedyProgressiveKDTree` via ``use_histograms=True``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .query import RangeQuery
+from .table import Table
+
+__all__ = ["EquiWidthHistogram", "TableHistograms"]
+
+
+class EquiWidthHistogram:
+    """A fixed-bucket equi-width histogram over one column."""
+
+    __slots__ = ("minimum", "maximum", "counts", "n_rows", "_width")
+
+    def __init__(self, values: np.ndarray, n_buckets: int = 64) -> None:
+        if n_buckets < 1:
+            raise InvalidParameterError(
+                f"n_buckets must be >= 1, got {n_buckets}"
+            )
+        values = np.asarray(values)
+        if values.size == 0:
+            raise InvalidParameterError("cannot build a histogram of nothing")
+        self.minimum = float(values.min())
+        self.maximum = float(values.max())
+        self.n_rows = int(values.size)
+        span = self.maximum - self.minimum
+        if span <= 0.0:
+            self.counts = np.array([self.n_rows], dtype=np.int64)
+            self._width = 1.0
+            return
+        self._width = span / n_buckets
+        positions = np.clip(
+            ((values - self.minimum) / self._width).astype(np.int64),
+            0,
+            n_buckets - 1,
+        )
+        self.counts = np.bincount(positions, minlength=n_buckets).astype(
+            np.int64
+        )
+
+    @property
+    def n_buckets(self) -> int:
+        return int(self.counts.shape[0])
+
+    def estimate_fraction(self, low: float, high: float) -> float:
+        """Estimated fraction of rows with ``low < x <= high``.
+
+        Boundary buckets contribute pro-rata (uniformity assumption inside
+        a bucket) — the textbook equi-width estimator.
+        """
+        if high <= low:
+            return 0.0
+        if self.maximum == self.minimum:
+            return 1.0 if (low < self.minimum <= high) else 0.0
+        low = max(low, self.minimum)
+        high = min(high, self.maximum)
+        if high <= low:
+            return 0.0  # entirely outside the value range
+        first = int((low - self.minimum) / self._width)
+        last = int((high - self.minimum) / self._width)
+        first = min(first, self.n_buckets - 1)
+        last = min(last, self.n_buckets - 1)
+        if first == last:
+            fraction = (high - low) / self._width
+            return float(self.counts[first] * fraction) / self.n_rows
+        total = 0.0
+        # Partial first bucket.
+        first_edge = self.minimum + (first + 1) * self._width
+        total += self.counts[first] * (first_edge - low) / self._width
+        # Whole middle buckets.
+        total += float(self.counts[first + 1 : last].sum())
+        # Partial last bucket.
+        last_edge = self.minimum + last * self._width
+        total += self.counts[last] * (high - last_edge) / self._width
+        return min(1.0, max(0.0, total / self.n_rows))
+
+    def __repr__(self) -> str:
+        return (
+            f"EquiWidthHistogram({self.n_buckets} buckets over "
+            f"[{self.minimum:g}, {self.maximum:g}], {self.n_rows} rows)"
+        )
+
+
+class TableHistograms:
+    """Per-column histograms plus conjunctive box estimation."""
+
+    __slots__ = ("histograms",)
+
+    def __init__(self, table: Table, n_buckets: int = 64) -> None:
+        self.histograms: List[EquiWidthHistogram] = [
+            EquiWidthHistogram(table.column(dim), n_buckets)
+            for dim in range(table.n_columns)
+        ]
+
+    def per_dimension_fractions(self, query: RangeQuery) -> List[float]:
+        return [
+            self.histograms[dim].estimate_fraction(
+                float(query.lows[dim]), float(query.highs[dim])
+            )
+            for dim in range(query.n_dims)
+        ]
+
+    def estimate_selectivity(self, query: RangeQuery) -> float:
+        """Box selectivity under the attribute-independence assumption."""
+        selectivity = 1.0
+        for fraction in self.per_dimension_fractions(query):
+            selectivity *= fraction
+        return selectivity
+
+    def estimate_candidate_elements(self, query: RangeQuery, n_rows: int) -> int:
+        """Expected element touches of an option-2 candidate scan over
+        ``n_rows``: the first column fully, then the surviving candidates
+        through each further column (independence assumption)."""
+        fractions = self.per_dimension_fractions(query)
+        touched = float(n_rows)
+        surviving = float(n_rows)
+        for fraction in fractions[:-1]:
+            surviving *= fraction
+            touched += surviving
+        return int(touched)

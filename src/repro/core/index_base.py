@@ -1,0 +1,155 @@
+"""Common interface and shared machinery for all indexes.
+
+Every technique in the paper — full scan, full KD-Trees, QUASII, SFC
+cracking, and the three contributions — is exposed through the same tiny
+interface: construct over a :class:`~repro.core.table.Table`, then call
+:meth:`BaseIndex.query` per query.  Each call returns the qualifying
+original row ids plus a full :class:`~repro.core.metrics.QueryStats`, so
+the benchmark harness can treat all techniques uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import InvalidQueryError
+from .kdtree import PieceMatch
+from .metrics import QueryStats
+from .query import RangeQuery
+from .scan import range_scan
+from .table import Table
+
+__all__ = ["QueryResult", "IndexTable", "BaseIndex"]
+
+
+class QueryResult:
+    """The answer to one query: original row ids plus measurements."""
+
+    __slots__ = ("row_ids", "stats")
+
+    def __init__(self, row_ids: np.ndarray, stats: QueryStats) -> None:
+        self.row_ids = row_ids
+        self.stats = stats
+        stats.result_count = int(row_ids.size)
+
+    @property
+    def count(self) -> int:
+        return int(self.row_ids.size)
+
+    def sorted_ids(self) -> np.ndarray:
+        """Row ids in ascending order (for answer comparison in tests)."""
+        return np.sort(self.row_ids)
+
+    def checksum(self) -> int:
+        """Order-independent answer fingerprint."""
+        return int(self.row_ids.sum(dtype=np.int64)) if self.count else 0
+
+    def __repr__(self) -> str:
+        return f"QueryResult({self.count} rows, {self.stats.seconds:.6f}s)"
+
+
+class IndexTable:
+    """The secondary index table: reorganisable copies of all columns plus
+    a rowid column mapping positions back to the original table."""
+
+    __slots__ = ("columns", "rowids")
+
+    def __init__(self, columns: List[np.ndarray], rowids: np.ndarray) -> None:
+        self.columns = columns
+        self.rowids = rowids
+
+    @classmethod
+    def copy_of(cls, table: Table, stats: Optional[QueryStats] = None) -> "IndexTable":
+        """Materialise the index table as a copy of the base table
+        (the Adaptive KD-Tree initialization phase)."""
+        columns = table.copy_columns()
+        rowids = np.arange(table.n_rows, dtype=np.int64)
+        if stats is not None:
+            stats.copied += table.n_rows * (table.n_columns + 1)
+        return cls(columns, rowids)
+
+    @classmethod
+    def allocate(cls, n_rows: int, n_columns: int, dtype=np.float64) -> "IndexTable":
+        """Uninitialised index table (the progressive creation phase fills
+        it incrementally)."""
+        columns = [np.empty(n_rows, dtype=dtype) for _ in range(n_columns)]
+        rowids = np.empty(n_rows, dtype=np.int64)
+        return cls(columns, rowids)
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.rowids.shape[0])
+
+    @property
+    def all_arrays(self) -> List[np.ndarray]:
+        """Columns plus rowids — the arrays partitioning must move together."""
+        return self.columns + [self.rowids]
+
+    def scan_piece(
+        self, match: PieceMatch, query: RangeQuery, stats: QueryStats
+    ) -> np.ndarray:
+        """Scan one piece with the residual predicates and map positions to
+        original row ids (Section III-A, "Piece Scan")."""
+        positions = range_scan(
+            self.columns,
+            match.piece.start,
+            match.piece.end,
+            query,
+            stats,
+            check_low=match.check_low,
+            check_high=match.check_high,
+        )
+        return self.rowids[positions]
+
+
+class BaseIndex(ABC):
+    """Abstract incremental multidimensional index.
+
+    Subclasses implement :meth:`_execute`; :meth:`query` wraps it with
+    validation, total timing, and convergence reporting.
+    """
+
+    #: Short name used in benchmark tables (paper abbreviations).
+    name: str = "?"
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.n_rows = table.n_rows
+        self.n_dims = table.n_columns
+        self.queries_executed = 0
+
+    def query(self, query: RangeQuery) -> QueryResult:
+        """Answer ``query``, doing whatever incremental indexing the
+        technique prescribes as a side effect."""
+        if query.n_dims != self.n_dims:
+            raise InvalidQueryError(
+                f"query has {query.n_dims} dimensions, index covers {self.n_dims}"
+            )
+        stats = QueryStats()
+        begin = time.perf_counter()
+        row_ids = self._execute(query, stats)
+        stats.seconds = time.perf_counter() - begin
+        stats.converged = self.converged
+        self.queries_executed += 1
+        return QueryResult(row_ids, stats)
+
+    @abstractmethod
+    def _execute(self, query: RangeQuery, stats: QueryStats) -> np.ndarray:
+        """Answer the query; return original row ids."""
+
+    @property
+    def converged(self) -> bool:
+        """True once no future query will perform further indexing."""
+        return False
+
+    @property
+    def node_count(self) -> int:
+        """Number of index nodes currently materialised (Fig. 6d)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(N={self.n_rows}, d={self.n_dims})"

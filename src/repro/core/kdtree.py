@@ -1,0 +1,234 @@
+"""The KD-Tree shell shared by all KD-based indexes.
+
+This module provides the structure and traversals; the *policies* (what to
+use as pivots, when to split, how much work to spend) live in the index
+classes.  The tree starts as a single root :class:`Piece` covering
+``[0, n_rows)`` and grows by splitting leaves into :class:`KDNode` internal
+nodes, exactly mirroring how the paper's adaptation/refinement phases
+incrementally partition the index table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import IndexStateError
+from .metrics import QueryStats
+from .node import AnyNode, KDNode, Piece
+from .query import RangeQuery
+
+__all__ = ["KDTree", "PieceMatch"]
+
+
+@dataclass
+class PieceMatch:
+    """A leaf piece returned by an index lookup.
+
+    ``check_low`` / ``check_high`` flag, per dimension, which predicate
+    sides the tree path does *not* already imply and therefore still need
+    to be tested while scanning the piece.
+    """
+
+    piece: Piece
+    check_low: np.ndarray  # bool, shape (d,)
+    check_high: np.ndarray  # bool, shape (d,)
+
+
+class KDTree:
+    """A KD-Tree over the row range ``[0, n_rows)`` of an index table."""
+
+    def __init__(self, n_rows: int, n_dims: int) -> None:
+        if n_rows < 0:
+            raise IndexStateError(f"negative table size {n_rows}")
+        if n_dims <= 0:
+            raise IndexStateError(f"need at least one dimension, got {n_dims}")
+        self.n_rows = n_rows
+        self.n_dims = n_dims
+        self.root: AnyNode = Piece(0, n_rows, level=0)
+        self.node_count = 0  # internal nodes
+        self.leaf_count = 1
+
+    # -- structural edits ----------------------------------------------------
+
+    def split_leaf(
+        self, piece: Piece, dim: int, key: float, split: int
+    ) -> Tuple[Piece, Piece]:
+        """Replace ``piece`` with an internal node splitting it at ``split``.
+
+        The caller must already have physically partitioned the rows of the
+        piece so that ``[start, split)`` holds keys ``<= key`` and
+        ``[split, end)`` keys ``> key``.  Returns the two child pieces.
+        """
+        if not (piece.start < split < piece.end):
+            raise IndexStateError(
+                f"split {split} outside piece ({piece.start}, {piece.end}); "
+                "degenerate splits must be filtered by the caller"
+            )
+        left = Piece(piece.start, split, piece.level + 1)
+        right = Piece(split, piece.end, piece.level + 1)
+        node = KDNode(dim, key, piece.start, split, piece.end, left, right)
+        self._replace(piece, node)
+        self.node_count += 1
+        self.leaf_count += 1
+        return left, right
+
+    def _replace(self, old: AnyNode, new: AnyNode) -> None:
+        parent = old.parent
+        new.parent = parent
+        if parent is None:
+            if self.root is not old:
+                raise IndexStateError("node to replace is not in this tree")
+            self.root = new
+        elif parent.left is old:
+            parent.left = new
+        elif parent.right is old:
+            parent.right = new
+        else:
+            raise IndexStateError("node is not a child of its recorded parent")
+
+    # -- traversals ----------------------------------------------------------
+
+    def search(self, query: RangeQuery, stats: QueryStats) -> List[PieceMatch]:
+        """Index lookup: all leaf pieces that may contain query answers.
+
+        Implements the recursive descent of Section III-A ("Index Lookup"),
+        pruning subtrees the query cannot reach and recording which
+        predicate sides remain unchecked for each returned piece.
+        """
+        matches: List[PieceMatch] = []
+        neg_inf = np.full(self.n_dims, -np.inf)
+        pos_inf = np.full(self.n_dims, np.inf)
+        stack: List[Tuple[AnyNode, np.ndarray, np.ndarray]] = [
+            (self.root, neg_inf, pos_inf)
+        ]
+        lows = query.lows
+        highs = query.highs
+        while stack:
+            node, lob, hib = stack.pop()
+            stats.lookup_nodes += 1
+            if node.is_leaf():
+                if node.size == 0:
+                    continue
+                check_low = lows > lob  # path does not already imply x > low
+                check_high = highs < hib  # nor x <= high
+                matches.append(PieceMatch(node, check_low, check_high))
+                continue
+            dim, key = node.dim, node.key
+            if lows[dim] < key:  # interval (low, key] non-empty
+                child_hib = hib.copy()
+                if key < child_hib[dim]:
+                    child_hib[dim] = key
+                stack.append((node.left, lob, child_hib))
+            if highs[dim] > key:  # interval (key, high] non-empty
+                child_lob = lob.copy()
+                if key > child_lob[dim]:
+                    child_lob[dim] = key
+                stack.append((node.right, child_lob, hib))
+        return matches
+
+    def iter_leaves(self) -> Iterator[Piece]:
+        """All leaf pieces, left to right."""
+        stack: List[AnyNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf():
+                yield node
+            else:
+                stack.append(node.right)
+                stack.append(node.left)
+
+    def iter_leaves_with_bounds(
+        self, query: Optional[RangeQuery] = None
+    ) -> Iterator[Tuple[Piece, np.ndarray, np.ndarray]]:
+        """Leaves (optionally restricted to query-reachable ones) with the
+        exclusive-low / inclusive-high value bounds their path implies."""
+        neg_inf = np.full(self.n_dims, -np.inf)
+        pos_inf = np.full(self.n_dims, np.inf)
+        stack: List[Tuple[AnyNode, np.ndarray, np.ndarray]] = [
+            (self.root, neg_inf, pos_inf)
+        ]
+        while stack:
+            node, lob, hib = stack.pop()
+            if node.is_leaf():
+                yield node, lob, hib
+                continue
+            dim, key = node.dim, node.key
+            if query is None or query.highs[dim] > key:
+                child_lob = lob.copy()
+                if key > child_lob[dim]:
+                    child_lob[dim] = key
+                stack.append((node.right, child_lob, hib))
+            if query is None or query.lows[dim] < key:
+                child_hib = hib.copy()
+                if key < child_hib[dim]:
+                    child_hib[dim] = key
+                stack.append((node.left, lob, child_hib))
+
+    def height(self) -> int:
+        """Longest root-to-leaf path (a single piece has height 0)."""
+        best = 0
+        stack: List[Tuple[AnyNode, int]] = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.is_leaf():
+                best = max(best, depth)
+            else:
+                stack.append((node.left, depth + 1))
+                stack.append((node.right, depth + 1))
+        return best
+
+    def max_leaf_size(self) -> int:
+        return max((leaf.size for leaf in self.iter_leaves()), default=0)
+
+    # -- validation (used heavily by the test suite) --------------------------
+
+    def validate(self, columns: Sequence[np.ndarray]) -> None:
+        """Check all structural invariants; raises IndexStateError on breach.
+
+        * leaf ranges tile ``[0, n_rows)`` exactly, in order;
+        * every internal node's split lies strictly inside its range and
+          matches its children's ranges;
+        * every row of every leaf satisfies all path bounds — except rows
+          inside an unfinished incremental-partition window, which are by
+          definition not yet classified against the piece's own pivot (the
+          *path* bounds must still hold for them).
+        """
+        expected_start = 0
+        for leaf, lob, hib in self.iter_leaves_with_bounds():
+            if leaf.start != expected_start:
+                raise IndexStateError(
+                    f"leaf gap: expected start {expected_start}, got {leaf.start}"
+                )
+            expected_start = leaf.end
+            for dim in range(self.n_dims):
+                values = columns[dim][leaf.start : leaf.end]
+                if np.isfinite(lob[dim]) and not (values > lob[dim]).all():
+                    raise IndexStateError(
+                        f"leaf [{leaf.start},{leaf.end}) violates lower bound "
+                        f"{lob[dim]} on dim {dim}"
+                    )
+                if np.isfinite(hib[dim]) and not (values <= hib[dim]).all():
+                    raise IndexStateError(
+                        f"leaf [{leaf.start},{leaf.end}) violates upper bound "
+                        f"{hib[dim]} on dim {dim}"
+                    )
+        if expected_start != self.n_rows:
+            raise IndexStateError(
+                f"leaves cover [0, {expected_start}), table has {self.n_rows} rows"
+            )
+        self._validate_internal(self.root)
+
+    def _validate_internal(self, node: AnyNode) -> None:
+        if node.is_leaf():
+            return
+        if not (node.start < node.split < node.end):
+            raise IndexStateError(f"bad split in {node!r}")
+        if node.left.start != node.start or node.left.end != node.split:
+            raise IndexStateError(f"left child range mismatch under {node!r}")
+        if node.right.start != node.split or node.right.end != node.end:
+            raise IndexStateError(f"right child range mismatch under {node!r}")
+        self._validate_internal(node.left)
+        self._validate_internal(node.right)

@@ -1,0 +1,127 @@
+"""Per-query measurement machinery.
+
+Every index in this package reports, for each query, both wall-clock times
+and deterministic *work counters*.  The paper (Fig. 6c) breaks query time
+into four phases — initialization, adaptation, index search, and scan — and
+we mirror that breakdown.  Work counters (elements scanned / copied /
+swapped, tree nodes touched and created) make the small-scale Python
+reproduction noise-free: variance and convergence measures can be computed
+on work units as well as on seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["QueryStats", "PhaseTimer", "PHASES"]
+
+#: The four cost phases of Fig. 6c, in presentation order.
+PHASES = ("initialization", "adaptation", "index_search", "scan")
+
+
+@dataclass
+class QueryStats:
+    """Measurements for one query against one index.
+
+    Attributes
+    ----------
+    seconds:
+        Total wall-clock time of :meth:`BaseIndex.query`.
+    phase_seconds:
+        Wall-clock seconds per phase (keys are :data:`PHASES`).
+    scanned:
+        Elements read while scanning data (base table or index pieces),
+        including candidate-list re-checks.
+    copied:
+        Elements moved by sequential, out-of-place work: copying data into
+        the index (initialization, progressive creation) and stable
+        partitioning (adaptation, full builds, QUASII cracking).
+    swapped:
+        Elements visited by *in-place* incremental partitioning (the
+        progressive refinement phase's pausable swaps).
+    lookup_nodes:
+        KD-Tree nodes visited during index search.
+    nodes_created:
+        Index nodes created while answering this query.
+    result_count:
+        Number of qualifying rows returned.
+    delta_used:
+        Indexing budget actually spent by progressive indexes, as a
+        fraction of N (``None`` for non-progressive indexes).
+    converged:
+        Whether the index is fully converged after this query.
+    """
+
+    seconds: float = 0.0
+    phase_seconds: Dict[str, float] = field(
+        default_factory=lambda: {phase: 0.0 for phase in PHASES}
+    )
+    scanned: int = 0
+    copied: int = 0
+    swapped: int = 0
+    lookup_nodes: int = 0
+    nodes_created: int = 0
+    result_count: int = 0
+    delta_used: Optional[float] = None
+    converged: bool = False
+
+    @property
+    def work(self) -> int:
+        """Total deterministic work units for this query."""
+        return self.scanned + self.copied + self.swapped + self.lookup_nodes
+
+    @property
+    def indexing_work(self) -> int:
+        """Work spent building the index rather than answering the query."""
+        return self.copied + self.swapped
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another stats record into this one (for totals)."""
+        self.seconds += other.seconds
+        for phase in PHASES:
+            self.phase_seconds[phase] += other.phase_seconds[phase]
+        self.scanned += other.scanned
+        self.copied += other.copied
+        self.swapped += other.swapped
+        self.lookup_nodes += other.lookup_nodes
+        self.nodes_created += other.nodes_created
+        self.result_count += other.result_count
+
+    def __repr__(self) -> str:
+        phases = ", ".join(
+            f"{phase}={self.phase_seconds[phase]:.6f}s" for phase in PHASES
+        )
+        return (
+            f"QueryStats({self.seconds:.6f}s, {phases}, "
+            f"scanned={self.scanned}, copied={self.copied}, "
+            f"swapped={self.swapped}, nodes+={self.nodes_created}, "
+            f"rows={self.result_count})"
+        )
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time into one phase of a :class:`QueryStats`.
+
+    Usage::
+
+        with PhaseTimer(stats, "adaptation"):
+            ...  # work attributed to the adaptation phase
+    """
+
+    __slots__ = ("_stats", "_phase", "_start")
+
+    def __init__(self, stats: QueryStats, phase: str) -> None:
+        if phase not in stats.phase_seconds:
+            raise KeyError(f"unknown phase {phase!r}; expected one of {PHASES}")
+        self._stats = stats
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stats.phase_seconds[self._phase] += time.perf_counter() - self._start

@@ -1,0 +1,126 @@
+"""KD-Tree node types.
+
+The KD-Tree is a *secondary* index over the index table (Section III-A,
+"Data Structures"): internal nodes carry a discriminator dimension, a key,
+and the position offset that separates the two children's row ranges;
+leaves ("pieces") are contiguous row ranges of the index table that have
+not been split (further).
+
+Progressive leaves additionally carry the state needed to resume work
+across queries: the pivot chosen for their eventual split, the pausable
+partition job, and a convergence flag.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .partition import IncrementalPartition
+
+__all__ = ["KDNode", "Piece", "AnyNode"]
+
+
+class KDNode:
+    """An internal KD-Tree node splitting ``[start, end)`` at ``split``.
+
+    Rows ``[start, split)`` satisfy ``column[dim] <= key``; rows
+    ``[split, end)`` satisfy ``column[dim] > key``.
+    """
+
+    __slots__ = ("dim", "key", "start", "split", "end", "left", "right", "parent")
+
+    def __init__(
+        self,
+        dim: int,
+        key: float,
+        start: int,
+        split: int,
+        end: int,
+        left: "AnyNode",
+        right: "AnyNode",
+        parent: Optional["KDNode"] = None,
+    ) -> None:
+        self.dim = dim
+        self.key = float(key)
+        self.start = start
+        self.split = split
+        self.end = end
+        self.left = left
+        self.right = right
+        self.parent = parent
+        left.parent = self
+        right.parent = self
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def is_leaf(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"KDNode(dim={self.dim}, key={self.key:g}, "
+            f"[{self.start},{self.split},{self.end}))"
+        )
+
+
+class Piece:
+    """A leaf piece: an unsplit contiguous row range ``[start, end)``.
+
+    Attributes
+    ----------
+    level:
+        Depth in the tree; progressive indexes derive the split dimension
+        from it round-robin (``dim = level % d``).
+    split_dim, pivot:
+        The split the progressive refinement will apply to this piece
+        (pivot is the arithmetic mean of ``split_dim`` within the piece).
+        ``None`` until the piece is scheduled for refinement.
+    job:
+        The in-progress :class:`IncrementalPartition`, if refinement of
+        this piece has started but not finished.
+    converged:
+        True once the piece is at or below the size threshold (or cannot
+        be split further) — no more refinement will touch it.
+    dims_tried:
+        How many dimensions have been tried and found constant while
+        looking for a split of this piece (guards degenerate data).
+    """
+
+    __slots__ = (
+        "start",
+        "end",
+        "level",
+        "split_dim",
+        "pivot",
+        "job",
+        "converged",
+        "dims_tried",
+        "parent",
+    )
+
+    def __init__(self, start: int, end: int, level: int = 0) -> None:
+        self.start = start
+        self.end = end
+        self.level = level
+        self.split_dim: Optional[int] = None
+        self.pivot: Optional[float] = None
+        self.job: Optional[IncrementalPartition] = None
+        self.converged = False
+        self.dims_tried = 0
+        self.parent: Optional[KDNode] = None
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def is_leaf(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        state = "converged" if self.converged else "open"
+        return f"Piece([{self.start},{self.end}), level={self.level}, {state})"
+
+
+AnyNode = Union[KDNode, Piece]

@@ -1,0 +1,169 @@
+"""Row partitioning kernels for index (re)organisation.
+
+Two flavours, matching the two ways the paper moves data:
+
+* :func:`stable_partition` — out-of-place two-way partition of a row range
+  around a pivot, used by the Adaptive KD-Tree adaptation phase and by the
+  up-front full index builds.
+* :class:`IncrementalPartition` — an in-place, *pausable* Hoare-style
+  partition used by the Progressive KD-Tree refinement phase, where each
+  query may only spend ``delta * N`` rows of work before handing the
+  partially-partitioned piece over to the next query ("recursively
+  performing quicksort operations to swap rows inside the index").
+
+Both operate simultaneously on a list of parallel arrays (all dimension
+columns plus the rowid column) so rows stay aligned across the DSM table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["stable_partition", "IncrementalPartition"]
+
+
+def stable_partition(
+    arrays: Sequence[np.ndarray],
+    start: int,
+    end: int,
+    key_index: int,
+    pivot: float,
+) -> int:
+    """Partition rows ``[start, end)`` so keys ``<= pivot`` come first.
+
+    The partition is stable (row order within each side is preserved),
+    mirroring the paper's adaptation example where swapped rows keep their
+    relative order.  Returns the split position: rows ``[start, split)``
+    have ``key <= pivot`` and rows ``[split, end)`` have ``key > pivot``.
+    """
+    if end <= start:
+        return start
+    mask = arrays[key_index][start:end] <= pivot
+    n_left = int(np.count_nonzero(mask))
+    split = start + n_left
+    if n_left == 0 or n_left == end - start:
+        return split  # already one-sided; nothing moves
+    inverse = ~mask
+    for array in arrays:
+        window = array[start:end]
+        left = window[mask]  # fancy indexing materialises copies,
+        right = window[inverse]  # so the writes below are safe
+        array[start:split] = left
+        array[split:end] = right
+    return split
+
+
+class IncrementalPartition:
+    """A pausable in-place two-way partition of rows ``[start, end)``.
+
+    The classic Hoare partition walks two pointers towards each other and
+    swaps misplaced rows.  This implementation processes the remaining
+    window in vectorised chunks so that :meth:`advance` can stop after a
+    caller-supplied budget of row visits, preserving the invariant:
+
+    * rows in ``[start, lo)`` already satisfy ``key <= pivot``;
+    * rows in ``[hi, end)`` already satisfy ``key > pivot``;
+    * rows in ``[lo, hi)`` are still unclassified.
+
+    Once ``lo`` meets ``hi`` the partition is complete and :attr:`split`
+    holds the boundary.  Any pause schedule yields the same final
+    two-way partition (tested property).
+    """
+
+    __slots__ = ("arrays", "start", "end", "key_index", "pivot", "lo", "hi", "done")
+
+    def __init__(
+        self,
+        arrays: Sequence[np.ndarray],
+        start: int,
+        end: int,
+        key_index: int,
+        pivot: float,
+    ) -> None:
+        if end < start:
+            raise InvalidParameterError(f"invalid range [{start}, {end})")
+        self.arrays: List[np.ndarray] = list(arrays)
+        self.start = start
+        self.end = end
+        self.key_index = key_index
+        self.pivot = float(pivot)
+        self.lo = start
+        self.hi = end
+        self.done = end <= start
+
+    @property
+    def split(self) -> int:
+        """Partition boundary; only meaningful once :attr:`done` is True."""
+        return self.lo
+
+    @property
+    def remaining_rows(self) -> int:
+        """Unclassified rows still to visit."""
+        return max(0, self.hi - self.lo)
+
+    def advance(self, budget_rows: int) -> int:
+        """Classify up to ``budget_rows`` rows; returns rows actually visited.
+
+        May overshoot the budget by one row in order to guarantee forward
+        progress (a window of two rows is the smallest unit that can always
+        make progress).
+        """
+        if budget_rows <= 0 or self.done:
+            return 0
+        keys = self.arrays[self.key_index]
+        pivot = self.pivot
+        used = 0
+        while used < budget_rows and self.lo < self.hi:
+            window = self.hi - self.lo
+            if window == 1:
+                if keys[self.lo] <= pivot:
+                    self.lo += 1
+                else:
+                    self.hi -= 1
+                used += 1
+                continue
+            chunk = min(budget_rows - used, window)
+            if chunk < 2:
+                chunk = 2  # both sub-windows must be non-empty to progress
+            n_left = (chunk + 1) // 2
+            n_right = chunk // 2
+            left_base = self.lo
+            right_base = self.hi - n_right
+            misplaced_left = np.flatnonzero(
+                keys[left_base : left_base + n_left] > pivot
+            )
+            misplaced_right = np.flatnonzero(
+                keys[right_base : self.hi] <= pivot
+            )
+            n_swaps = min(misplaced_left.size, misplaced_right.size)
+            if n_swaps > 0:
+                left_rows = left_base + misplaced_left[:n_swaps]
+                right_rows = right_base + misplaced_right[-n_swaps:]
+                for array in self.arrays:
+                    held = array[left_rows].copy()
+                    array[left_rows] = array[right_rows]
+                    array[right_rows] = held
+            if misplaced_left.size == n_swaps:
+                self.lo += n_left  # whole left window now classified
+            else:
+                self.lo += int(misplaced_left[n_swaps])
+            if misplaced_right.size == n_swaps:
+                self.hi -= n_right  # whole right window now classified
+            else:
+                last_bad = int(misplaced_right[misplaced_right.size - n_swaps - 1])
+                self.hi -= n_right - last_bad - 1
+            used += chunk
+        if self.lo >= self.hi:
+            self.done = True
+        return used
+
+    def run_to_completion(self) -> int:
+        """Finish the partition; returns total rows visited by this call."""
+        total = 0
+        while not self.done:
+            total += self.advance(self.end - self.start + 1)
+        return total

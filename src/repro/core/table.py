@@ -1,0 +1,163 @@
+"""In-memory columnar table (decomposition storage model).
+
+The paper stores all data as uncompressed, fixed-width numerics in a dense
+array per column (Section III).  :class:`Table` mirrors that: a list of
+equally long, contiguous NumPy arrays, one per dimension attribute, plus
+optional column names.  All indexes in this package build *secondary*
+structures: they copy the table into their own index table and keep a
+``rowid`` array mapping positions back to the original rows, exactly as the
+paper's "index table ... initially created as a copy of the original table".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import InvalidTableError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A read-only DSM table over dense NumPy columns.
+
+    Parameters
+    ----------
+    columns:
+        Sequence of one-dimensional arrays, all with identical length.
+        Arrays are converted to contiguous ``float64``; the paper uses
+        4-byte floats, and the dtype can be narrowed via ``dtype``.
+    names:
+        Optional column names; defaults to ``c0, c1, ...``.
+    dtype:
+        Storage dtype for the dimension columns.
+    """
+
+    __slots__ = ("_columns", "_names", "_n_rows")
+
+    def __init__(
+        self,
+        columns: Sequence[np.ndarray],
+        names: Optional[Sequence[str]] = None,
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        if len(columns) == 0:
+            raise InvalidTableError("a table needs at least one column")
+        converted: List[np.ndarray] = []
+        n_rows = -1
+        for position, column in enumerate(columns):
+            array = np.ascontiguousarray(column, dtype=dtype)
+            if array.ndim != 1:
+                raise InvalidTableError(
+                    f"column {position} must be one-dimensional, "
+                    f"got shape {array.shape}"
+                )
+            if n_rows < 0:
+                n_rows = array.shape[0]
+            elif array.shape[0] != n_rows:
+                raise InvalidTableError(
+                    f"ragged table: column {position} has {array.shape[0]} "
+                    f"rows, expected {n_rows}"
+                )
+            converted.append(array)
+        if names is None:
+            names = [f"c{position}" for position in range(len(converted))]
+        elif len(names) != len(converted):
+            raise InvalidTableError(
+                f"{len(names)} names supplied for {len(converted)} columns"
+            )
+        elif len(set(names)) != len(names):
+            raise InvalidTableError("duplicate column names")
+        self._columns = converted
+        self._names = list(names)
+        self._n_rows = n_rows
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        names: Optional[Sequence[str]] = None,
+        dtype: np.dtype = np.float64,
+    ) -> "Table":
+        """Build a table from an ``(n_rows, n_cols)`` matrix."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise InvalidTableError(
+                f"matrix must be two-dimensional, got shape {matrix.shape}"
+            )
+        return cls([matrix[:, j] for j in range(matrix.shape[1])], names, dtype)
+
+    @classmethod
+    def from_dict(
+        cls, mapping: Dict[str, np.ndarray], dtype: np.dtype = np.float64
+    ) -> "Table":
+        """Build a table from a ``{name: column}`` mapping."""
+        return cls(list(mapping.values()), list(mapping.keys()), dtype)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._names)
+
+    def column(self, position: int) -> np.ndarray:
+        """Return the column array at ``position`` (no copy)."""
+        return self._columns[position]
+
+    def column_by_name(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[self._names.index(name)]
+        except ValueError:
+            raise InvalidTableError(f"no column named {name!r}") from None
+
+    def columns(self) -> List[np.ndarray]:
+        """Return all column arrays in schema order (no copies)."""
+        return list(self._columns)
+
+    def copy_columns(self) -> List[np.ndarray]:
+        """Return fresh copies of all columns (for index tables)."""
+        return [column.copy() for column in self._columns]
+
+    def row(self, position: int) -> np.ndarray:
+        """Materialise one row as a ``(d,)`` array (tuple reconstruction)."""
+        return np.array([column[position] for column in self._columns])
+
+    def project(self, positions: Sequence[int]) -> "Table":
+        """Return a table over a subset of columns (views, not copies)."""
+        if len(positions) == 0:
+            raise InvalidTableError("projection needs at least one column")
+        return Table(
+            [self._columns[p] for p in positions],
+            [self._names[p] for p in positions],
+            dtype=self._columns[0].dtype,
+        )
+
+    def minimums(self) -> np.ndarray:
+        """Per-column minimum values."""
+        return np.array([column.min() for column in self._columns])
+
+    def maximums(self) -> np.ndarray:
+        """Per-column maximum values."""
+        return np.array([column.max() for column in self._columns])
+
+    def means(self) -> np.ndarray:
+        """Per-column arithmetic means (the PKD pivot source)."""
+        return np.array([column.mean() for column in self._columns])
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.n_rows} rows x {self.n_columns} cols {self._names})"

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidQueryError(ReproError):
+    """A query is malformed: wrong arity, inverted bounds, or NaN bounds."""
+
+
+class InvalidTableError(ReproError):
+    """A table is malformed: ragged columns, empty schema, or bad dtypes."""
+
+
+class InvalidParameterError(ReproError):
+    """An index or workload parameter is outside its legal range."""
+
+
+class IndexStateError(ReproError):
+    """An operation was attempted in an illegal index state."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition could not be generated or validated."""

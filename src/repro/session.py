@@ -1,0 +1,266 @@
+"""Exploration sessions: the user-facing front door.
+
+The paper's motivating user is a data scientist poking at a fresh data set
+with no DBA, no workload knowledge, and no patience for index tuning.
+:class:`ExplorationSession` packages this repository accordingly:
+
+* register tables once (numeric columns directly; string columns are
+  dictionary-encoded transparently);
+* issue range queries by column *name*, constraining any subset of
+  columns — the session maintains one incremental index per queried
+  column group, exactly like the paper's shifting-workload setup;
+* the indexing technique is picked per the paper's conclusions
+  (``technique="auto"``: Greedy Progressive for its constant per-query
+  cost, the recommendation for interactive exploration) or forced
+  explicitly;
+* per-table statistics expose what the indexes have learned so far.
+
+Example::
+
+    session = ExplorationSession()
+    session.register("taxi", {"lat": lat, "lon": lon, "fare": fare})
+    result = session.query("taxi", lat=(40.7, 40.8), lon=(-74.02, -73.93))
+    print(result.count, result.seconds)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .baselines import FullScan, Quasii
+from .core import (
+    AdaptiveKDTree,
+    BaseIndex,
+    GreedyProgressiveKDTree,
+    ProgressiveKDTree,
+    RangeQuery,
+)
+from .core.dictionary import EncodedTable, encode_table
+from .core.inspect import summarize_tree
+from .errors import InvalidParameterError, InvalidQueryError, InvalidTableError
+
+__all__ = ["ExplorationSession", "SessionResult"]
+
+#: technique name -> factory(table, session settings).
+TECHNIQUES = {
+    "adaptive": lambda table, s: AdaptiveKDTree(
+        table, size_threshold=s.size_threshold, tau=s.tau
+    ),
+    "progressive": lambda table, s: ProgressiveKDTree(
+        table, delta=s.delta, size_threshold=s.size_threshold, tau=s.tau
+    ),
+    "greedy": lambda table, s: GreedyProgressiveKDTree(
+        table, delta=s.delta, size_threshold=s.size_threshold, tau=s.tau
+    ),
+    "quasii": lambda table, s: Quasii(table, size_threshold=s.size_threshold),
+    "scan": lambda table, s: FullScan(table),
+}
+
+
+@dataclass
+class SessionResult:
+    """One query's answer plus the session-level bookkeeping."""
+
+    row_ids: np.ndarray
+    seconds: float
+    columns: Tuple[str, ...]
+    table_name: str
+    _session: "ExplorationSession" = field(repr=False, default=None)
+
+    @property
+    def count(self) -> int:
+        return int(self.row_ids.size)
+
+    def fetch(self, column: str) -> np.ndarray:
+        """Values of any registered column (decoded) for the result rows."""
+        return self._session.fetch(self.table_name, column, self.row_ids)
+
+    def rows(self, columns: Optional[Sequence[str]] = None) -> List[tuple]:
+        """Materialise result rows (decoded) for the given columns
+        (default: the queried columns)."""
+        names = tuple(columns) if columns else self.columns
+        arrays = [self.fetch(name) for name in names]
+        return list(zip(*arrays)) if arrays else []
+
+
+@dataclass
+class _RegisteredTable:
+    encoded: EncodedTable
+    indexes: Dict[Tuple[str, ...], BaseIndex] = field(default_factory=dict)
+    queries_run: int = 0
+
+
+class ExplorationSession:
+    """A stateful exploration session over one or more tables.
+
+    Parameters
+    ----------
+    technique:
+        One of ``auto``, ``adaptive``, ``progressive``, ``greedy``,
+        ``quasii``, ``scan``.  ``auto`` uses the Greedy Progressive
+        KD-Tree — the paper's pick for interactive exploration ("we want
+        to keep the impact on initial queries low and we want a constant
+        query response time without performance spikes").
+    size_threshold, delta, tau:
+        Forwarded to the underlying indexes.
+    """
+
+    def __init__(
+        self,
+        technique: str = "auto",
+        size_threshold: int = 1024,
+        delta: float = 0.2,
+        tau: Optional[float] = None,
+    ) -> None:
+        resolved = "greedy" if technique == "auto" else technique
+        if resolved not in TECHNIQUES:
+            raise InvalidParameterError(
+                f"unknown technique {technique!r}; options: "
+                f"{['auto'] + sorted(TECHNIQUES)}"
+            )
+        self.technique = resolved
+        self.size_threshold = size_threshold
+        self.delta = delta
+        self.tau = tau
+        self._tables: Dict[str, _RegisteredTable] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name: str, columns: Dict[str, Sequence]) -> None:
+        """Register a table under ``name``; string columns are encoded."""
+        if name in self._tables:
+            raise InvalidTableError(f"table {name!r} already registered")
+        self._tables[name] = _RegisteredTable(encoded=encode_table(columns))
+
+    @property
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def _lookup(self, name: str) -> _RegisteredTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise InvalidTableError(
+                f"no table named {name!r}; registered: {self.tables}"
+            ) from None
+
+    # -- querying ----------------------------------------------------------------
+
+    def query(self, table_name: str, **bounds) -> SessionResult:
+        """Range-query ``table_name``.
+
+        Each keyword is a column name mapped to a ``(low, high)`` pair with
+        the usual half-open semantics ``low < x <= high``; string columns
+        take string bounds.  The queried column set selects (or creates)
+        the incremental index for that group.
+        """
+        registered = self._lookup(table_name)
+        if not bounds:
+            raise InvalidQueryError("a query must constrain at least one column")
+        names = registered.encoded.table.names
+        group: List[str] = []
+        lows: List[object] = []
+        highs: List[object] = []
+        for column, bound in bounds.items():
+            if column not in names:
+                raise InvalidQueryError(
+                    f"table {table_name!r} has no column {column!r}"
+                )
+            try:
+                low, high = bound
+            except (TypeError, ValueError):
+                raise InvalidQueryError(
+                    f"bound for {column!r} must be a (low, high) pair"
+                ) from None
+            group.append(column)
+            lows.append(low)
+            highs.append(high)
+        group_key = tuple(sorted(group))
+        order = [group.index(column) for column in group_key]
+        positions = [names.index(column) for column in group_key]
+        query = self._encode_group_query(
+            registered.encoded,
+            positions,
+            [lows[i] for i in order],
+            [highs[i] for i in order],
+        )
+        index = registered.indexes.get(group_key)
+        if index is None:
+            projected = registered.encoded.table.project(positions)
+            index = TECHNIQUES[self.technique](projected, self)
+            registered.indexes[group_key] = index
+        begin = time.perf_counter()
+        result = index.query(query)
+        elapsed = time.perf_counter() - begin
+        registered.queries_run += 1
+        return SessionResult(
+            row_ids=result.row_ids,
+            seconds=elapsed,
+            columns=group_key,
+            table_name=table_name,
+            _session=self,
+        )
+
+    def _encode_group_query(
+        self, encoded: EncodedTable, positions, lows, highs
+    ) -> RangeQuery:
+        encoded_lows: List[float] = []
+        encoded_highs: List[float] = []
+        for position, low, high in zip(positions, lows, highs):
+            dictionary = encoded.dictionaries[position]
+            if dictionary is None:
+                encoded_lows.append(float(low))
+                encoded_highs.append(float(high))
+            else:
+                code_low, code_high = dictionary.translate_bounds(low, high)
+                encoded_lows.append(code_low)
+                encoded_highs.append(code_high)
+        return RangeQuery(encoded_lows, encoded_highs)
+
+    def fetch(self, table_name: str, column: str, row_ids: np.ndarray) -> np.ndarray:
+        """Decoded values of ``column`` for the given original row ids."""
+        registered = self._lookup(table_name)
+        names = registered.encoded.table.names
+        if column not in names:
+            raise InvalidQueryError(
+                f"table {table_name!r} has no column {column!r}"
+            )
+        position = names.index(column)
+        values = registered.encoded.table.column(position)[row_ids]
+        dictionary = registered.encoded.dictionaries[position]
+        if dictionary is None:
+            return values
+        return dictionary.decode(values)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def stats(self, table_name: str) -> Dict[str, object]:
+        """What the session has built for ``table_name`` so far."""
+        registered = self._lookup(table_name)
+        groups = {}
+        for group_key, index in registered.indexes.items():
+            entry: Dict[str, object] = {
+                "technique": type(index).__name__,
+                "nodes": index.node_count,
+                "converged": index.converged,
+            }
+            tree = getattr(index, "tree", None)
+            if tree is not None:
+                entry["summary"] = str(summarize_tree(tree))
+            groups[", ".join(group_key)] = entry
+        return {
+            "rows": registered.encoded.table.n_rows,
+            "columns": registered.encoded.table.names,
+            "queries_run": registered.queries_run,
+            "column_groups": groups,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplorationSession(technique={self.technique!r}, "
+            f"tables={self.tables})"
+        )

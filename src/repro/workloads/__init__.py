@@ -1,0 +1,49 @@
+"""Data sets and query workloads from the paper's evaluation (Section IV-A).
+
+* :mod:`~repro.workloads.data` — synthetic data generators.
+* :mod:`~repro.workloads.patterns` — the eight synthetic query patterns of
+  Fig. 4 (uniform, skewed, zoom, periodic, sequential-zoom,
+  alternating-zoom, sequential) plus the new *shifting* workload.
+* :mod:`~repro.workloads.real` — simulated stand-ins for the three real
+  data sets (Power, SkyServer, Genomics); see DESIGN.md for the
+  substitution rationale.
+* :class:`~repro.workloads.base.Workload` — the container the benchmark
+  harness consumes.
+"""
+
+from .base import Workload, per_dimension_selectivity
+from .data import uniform_table, skewed_table, clustered_table
+from .patterns import (
+    SYNTHETIC_PATTERNS,
+    make_synthetic_workload,
+    uniform_queries,
+    skewed_queries,
+    zoom_queries,
+    periodic_queries,
+    sequential_queries,
+    sequential_zoom_queries,
+    alternating_zoom_queries,
+    shifting_workload,
+)
+from .real import power_workload, skyserver_workload, genomics_workload
+
+__all__ = [
+    "Workload",
+    "per_dimension_selectivity",
+    "uniform_table",
+    "skewed_table",
+    "clustered_table",
+    "SYNTHETIC_PATTERNS",
+    "make_synthetic_workload",
+    "uniform_queries",
+    "skewed_queries",
+    "zoom_queries",
+    "periodic_queries",
+    "sequential_queries",
+    "sequential_zoom_queries",
+    "alternating_zoom_queries",
+    "shifting_workload",
+    "power_workload",
+    "skyserver_workload",
+    "genomics_workload",
+]

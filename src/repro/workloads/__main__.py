@@ -1,0 +1,85 @@
+"""Command-line workload inspector.
+
+Usage::
+
+    python -m repro.workloads list
+    python -m repro.workloads profile uniform --rows 40000 --dims 8
+    python -m repro.workloads profile skyserver
+    python -m repro.workloads grid            # profile the Table II-V grid
+
+Prints the access-pattern statistics (selectivity, overlap, drift,
+coverage) that determine which of the paper's indexes fits a workload,
+plus the suggestion the paper's conclusions imply.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import describe, profile_workload
+from .patterns import SYNTHETIC_PATTERNS, make_synthetic_workload
+from .real import genomics_workload, power_workload, skyserver_workload
+
+REAL = {
+    "power": power_workload,
+    "skyserver": skyserver_workload,
+    "genomics": genomics_workload,
+}
+
+
+def _build(name: str, rows: int, dims: int, queries: int, selectivity: float):
+    if name in REAL:
+        return REAL[name](n_rows=rows, n_queries=queries)
+    return make_synthetic_workload(name, rows, dims, queries, selectivity)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.workloads")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available workloads")
+    profile = subparsers.add_parser("profile", help="profile one workload")
+    profile.add_argument(
+        "name", choices=sorted(SYNTHETIC_PATTERNS) + ["shift"] + sorted(REAL)
+    )
+    profile.add_argument("--rows", type=int, default=20_000)
+    profile.add_argument("--dims", type=int, default=4)
+    profile.add_argument("--queries", type=int, default=100)
+    profile.add_argument("--selectivity", type=float, default=0.01)
+    grid = subparsers.add_parser("grid", help="profile the Table II-V grid")
+    grid.add_argument("--rows", type=int, default=10_000)
+    grid.add_argument("--queries", type=int, default=60)
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "list":
+        for name in sorted(SYNTHETIC_PATTERNS) + ["shift"] + sorted(REAL):
+            print(name)
+        return 0
+    if arguments.command == "profile":
+        workload = _build(
+            arguments.name,
+            arguments.rows,
+            arguments.dims,
+            arguments.queries,
+            arguments.selectivity,
+        )
+        print(describe(profile_workload(workload)))
+        return 0
+    # grid
+    from ..bench.experiments import Scale, standard_workloads
+
+    scale = Scale(
+        n_small=arguments.rows,
+        n_large=arguments.rows * 3,
+        n_queries=arguments.queries,
+        real_rows=arguments.rows,
+        real_queries=arguments.queries,
+    )
+    for workload in standard_workloads(scale):
+        print(describe(profile_workload(workload)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Workload container and shared helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.query import RangeQuery
+from ..core.table import Table
+from ..errors import WorkloadError
+
+__all__ = ["Workload", "per_dimension_selectivity"]
+
+
+def per_dimension_selectivity(selectivity: float, n_dims: int) -> float:
+    """The paper's selectivity rule: ``sigma_d = sigma ** (1/d)``.
+
+    Keeping the overall selectivity constant regardless of dimensionality
+    means each dimension's range must widen as ``d`` grows; e.g. for
+    ``sigma = 1%``: 10% at d=2, 31% at d=4, 56% at d=8 (Section IV-A).
+    """
+    if not (0.0 < selectivity <= 1.0):
+        raise WorkloadError(f"selectivity must be in (0, 1], got {selectivity}")
+    if n_dims < 1:
+        raise WorkloadError(f"n_dims must be >= 1, got {n_dims}")
+    return selectivity ** (1.0 / n_dims)
+
+
+@dataclass
+class Workload:
+    """A data set plus its query sequence.
+
+    For *shifting* workloads the table is wider than the query
+    dimensionality: ``groups`` lists the column positions each group
+    queries, and every query's ``label`` is the index of its group.  The
+    harness then maintains one index per group, as the paper's systems
+    would when "the columns being queried change constantly".
+    """
+
+    name: str
+    table: Table
+    queries: List[RangeQuery]
+    selectivity: Optional[float] = None
+    groups: Optional[List[Sequence[int]]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise WorkloadError(f"workload {self.name!r} has no queries")
+        if self.groups is not None:
+            width = len(self.groups[0])
+            for group in self.groups:
+                if len(group) != width:
+                    raise WorkloadError("all column groups must share a width")
+            for query in self.queries:
+                if not isinstance(query.label, int) or not (
+                    0 <= query.label < len(self.groups)
+                ):
+                    raise WorkloadError(
+                        "shifting queries must carry their group index as label"
+                    )
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    @property
+    def query_dims(self) -> int:
+        return self.queries[0].n_dims
+
+    def __repr__(self) -> str:
+        grouped = f", groups={len(self.groups)}" if self.groups else ""
+        return (
+            f"Workload({self.name!r}, {self.table.n_rows} rows, "
+            f"{self.n_queries} queries{grouped})"
+        )

@@ -1,0 +1,384 @@
+"""The eight synthetic query patterns of Fig. 4, plus *shifting*.
+
+All patterns share the same parameterisation: an overall selectivity
+``sigma`` translated to per-dimension window widths via
+``sigma_d = sigma ** (1/d)``, applied over the data's actual per-column
+domains.  The patterns differ only in where the query windows land:
+
+* ``uniform``   — windows at uniformly random positions;
+* ``skewed``    — windows clustered around a hotspot;
+* ``zoom``      — windows converging from the domain edges to the centre;
+* ``periodic``  — a sequential sweep that restarts every period;
+* ``seqzoom``   — sequential blocks, zooming inside each block;
+* ``altzoom``   — zooming alternately into two distant regions;
+* ``sequential``— a single non-overlapping sweep across the domain;
+* ``shift``     — the paper's new workload: the *queried column group*
+  rotates every ``k`` queries (e.g. "ten queries on three columns, then
+  another three columns").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.query import RangeQuery
+from ..core.table import Table
+from ..errors import WorkloadError
+from .base import Workload, per_dimension_selectivity
+from .data import uniform_table
+
+__all__ = [
+    "uniform_queries",
+    "skewed_queries",
+    "zoom_queries",
+    "periodic_queries",
+    "sequential_queries",
+    "sequential_zoom_queries",
+    "alternating_zoom_queries",
+    "SYNTHETIC_PATTERNS",
+    "make_synthetic_workload",
+    "shifting_workload",
+]
+
+
+def _domains(table: Table) -> tuple:
+    minimums = table.minimums()
+    maximums = table.maximums()
+    spans = maximums - minimums
+    if (spans <= 0).any():
+        raise WorkloadError("cannot generate range queries over constant columns")
+    return minimums, spans
+
+
+def _widths(table: Table, selectivity: float) -> np.ndarray:
+    sigma_d = per_dimension_selectivity(selectivity, table.n_columns)
+    _, spans = _domains(table)
+    return spans * sigma_d
+
+
+def _window(minimums, spans, widths, centres) -> RangeQuery:
+    """Build a query window, clamped inside the domain."""
+    half = widths / 2.0
+    centres = np.clip(centres, minimums + half, minimums + spans - half)
+    return RangeQuery(centres - half, centres + half)
+
+
+def uniform_queries(
+    table: Table, n_queries: int, selectivity: float, seed: int = 0
+) -> List[RangeQuery]:
+    """Windows at uniformly random positions (Unif)."""
+    rng = np.random.default_rng(seed)
+    minimums, spans = _domains(table)
+    widths = _widths(table, selectivity)
+    queries = []
+    for _ in range(n_queries):
+        centres = minimums + rng.random(table.n_columns) * spans
+        queries.append(_window(minimums, spans, widths, centres))
+    return queries
+
+
+def skewed_queries(
+    table: Table,
+    n_queries: int,
+    selectivity: float,
+    seed: int = 0,
+    hotspot: float = 0.5,
+    spread: float = 0.05,
+) -> List[RangeQuery]:
+    """Windows normally distributed around a hotspot (Skew)."""
+    rng = np.random.default_rng(seed)
+    minimums, spans = _domains(table)
+    widths = _widths(table, selectivity)
+    centre_point = minimums + hotspot * spans
+    queries = []
+    for _ in range(n_queries):
+        centres = centre_point + rng.normal(0.0, spread, table.n_columns) * spans
+        queries.append(_window(minimums, spans, widths, centres))
+    return queries
+
+
+def zoom_queries(
+    table: Table, n_queries: int, selectivity: float, seed: int = 0
+) -> List[RangeQuery]:
+    """Windows converging from both domain edges towards the centre (Zoom)."""
+    minimums, spans = _domains(table)
+    widths = _widths(table, selectivity)
+    queries = []
+    for i in range(n_queries):
+        progress = i / max(1, n_queries - 1)
+        if i % 2 == 0:  # approach from the low edge
+            fraction = progress / 2.0
+        else:  # approach from the high edge
+            fraction = 1.0 - progress / 2.0
+        centres = minimums + fraction * spans
+        queries.append(_window(minimums, spans, widths, centres))
+    return queries
+
+
+def periodic_queries(
+    table: Table,
+    n_queries: int,
+    selectivity: float,
+    seed: int = 0,
+    period: Optional[int] = None,
+) -> List[RangeQuery]:
+    """A sequential sweep restarting every ``period`` queries (Prdc).
+
+    The restarts are what makes this the Adaptive KD-Tree's bad case in
+    Fig. 6c/6d: each restart revisits pieces the previous pass left
+    unrefined just outside its windows.
+    """
+    rng = np.random.default_rng(seed)
+    minimums, spans = _domains(table)
+    widths = _widths(table, selectivity)
+    if period is None:
+        period = max(2, n_queries // 4)
+    queries = []
+    for i in range(n_queries):
+        progress = (i % period) / max(1, period - 1)
+        centres = minimums + widths / 2.0 + progress * (spans - widths)
+        # Small jitter: each pass revisits the same regions but not the
+        # exact same windows, so every restart hits unrefined edges (the
+        # Fig. 6d step-ups in node count at each period).
+        centres = centres + rng.normal(0.0, 0.1, table.n_columns) * widths
+        queries.append(_window(minimums, spans, widths, centres))
+    return queries
+
+
+def sequential_queries(
+    table: Table, n_queries: int, selectivity: float, seed: int = 0
+) -> List[RangeQuery]:
+    """One non-overlapping sweep across the domain (Seq).
+
+    The Adaptive KD-Tree's worst case: each query's bounds crack only the
+    edge of the one big unrefined piece, degenerating the KD-Tree towards
+    a linked list.
+    """
+    minimums, spans = _domains(table)
+    widths = _widths(table, selectivity)
+    step = (spans - widths) / max(1, n_queries - 1)
+    queries = []
+    for i in range(n_queries):
+        centres = minimums + widths / 2.0 + i * step
+        queries.append(_window(minimums, spans, widths, centres))
+    return queries
+
+
+def sequential_zoom_queries(
+    table: Table,
+    n_queries: int,
+    selectivity: float,
+    seed: int = 0,
+    n_blocks: int = 4,
+) -> List[RangeQuery]:
+    """Sequential blocks with a zoom inside each block (SeqZoom)."""
+    if n_blocks < 1:
+        raise WorkloadError(f"n_blocks must be >= 1, got {n_blocks}")
+    minimums, spans = _domains(table)
+    widths = _widths(table, selectivity)
+    per_block = max(1, n_queries // n_blocks)
+    queries = []
+    for i in range(n_queries):
+        block = min(i // per_block, n_blocks - 1)
+        inner = i % per_block
+        progress = inner / max(1, per_block - 1)
+        block_low = minimums + spans * block / n_blocks
+        block_span = spans / n_blocks
+        if inner % 2 == 0:
+            fraction = progress / 2.0
+        else:
+            fraction = 1.0 - progress / 2.0
+        centres = block_low + fraction * block_span
+        queries.append(_window(minimums, spans, widths, centres))
+    return queries
+
+
+def alternating_zoom_queries(
+    table: Table, n_queries: int, selectivity: float, seed: int = 0
+) -> List[RangeQuery]:
+    """Zoom alternating between two distant regions (AltZoom).
+
+    Highly skewed revisiting of two hot regions — the case where QUASII's
+    aggressive refinement pays off almost immediately (Section IV-C).
+    """
+    minimums, spans = _domains(table)
+    widths = _widths(table, selectivity)
+    targets = (0.25, 0.75)
+    queries = []
+    for i in range(n_queries):
+        target = targets[i % 2]
+        progress = (i // 2) / max(1, (n_queries - 1) // 2 or 1)
+        start_fraction = 0.0 if target < 0.5 else 1.0
+        fraction = start_fraction + (target - start_fraction) * progress
+        centres = minimums + fraction * spans
+        queries.append(_window(minimums, spans, widths, centres))
+    return queries
+
+
+def zoom_in_queries(
+    table: Table,
+    n_queries: int,
+    selectivity: float,
+    seed: int = 0,
+    shrink: float = 0.85,
+) -> List[RangeQuery]:
+    """A drill-down with *shrinking* windows (extension pattern).
+
+    Unlike ``zoom`` (fixed selectivity, moving centre), this models the
+    classic interactive drill-down: the first query is wide, each
+    subsequent query keeps the centre and multiplies the window extent by
+    ``shrink``, bottoming out at the configured selectivity.
+    """
+    if not (0.0 < shrink < 1.0):
+        raise WorkloadError(f"shrink must be in (0, 1), got {shrink}")
+    rng = np.random.default_rng(seed)
+    minimums, spans = _domains(table)
+    floor_widths = _widths(table, selectivity)
+    centres = minimums + spans * (0.35 + 0.3 * rng.random(table.n_columns))
+    queries = []
+    widths = spans * 0.9
+    for _ in range(n_queries):
+        widths = np.maximum(widths * shrink, floor_widths)
+        queries.append(_window(minimums, spans, widths, centres))
+    return queries
+
+
+def mixed_queries(
+    table: Table,
+    n_queries: int,
+    selectivity: float,
+    seed: int = 0,
+    segment: int = 10,
+) -> List[RangeQuery]:
+    """Random alternation between the base patterns (extension pattern).
+
+    Every ``segment`` queries a new base pattern is drawn — the "no stable
+    access pattern at all" stress case for workload-dependent refinement.
+    """
+    if segment < 1:
+        raise WorkloadError(f"segment must be >= 1, got {segment}")
+    rng = np.random.default_rng(seed)
+    basics = [uniform_queries, skewed_queries, zoom_queries, sequential_queries]
+    queries: List[RangeQuery] = []
+    chunk_index = 0
+    while len(queries) < n_queries:
+        generator = basics[int(rng.integers(0, len(basics)))]
+        chunk = generator(
+            table, segment, selectivity, seed=seed + 17 * chunk_index
+        )
+        queries.extend(chunk)
+        chunk_index += 1
+    return queries[:n_queries]
+
+
+SYNTHETIC_PATTERNS: Dict[str, Callable] = {
+    "uniform": uniform_queries,
+    "skewed": skewed_queries,
+    "zoom": zoom_queries,
+    "periodic": periodic_queries,
+    "seqzoom": sequential_zoom_queries,
+    "altzoom": alternating_zoom_queries,
+    "sequential": sequential_queries,
+    "zoomin": zoom_in_queries,
+    "mixed": mixed_queries,
+}
+
+#: Paper table abbreviations for each pattern (extensions get their own).
+PATTERN_LABELS = {
+    "uniform": "Unif",
+    "skewed": "Skewed",
+    "zoom": "Zoom",
+    "periodic": "Prdc",
+    "seqzoom": "SeqZoom",
+    "altzoom": "AltZoom",
+    "sequential": "Seq",
+    "shift": "Shift",
+    "zoomin": "ZoomIn",
+    "mixed": "Mixed",
+}
+
+
+def make_synthetic_workload(
+    pattern: str,
+    n_rows: int,
+    n_dims: int,
+    n_queries: int,
+    selectivity: float = 0.01,
+    seed: int = 0,
+    table: Optional[Table] = None,
+    **pattern_args,
+) -> Workload:
+    """Build one of the paper's synthetic workloads over uniform data."""
+    if pattern == "shift":
+        return shifting_workload(
+            n_rows, n_dims, n_queries, selectivity, seed=seed, **pattern_args
+        )
+    try:
+        generator = SYNTHETIC_PATTERNS[pattern]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown pattern {pattern!r}; options: "
+            f"{sorted(SYNTHETIC_PATTERNS) + ['shift']}"
+        ) from None
+    if table is None:
+        table = uniform_table(n_rows, n_dims, seed=seed)
+    queries = generator(table, n_queries, selectivity, seed=seed + 1, **pattern_args)
+    label = PATTERN_LABELS[pattern]
+    return Workload(
+        name=f"{label}({n_dims})",
+        table=table,
+        queries=queries,
+        selectivity=selectivity,
+        metadata={"pattern": pattern, "seed": seed},
+    )
+
+
+def shifting_workload(
+    n_rows: int,
+    n_dims: int,
+    n_queries: int,
+    selectivity: float = 0.01,
+    seed: int = 0,
+    n_groups: int = 8,
+    queries_per_shift: int = 10,
+) -> Workload:
+    """The Shift workload: the queried column group rotates.
+
+    The table has ``n_groups * n_dims`` columns; every ``queries_per_shift``
+    queries the workload moves to the next group of ``n_dims`` columns
+    ("the data scientist executes ten queries on three columns, which
+    leads him to investigate other three columns, and so forth").
+    Groups wrap around if the workload is longer than one rotation.
+    """
+    if n_groups < 1 or queries_per_shift < 1:
+        raise WorkloadError("n_groups and queries_per_shift must be >= 1")
+    table = uniform_table(n_rows, n_groups * n_dims, seed=seed)
+    groups = [
+        tuple(range(g * n_dims, (g + 1) * n_dims)) for g in range(n_groups)
+    ]
+    queries: List[RangeQuery] = []
+    rng_seed = seed + 1
+    for g in range(n_groups):
+        projected = table.project(list(groups[g]))
+        group_queries = uniform_queries(
+            projected, queries_per_shift, selectivity, seed=rng_seed + g
+        )
+        for query in group_queries:
+            queries.append(RangeQuery(query.lows, query.highs, label=g))
+    # Trim or cycle to the requested length.
+    if n_queries <= len(queries):
+        queries = queries[:n_queries]
+    else:
+        base = list(queries)
+        while len(queries) < n_queries:
+            queries.extend(base[: n_queries - len(queries)])
+    return Workload(
+        name=f"Shift({n_dims})",
+        table=table,
+        queries=queries,
+        selectivity=selectivity,
+        groups=groups,
+        metadata={"pattern": "shift", "queries_per_shift": queries_per_shift},
+    )

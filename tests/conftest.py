@@ -1,0 +1,75 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro import FullScan, RangeQuery, Table
+from repro.core.metrics import QueryStats
+from repro.core.scan import full_scan
+
+
+def make_uniform_table(n_rows: int, n_dims: int, seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table.from_matrix(rng.random((n_rows, n_dims)) * n_rows)
+
+
+def make_queries(
+    table: Table, n_queries: int, width_fraction: float = 0.1, seed: int = 1
+) -> List[RangeQuery]:
+    rng = np.random.default_rng(seed)
+    minimums = table.minimums()
+    spans = table.maximums() - minimums
+    widths = spans * width_fraction
+    queries = []
+    for _ in range(n_queries):
+        lows = minimums + rng.random(table.n_columns) * (spans - widths)
+        queries.append(RangeQuery(lows, lows + widths))
+    return queries
+
+
+def reference_answer(table: Table, query: RangeQuery) -> np.ndarray:
+    """Ground truth row ids via an uninstrumented full scan."""
+    return np.sort(full_scan(table.columns(), query, QueryStats()))
+
+
+def assert_correct(index, table: Table, queries) -> None:
+    """The master invariant: the index answers exactly like a full scan,
+    at every point of its incremental construction."""
+    for position, query in enumerate(queries):
+        got = np.sort(index.query(query).row_ids)
+        want = reference_answer(table, query)
+        assert np.array_equal(got, want), (
+            f"{type(index).__name__} wrong on query {position}: "
+            f"{got.size} rows, expected {want.size}"
+        )
+
+
+@pytest.fixture
+def small_table() -> Table:
+    return make_uniform_table(2_000, 3, seed=7)
+
+
+@pytest.fixture
+def small_queries(small_table) -> List[RangeQuery]:
+    return make_queries(small_table, 20, width_fraction=0.15, seed=8)
+
+
+@pytest.fixture
+def duplicate_table() -> Table:
+    """A table full of duplicate values (integer grid data)."""
+    rng = np.random.default_rng(3)
+    return Table.from_matrix(rng.integers(0, 20, size=(1_500, 3)).astype(float))
+
+
+@pytest.fixture
+def constant_column_table() -> Table:
+    """One constant column among two varying ones (degenerate splits)."""
+    rng = np.random.default_rng(4)
+    n = 1_200
+    return Table(
+        [rng.random(n) * 100, np.full(n, 42.0), rng.random(n) * 100]
+    )

@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Re-record the work-unit regression baseline.
+
+Run after an *intentional* algorithm change:
+
+    python tests/data/make_baseline.py
+"""
+
+import os
+
+from repro.bench.regression import record_baseline
+
+PATH = os.path.join(os.path.dirname(__file__), "work_baseline.json")
+
+if __name__ == "__main__":
+    metrics = record_baseline(PATH)
+    print(f"recorded {len(metrics)} metrics to {PATH}")

@@ -1,0 +1,144 @@
+"""Aggregate pushdown over KD-based indexes."""
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveKDTree, AverageKDTree, IndexStateError, RangeQuery
+from repro.core.aggregates import AggregateReader
+from tests.conftest import make_queries, make_uniform_table
+
+
+@pytest.fixture
+def warm():
+    table = make_uniform_table(4_000, 2, seed=130)
+    index = AdaptiveKDTree(table, size_threshold=64)
+    queries = make_queries(table, 12, width_fraction=0.25, seed=131)
+    for query in queries:
+        index.query(query)
+    return table, index, queries
+
+
+def brute(table, query):
+    keep = np.ones(table.n_rows, dtype=bool)
+    for dim in range(table.n_columns):
+        column = table.column(dim)
+        keep &= (column > query.lows[dim]) & (column <= query.highs[dim])
+    return np.flatnonzero(keep)
+
+
+class TestCount:
+    def test_exact(self, warm):
+        table, index, queries = warm
+        reader = AggregateReader(index)
+        for query in queries:
+            count, _ = reader.count(query)
+            assert count == brute(table, query).size
+
+    def test_refined_query_counts_from_metadata(self, warm):
+        """After refinement, the tree fully covers the query's pieces and
+        the count needs no data access at all."""
+        table, index, queries = warm
+        reader = AggregateReader(index)
+        _, count_stats = reader.count(queries[0])
+        assert count_stats.scanned == 0
+
+    def test_unrefined_region_requires_scanning(self):
+        table = make_uniform_table(2_000, 2, seed=140)
+        index = AdaptiveKDTree(table, size_threshold=64)
+        query = make_queries(table, 1, width_fraction=0.3, seed=141)[0]
+        index.query(query)  # refine around this query only
+        reader = AggregateReader(index)
+        span = table.n_rows
+        fresh = RangeQuery([0.7 * span, 0.7 * span], [0.85 * span, 0.85 * span])
+        count, stats = reader.count(fresh)
+        assert count == brute(table, fresh).size
+        assert stats.scanned > 0  # cold region: pieces only partially covered
+
+    def test_empty_query(self, warm):
+        table, index, _ = warm
+        reader = AggregateReader(index)
+        query = RangeQuery([1e7, 1e7], [2e7, 2e7])
+        count, _ = reader.count(query)
+        assert count == 0
+
+    def test_whole_domain_is_metadata_only(self, warm):
+        table, index, _ = warm
+        reader = AggregateReader(index)
+        query = RangeQuery([-np.inf, -np.inf], [np.inf, np.inf])
+        count, stats = reader.count(query)
+        assert count == table.n_rows
+        assert stats.scanned == 0  # every piece fully covered
+
+
+class TestSumMinMaxAvg:
+    def test_sum_exact(self, warm):
+        table, index, queries = warm
+        reader = AggregateReader(index)
+        for query in queries[:6]:
+            total, _ = reader.sum(query, column=1)
+            want = table.column(1)[brute(table, query)].sum()
+            assert total == pytest.approx(float(want), rel=1e-9)
+
+    def test_min_max_exact(self, warm):
+        table, index, queries = warm
+        reader = AggregateReader(index)
+        for query in queries[:6]:
+            hits = brute(table, query)
+            lowest, _ = reader.minimum(query, column=0)
+            highest, _ = reader.maximum(query, column=0)
+            if hits.size == 0:
+                assert lowest is None and highest is None
+            else:
+                assert lowest == pytest.approx(float(table.column(0)[hits].min()))
+                assert highest == pytest.approx(float(table.column(0)[hits].max()))
+
+    def test_average_exact(self, warm):
+        table, index, queries = warm
+        reader = AggregateReader(index)
+        query = queries[0]
+        average, _ = reader.average(query, column=1)
+        want = table.column(1)[brute(table, query)].mean()
+        assert average == pytest.approx(float(want), rel=1e-9)
+
+    def test_average_empty_is_none(self, warm):
+        _, index, _ = warm
+        reader = AggregateReader(index)
+        average, _ = reader.average(RangeQuery([1e7, 1e7], [2e7, 2e7]), 0)
+        assert average is None
+
+    def test_piece_aggregates_cached(self, warm):
+        _, index, queries = warm
+        reader = AggregateReader(index)
+        reader.sum(queries[0], column=1)
+        cached = len(reader._piece_stats)
+        _, second_stats = reader.sum(queries[0], column=1)
+        assert len(reader._piece_stats) == cached  # no recomputation
+        assert cached > 0
+
+
+class TestRefinementInteraction:
+    def test_stays_exact_as_index_refines(self):
+        table = make_uniform_table(3_000, 2, seed=132)
+        index = AdaptiveKDTree(table, size_threshold=32)
+        queries = make_queries(table, 10, width_fraction=0.3, seed=133)
+        index.query(queries[0])
+        reader = AggregateReader(index)
+        for query in queries:
+            count_before, _ = reader.count(query)
+            index.query(query)  # refines further, replaces pieces
+            count_after, _ = reader.count(query)
+            assert count_before == count_after == brute(table, query).size
+
+    def test_works_on_full_index(self):
+        table = make_uniform_table(2_000, 2, seed=134)
+        index = AverageKDTree(table, size_threshold=64)
+        query = make_queries(table, 1, width_fraction=0.4, seed=135)[0]
+        index.query(query)
+        reader = AggregateReader(index)
+        count, _ = reader.count(query)
+        assert count == brute(table, query).size
+
+    def test_rejects_unbuilt_index(self):
+        table = make_uniform_table(100, 2, seed=136)
+        with pytest.raises(IndexStateError):
+            AggregateReader(AdaptiveKDTree(table))

@@ -1,0 +1,142 @@
+"""Workload analysis: overlap, profiles, and the pattern signatures."""
+
+import numpy as np
+import pytest
+
+from repro import RangeQuery
+from repro.workloads import make_synthetic_workload, skyserver_workload
+from repro.workloads.analysis import (
+    describe,
+    profile_workload,
+    query_overlap,
+)
+
+
+class TestQueryOverlap:
+    def test_identical_boxes(self):
+        query = RangeQuery([0.0, 0.0], [1.0, 1.0])
+        assert query_overlap(query, query) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        a = RangeQuery([0.0], [1.0])
+        b = RangeQuery([2.0], [3.0])
+        assert query_overlap(a, b) == 0.0
+
+    def test_touching_boxes_do_not_overlap(self):
+        a = RangeQuery([0.0], [1.0])
+        b = RangeQuery([1.0], [2.0])
+        assert query_overlap(a, b) == 0.0
+
+    def test_half_overlap(self):
+        a = RangeQuery([0.0], [2.0])
+        b = RangeQuery([1.0], [3.0])
+        # intersection 1, union 3.
+        assert query_overlap(a, b) == pytest.approx(1 / 3)
+
+    def test_containment(self):
+        outer = RangeQuery([0.0], [4.0])
+        inner = RangeQuery([1.0], [2.0])
+        assert query_overlap(outer, inner) == pytest.approx(1 / 4)
+
+    def test_symmetry(self):
+        a = RangeQuery([0.0, 0.0], [2.0, 2.0])
+        b = RangeQuery([1.0, 1.0], [3.0, 4.0])
+        assert query_overlap(a, b) == pytest.approx(query_overlap(b, a))
+
+    def test_multidim_product(self):
+        a = RangeQuery([0.0, 0.0], [2.0, 2.0])
+        b = RangeQuery([1.0, 1.0], [3.0, 3.0])
+        # per-dim overlap 1 of union 3 each -> 1/(4+4-1).
+        assert query_overlap(a, b) == pytest.approx(1 / 7)
+
+
+class TestPatternSignatures:
+    def make(self, pattern, **kwargs):
+        workload = make_synthetic_workload(
+            pattern, 4_000, 2, 60, kwargs.pop("selectivity", 0.01), seed=3,
+            **kwargs,
+        )
+        return profile_workload(workload)
+
+    def test_sequential_is_sweeping(self):
+        profile = self.make("sequential", selectivity=1e-4)
+        assert profile.is_sweeping
+        assert not profile.is_repetitive
+
+    def test_skewed_is_repetitive(self):
+        profile = self.make("skewed")
+        assert profile.is_repetitive
+
+    def test_zoom_revisits(self):
+        profile = self.make("zoom")
+        assert profile.revisit_overlap > self.make("sequential", selectivity=1e-4).revisit_overlap
+
+    def test_uniform_covers_domain(self):
+        profile = self.make("uniform")
+        assert (profile.domain_coverage > 0.8).all()
+
+    def test_sequential_drifts_slowly(self):
+        sweep = self.make("sequential", selectivity=1e-4)
+        random = self.make("uniform")
+        assert sweep.drift < random.drift
+
+    def test_selectivity_estimate(self):
+        profile = self.make("uniform")
+        assert 0.001 < profile.mean_selectivity < 0.05
+
+    def test_skyserver_is_repetitive(self):
+        workload = skyserver_workload(n_rows=4_000, n_queries=150, seed=5)
+        profile = profile_workload(workload)
+        assert profile.is_repetitive
+
+    def test_shift_profiles_one_group(self):
+        workload = make_synthetic_workload(
+            "shift", 2_000, 2, 30, 0.01, seed=4, n_groups=3,
+            queries_per_shift=10,
+        )
+        profile = profile_workload(workload)
+        assert profile.n_dims == 2
+
+    def test_sampling_caps_cost(self):
+        workload = make_synthetic_workload("uniform", 2_000, 2, 400, 0.01, seed=6)
+        profile = profile_workload(workload, sample=50)
+        assert profile.n_queries == 400  # reported size is the real one
+
+
+class TestDescribe:
+    def test_mentions_suggestion(self):
+        profile = profile_workload(
+            make_synthetic_workload("sequential", 2_000, 2, 40, 1e-4, seed=7)
+        )
+        text = describe(profile)
+        assert "Progressive" in text
+
+    def test_repetitive_suggests_adaptive(self):
+        profile = profile_workload(
+            make_synthetic_workload("skewed", 2_000, 2, 40, 0.01, seed=8)
+        )
+        assert "Adaptive KD-Tree" in describe(profile)
+
+
+class TestWorkloadsCLI:
+    def test_list(self, capsys):
+        from repro.workloads.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out and "skyserver" in out
+
+    def test_profile_synthetic(self, capsys):
+        from repro.workloads.__main__ import main
+
+        assert main(
+            ["profile", "zoom", "--rows", "2000", "--queries", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Zoom" in out and "selectivity" in out
+
+    def test_profile_real(self, capsys):
+        from repro.workloads.__main__ import main
+
+        assert main(["profile", "power", "--rows", "2000", "--queries", "20"]) == 0
+        assert "Power" in capsys.readouterr().out

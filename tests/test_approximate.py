@@ -1,0 +1,134 @@
+"""Approximate Progressive KD-Tree (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApproximateProgressiveKDTree,
+    InvalidParameterError,
+    ProgressiveKDTree,
+)
+from tests.conftest import assert_correct, make_queries, make_uniform_table
+
+
+@pytest.fixture
+def table():
+    return make_uniform_table(4_000, 3, seed=9)
+
+
+@pytest.fixture
+def queries(table):
+    return make_queries(table, 30, width_fraction=0.3, seed=10)
+
+
+class TestExactPath:
+    def test_exact_query_still_correct(self, table, queries):
+        # The inherited query() path must stay exact even with the
+        # permuted creation order.
+        index = ApproximateProgressiveKDTree(table, delta=0.2, size_threshold=64)
+        assert_correct(index, table, queries)
+
+    def test_converges_like_plain_progressive(self, table, queries):
+        index = ApproximateProgressiveKDTree(table, delta=0.5, size_threshold=64)
+        for _ in range(80):
+            index.query(queries[0])
+            if index.converged:
+                break
+        assert index.converged
+
+    def test_rowids_are_a_permutation_after_creation(self, table, queries):
+        index = ApproximateProgressiveKDTree(table, delta=1.0, size_threshold=64)
+        index.query(queries[0])
+        assert np.array_equal(
+            np.sort(index.index_table.rowids), np.arange(table.n_rows)
+        )
+
+
+class TestApproximateAnswers:
+    def test_partial_hits_are_true_hits(self, table, queries):
+        index = ApproximateProgressiveKDTree(table, delta=0.2, size_threshold=64)
+        exact = ProgressiveKDTree(table, delta=0.2, size_threshold=64)
+        for query in queries[:4]:
+            answer = index.approximate_query(query)
+            truth = set(exact.query(query).row_ids.tolist())
+            assert set(answer.row_ids.tolist()) <= truth
+
+    def test_support_grows_per_query(self, table, queries):
+        index = ApproximateProgressiveKDTree(table, delta=0.25, size_threshold=64)
+        supports = [
+            index.approximate_query(query).support for query in queries[:5]
+        ]
+        assert supports[0] == pytest.approx(0.25, abs=0.01)
+        assert supports[1] == pytest.approx(0.50, abs=0.01)
+        assert supports[3] == pytest.approx(1.0)
+        assert supports[4] == 1.0
+
+    def test_estimate_unbiased_ish(self, table):
+        # Across many queries the estimate should track the true count.
+        index = ApproximateProgressiveKDTree(
+            table, delta=0.4, size_threshold=64, seed=3
+        )
+        exact = ProgressiveKDTree(table, delta=1.0, size_threshold=64)
+        errors = []
+        for query in make_queries(table, 20, width_fraction=0.4, seed=11):
+            fresh = ApproximateProgressiveKDTree(
+                table, delta=0.4, size_threshold=64, seed=5
+            )
+            answer = fresh.approximate_query(query)
+            truth = exact.query(query).count
+            if truth:
+                errors.append((answer.estimated_count - truth) / truth)
+        assert abs(np.mean(errors)) < 0.15
+
+    def test_interval_contains_truth_usually(self, table):
+        exact = ProgressiveKDTree(table, delta=1.0, size_threshold=64)
+        hits = 0
+        total = 0
+        for seed, query in enumerate(
+            make_queries(table, 25, width_fraction=0.4, seed=12)
+        ):
+            fresh = ApproximateProgressiveKDTree(
+                table, delta=0.3, size_threshold=64, seed=seed
+            )
+            answer = fresh.approximate_query(query)
+            truth = exact.query(query).count
+            total += 1
+            if answer.low <= truth <= answer.high:
+                hits += 1
+        assert hits / total >= 0.8  # nominal 95%, generous slack
+
+    def test_exact_after_creation(self, table, queries):
+        index = ApproximateProgressiveKDTree(table, delta=1.0, size_threshold=64)
+        answer = index.approximate_query(queries[0])
+        assert answer.exact
+        assert answer.estimated_count == answer.low == answer.high
+        exact = ProgressiveKDTree(table, delta=1.0, size_threshold=64)
+        truth = exact.query(queries[0])
+        assert np.array_equal(
+            np.sort(answer.row_ids), np.sort(truth.row_ids)
+        )
+
+    def test_approximate_cheaper_than_exact_early(self, table, queries):
+        approx = ApproximateProgressiveKDTree(table, delta=0.1, size_threshold=64)
+        exact = ProgressiveKDTree(table, delta=0.1, size_threshold=64)
+        approx_stats = approx.approximate_query(queries[0]).stats
+        exact_stats = exact.query(queries[0]).stats
+        assert approx_stats.scanned < exact_stats.scanned / 2
+
+    def test_interval_widths_shrink(self, table, queries):
+        index = ApproximateProgressiveKDTree(table, delta=0.2, size_threshold=64)
+        widths = []
+        for query in queries[:4]:
+            answer = index.approximate_query(queries[0])
+            if not answer.exact:
+                widths.append(answer.high - answer.low)
+        assert all(b <= a * 1.05 for a, b in zip(widths, widths[1:]))
+
+    def test_repr(self, table, queries):
+        index = ApproximateProgressiveKDTree(table, delta=0.2, size_threshold=64)
+        text = repr(index.approximate_query(queries[0]))
+        assert "support" in text
+
+    def test_invalid_confidence(self, table):
+        with pytest.raises(InvalidParameterError):
+            ApproximateProgressiveKDTree(table, confidence_z=0.0)

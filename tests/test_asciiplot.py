@@ -1,0 +1,68 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.asciiplot import line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = line_chart([("up", [1.0, 2.0, 3.0, 4.0])], width=20, height=6)
+        assert "o" in chart
+        assert "o=up" in chart
+
+    def test_two_series_distinct_glyphs(self):
+        chart = line_chart(
+            [("a", [1, 2, 3]), ("b", [3, 2, 1])], width=20, height=6
+        )
+        assert "o=a" in chart and "x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_none_values_skipped(self):
+        chart = line_chart([("gaps", [1.0, None, 3.0])], width=10, height=4)
+        assert "o" in chart
+
+    def test_empty_series(self):
+        assert line_chart([("nothing", [])]) == "(no data to plot)"
+
+    def test_all_none(self):
+        assert line_chart([("nope", [None, None])]) == "(no data to plot)"
+
+    def test_log_scale_skips_nonpositive(self):
+        chart = line_chart(
+            [("mixed", [0.0, 1.0, 10.0, 100.0])], logy=True, width=20, height=6
+        )
+        assert "o" in chart
+
+    def test_hline_reference(self):
+        chart = line_chart(
+            [("s", [1.0, 2.0, 3.0])],
+            hline=2.0,
+            hline_label="tau",
+            width=20,
+            height=8,
+        )
+        assert "-" * 10 in chart
+        assert "tau" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart(
+            [("s", [1, 2])], y_label="seconds", x_label="query", width=10, height=4
+        )
+        assert "[y: seconds]" in chart
+        assert "[x: query]" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart([("flat", [5.0] * 10)], width=15, height=5)
+        assert "o" in chart
+
+    def test_shape_dimensions(self):
+        chart = line_chart([("s", [1, 2, 3])], width=30, height=10)
+        data_rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(data_rows) == 10
+
+    def test_extremes_on_top_and_bottom_rows(self):
+        chart = line_chart([("s", [0.0, 100.0])], width=10, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert "o" in rows[0]  # the maximum lands on the top row
+        assert "o" in rows[-1]  # the minimum on the bottom row

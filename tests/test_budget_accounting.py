@@ -1,0 +1,172 @@
+"""Precise budget and work accounting across the progressive indexes."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    GreedyProgressiveKDTree,
+    MachineProfile,
+    ProgressiveKDTree,
+)
+from repro.core.progressive_kdtree import CREATION, REFINEMENT
+from tests.conftest import make_queries, make_uniform_table
+
+
+@pytest.fixture
+def table():
+    return make_uniform_table(4_000, 3, seed=90)
+
+
+@pytest.fixture
+def model(table):
+    return CostModel(MachineProfile.deterministic(), table.n_rows, 3)
+
+
+class TestProgressiveBudget:
+    def test_creation_copies_exactly_delta_rows(self, table, model):
+        index = ProgressiveKDTree(
+            table, delta=0.25, size_threshold=64, cost_model=model
+        )
+        query = make_queries(table, 1, seed=91)[0]
+        stats = index.query(query).stats
+        # copied counter = rows * (d + 1).
+        assert stats.copied == 1_000 * 4
+
+    def test_creation_budget_rows_match_model(self, table, model):
+        index = ProgressiveKDTree(
+            table, delta=0.2, size_threshold=64, cost_model=model
+        )
+        assert index._budget_rows() == pytest.approx(800, abs=1)
+
+    def test_refinement_budget_rows_scaled_by_price_ratio(self, table, model):
+        index = ProgressiveKDTree(
+            table, delta=0.2, size_threshold=64, cost_model=model
+        )
+        queries = make_queries(table, 10, seed=92)
+        while index.phase == CREATION:
+            index.query(queries[0])
+        assert index.phase == REFINEMENT
+        ratio = model.creation_row_seconds() / model.refinement_row_seconds()
+        expected = int(0.2 * table.n_rows * ratio)
+        assert index._budget_rows() == pytest.approx(expected, abs=2)
+
+    def test_gross_cost_bounded_by_scan_plus_budget(self, table, model):
+        """The paper's PKD premise: t_i <= t_total = t_scan + t_budget."""
+        index = ProgressiveKDTree(
+            table, delta=0.2, size_threshold=64, cost_model=model
+        )
+        budget_seconds = 0.2 * table.n_rows * model.creation_row_seconds()
+        # Generous scan bound: full candidate scan + lookups.
+        t_total = model.full_scan_seconds(1.0) + budget_seconds
+        for query in make_queries(table, 60, seed=93):
+            stats = index.query(query).stats
+            if index.converged:
+                break
+            assert model.seconds_of(stats) <= t_total * 1.2
+
+    def test_delta_used_reported_each_query(self, table, model):
+        index = ProgressiveKDTree(
+            table, delta=0.3, size_threshold=64, cost_model=model
+        )
+        for query in make_queries(table, 5, seed=94):
+            stats = index.query(query).stats
+            assert stats.delta_used is not None
+            assert stats.delta_used > 0
+
+    def test_total_work_conserved_across_deltas(self, table, model):
+        """The total indexing work to convergence is (nearly) independent
+        of how it is sliced into per-query budgets."""
+        totals = {}
+        for delta in (0.2, 1.0):
+            index = ProgressiveKDTree(
+                table, delta=delta, size_threshold=64, cost_model=model
+            )
+            queries = make_queries(table, 400, seed=95)
+            work = 0
+            for query in queries:
+                stats = index.query(query).stats
+                work += stats.indexing_work
+                if index.converged:
+                    break
+            assert index.converged
+            totals[delta] = work
+        assert totals[0.2] == pytest.approx(totals[1.0], rel=0.1)
+
+
+class TestGreedyAccounting:
+    def test_reactive_never_overshoots_much(self, table, model):
+        index = GreedyProgressiveKDTree(
+            table, delta=0.2, size_threshold=64, cost_model=model
+        )
+        queries = make_queries(table, 50, seed=96)
+        index.query(queries[0])
+        t_total = index._t_total
+        for query in queries[1:]:
+            stats = index.query(query).stats
+            if index.converged:
+                break
+            assert model.seconds_of(stats) <= t_total * 1.15
+
+    def test_t_total_fixed_after_first_query(self, table, model):
+        index = GreedyProgressiveKDTree(
+            table, delta=0.2, size_threshold=64, cost_model=model
+        )
+        queries = make_queries(table, 5, seed=97)
+        index.query(queries[0])
+        first = index._t_total
+        for query in queries[1:]:
+            index.query(query)
+        assert index._t_total == first
+
+    def test_budget_shrinks_for_expensive_queries(self, table, model):
+        index = GreedyProgressiveKDTree(
+            table, delta=0.2, size_threshold=64, cost_model=model
+        )
+        wide = make_queries(table, 1, width_fraction=0.9, seed=98)[0]
+        narrow = make_queries(table, 1, width_fraction=0.02, seed=99)[0]
+        index.query(narrow)  # establishes t_total
+        wide_stats = index.query(wide).stats
+        narrow_stats = index.query(narrow).stats
+        # The narrow query leaves more headroom, so more indexing happens.
+        assert narrow_stats.indexing_work >= wide_stats.indexing_work
+
+    def test_no_budget_after_convergence(self, table, model):
+        index = GreedyProgressiveKDTree(
+            table, delta=1.0, size_threshold=256, cost_model=model
+        )
+        queries = make_queries(table, 200, seed=100)
+        for query in queries:
+            index.query(query)
+            if index.converged:
+                break
+        assert index.converged
+        stats = index.query(queries[0]).stats
+        assert stats.indexing_work == 0
+
+
+class TestScanCounters:
+    def test_fullscan_counter_exact(self, table):
+        from repro import FullScan, RangeQuery
+
+        index = FullScan(table)
+        # Unbounded dims 1,2: only the first column is checked.
+        query = RangeQuery(
+            [0.0, -np.inf, -np.inf], [100.0, np.inf, np.inf]
+        )
+        stats = index.query(query).stats
+        assert stats.scanned == table.n_rows
+
+    def test_candidate_counter_includes_rechecks(self, table):
+        from repro import FullScan, RangeQuery
+
+        index = FullScan(table)
+        query = RangeQuery([0.0, 0.0, 0.0], [2_000.0, 4_000.0, 4_000.0])
+        stats = index.query(query).stats
+        candidates_dim0 = int((table.column(0) <= 2_000.0).sum())
+        candidates_dim1 = int(
+            (
+                (table.column(0) <= 2_000.0) & (table.column(1) <= 4_000.0)
+            ).sum()
+        )
+        assert stats.scanned == table.n_rows + candidates_dim0 + candidates_dim1

@@ -1,0 +1,68 @@
+"""The `python -m repro.bench` command-line runner."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestArguments:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_requires_an_experiment(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestTinyRuns:
+    ARGS = ["--small", "2500", "--large", "4000", "--queries", "12",
+            "--threshold", "256"]
+
+    def test_table2(self, capsys):
+        assert main(["table2"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Unif(8)" in out
+        assert "MedKD" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "variance" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "tau" in out
+        assert "GPFQ" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6a" in out and "Fig 6d" in out
+
+    def test_overrides_affect_scale(self, capsys):
+        # Running with overridden sizes must not blow up and must print
+        # all fourteen workloads.
+        assert main(["table5"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") > 14
+
+
+class TestReport:
+    def test_report_generates_full_document(self, capsys):
+        assert main(["report"] + TestTinyRuns.ARGS) == 0
+        out = capsys.readouterr().out
+        for marker in (
+            "Table II", "Table III", "Table IV", "Table V", "Table VI",
+            "Fig 5", "Fig 6a", "Fig 6d", "Fig 7", "tau",
+        ):
+            assert marker in out
+        assert "|" in out  # charts rendered

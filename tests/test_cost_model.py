@@ -1,0 +1,132 @@
+"""Cost model: Table I formulas, delta inversions, calibration."""
+
+import pytest
+
+from repro import CostModel, InvalidParameterError, MachineProfile
+from repro.core.metrics import QueryStats
+
+
+@pytest.fixture
+def model():
+    return CostModel(MachineProfile.deterministic(), n_rows=100_000, n_dims=4)
+
+
+class TestMachineProfile:
+    def test_deterministic_is_fixed(self):
+        assert MachineProfile.deterministic() == MachineProfile.deterministic()
+
+    def test_deterministic_ordering(self):
+        profile = MachineProfile.deterministic()
+        # Random accesses cost more than sequential ones, writes more than
+        # reads — the ordering every formula in the paper assumes.
+        assert profile.random_access > profile.seq_read
+        assert profile.seq_write >= profile.seq_read
+        assert profile.random_write > profile.seq_read
+
+    def test_calibrate_returns_positive_costs(self):
+        profile = MachineProfile.calibrate(n_elements=50_000, repeats=1)
+        assert profile.seq_read > 0
+        assert profile.seq_write > 0
+        assert profile.random_access > 0
+        assert profile.random_write > 0
+
+
+class TestFormulas:
+    def test_rejects_bad_sizes(self):
+        profile = MachineProfile.deterministic()
+        with pytest.raises(InvalidParameterError):
+            CostModel(profile, 0, 4)
+        with pytest.raises(InvalidParameterError):
+            CostModel(profile, 100, 0)
+
+    def test_scan_linear(self, model):
+        assert model.scan_seconds(2_000) == pytest.approx(
+            2 * model.scan_seconds(1_000)
+        )
+
+    def test_full_scan_grows_with_candidates(self, model):
+        assert model.full_scan_seconds(0.9) > model.full_scan_seconds(0.1)
+
+    def test_creation_lookup_grows_with_alpha(self, model):
+        assert model.creation_lookup_seconds(0.8) > model.creation_lookup_seconds(0.2)
+
+    def test_creation_indexing_linear_in_delta(self, model):
+        quarter = model.creation_indexing_seconds(0.25)
+        half = model.creation_indexing_seconds(0.5)
+        # Linear up to the constant (d-1)*phi term.
+        fixed = (model.n_dims - 1) * model.profile.random_access
+        assert (half - fixed) == pytest.approx(2 * (quarter - fixed))
+
+    def test_creation_base_scan_shrinks(self, model):
+        assert model.creation_base_scan_seconds(0.5, 0.2) < (
+            model.creation_base_scan_seconds(0.0, 0.0)
+        )
+
+    def test_creation_base_scan_never_negative(self, model):
+        assert model.creation_base_scan_seconds(0.9, 0.5) == 0.0
+
+    def test_creation_total_is_sum(self, model):
+        total = model.creation_total_seconds(alpha=0.3, delta=0.2, rho=0.1)
+        parts = (
+            model.creation_lookup_seconds(0.3)
+            + model.creation_indexing_seconds(0.2)
+            + model.creation_base_scan_seconds(0.1, 0.2)
+        )
+        assert total == pytest.approx(parts)
+
+    def test_refinement_swap_scales_with_dims(self):
+        profile = MachineProfile.deterministic()
+        narrow = CostModel(profile, 100_000, 2)
+        wide = CostModel(profile, 100_000, 8)
+        assert wide.refinement_swap_seconds(0.5) == pytest.approx(
+            4 * narrow.refinement_swap_seconds(0.5)
+        )
+
+    def test_refinement_total_includes_lookup(self, model):
+        with_height = model.refinement_total_seconds(10, 0.1, 0.1)
+        without = model.refinement_total_seconds(0, 0.1, 0.1)
+        assert with_height > without
+
+
+class TestDeltaInversions:
+    def test_creation_roundtrip(self, model):
+        budget = model.creation_indexing_seconds(0.37)
+        assert model.delta_for_creation_budget(budget) == pytest.approx(
+            0.37, rel=0.05
+        )
+
+    def test_refinement_roundtrip(self, model):
+        budget = model.refinement_swap_seconds(0.41)
+        assert model.delta_for_refinement_budget(budget) == pytest.approx(0.41)
+
+    def test_zero_budget_zero_delta(self, model):
+        assert model.delta_for_creation_budget(0.0) == 0.0
+        assert model.delta_for_refinement_budget(-1.0) == 0.0
+
+    def test_delta_capped_at_one(self, model):
+        assert model.delta_for_creation_budget(1e9) == 1.0
+        assert model.delta_for_refinement_budget(1e9) == 1.0
+
+    def test_rows_conversions(self, model):
+        budget = model.creation_indexing_seconds(0.5)
+        rows = model.rows_for_creation_budget(budget)
+        assert rows == pytest.approx(0.5 * model.n_rows, rel=0.05)
+
+
+class TestSecondsOf:
+    def test_prices_every_counter(self, model):
+        profile = model.profile
+        stats = QueryStats(scanned=100, copied=50, swapped=20, lookup_nodes=5)
+        expected = (
+            100 * profile.seq_read
+            + 50 * (profile.seq_read + profile.seq_write)
+            + 20 * 2 * profile.random_write
+            + 5 * profile.random_access
+        )
+        assert model.seconds_of(stats) == pytest.approx(expected)
+
+    def test_empty_stats_cost_zero(self, model):
+        assert model.seconds_of(QueryStats()) == 0.0
+
+    def test_repr(self, model):
+        assert "N=100000" in repr(model)

@@ -1,0 +1,106 @@
+"""Standard uni-dimensional cracking substrate."""
+
+import numpy as np
+import pytest
+
+from repro import CrackerColumn, InvalidTableError
+from repro.core.metrics import QueryStats
+
+
+@pytest.fixture
+def keys():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 1_000, 5_000).astype(np.float64)
+
+
+class TestCrack:
+    def test_crack_partitions(self, keys):
+        cracker = CrackerColumn(keys)
+        boundary = cracker.crack(500.0)
+        assert (cracker.keys[:boundary] <= 500.0).all()
+        assert (cracker.keys[boundary:] > 500.0).all()
+
+    def test_crack_is_idempotent(self, keys):
+        cracker = CrackerColumn(keys)
+        first = cracker.crack(500.0)
+        again = cracker.crack(500.0)
+        assert first == again
+        assert cracker.n_cracks == 1
+
+    def test_many_cracks_keep_invariant(self, keys):
+        cracker = CrackerColumn(keys)
+        rng = np.random.default_rng(1)
+        for value in rng.integers(0, 1_000, 50):
+            cracker.crack(float(value))
+        cracker.validate()
+
+    def test_crack_below_minimum(self, keys):
+        cracker = CrackerColumn(keys)
+        assert cracker.crack(-5.0) == 0
+
+    def test_crack_above_maximum(self, keys):
+        cracker = CrackerColumn(keys)
+        assert cracker.crack(2_000.0) == keys.shape[0]
+
+    def test_rowids_track_rows(self, keys):
+        cracker = CrackerColumn(keys)
+        cracker.crack(300.0)
+        cracker.crack(700.0)
+        assert np.array_equal(cracker.keys, keys[cracker.rowids])
+
+    def test_stats_accumulate(self, keys):
+        cracker = CrackerColumn(keys)
+        stats = QueryStats()
+        cracker.crack(500.0, stats)
+        assert stats.copied > 0
+
+
+class TestRangeQueries:
+    def test_range_rowids_match_brute_force(self, keys):
+        cracker = CrackerColumn(keys)
+        got = np.sort(cracker.range_rowids(200.0, 600.0))
+        want = np.flatnonzero((keys > 200.0) & (keys <= 600.0))
+        assert np.array_equal(got, want)
+
+    def test_many_ranges(self, keys):
+        cracker = CrackerColumn(keys)
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            low = float(rng.integers(0, 900))
+            high = low + float(rng.integers(1, 100))
+            got = np.sort(cracker.range_rowids(low, high))
+            want = np.flatnonzero((keys > low) & (keys <= high))
+            assert np.array_equal(got, want)
+        cracker.validate()
+
+    def test_range_positions_contiguous(self, keys):
+        cracker = CrackerColumn(keys)
+        start, end = cracker.range_positions(100.0, 200.0)
+        window = cracker.keys[start:end]
+        assert ((window > 100.0) & (window <= 200.0)).all()
+
+    def test_empty_range(self, keys):
+        cracker = CrackerColumn(keys)
+        start, end = cracker.range_positions(500.0, 500.0)
+        assert start == end
+
+    def test_cracking_work_decreases(self, keys):
+        cracker = CrackerColumn(keys)
+        stats_first = QueryStats()
+        cracker.range_rowids(100.0, 900.0, stats_first)
+        stats_later = QueryStats()
+        cracker.range_rowids(400.0, 500.0, stats_later)
+        assert stats_later.copied < stats_first.copied
+
+
+class TestValidation:
+    def test_rejects_matrix_keys(self):
+        with pytest.raises(InvalidTableError):
+            CrackerColumn(np.ones((2, 2)))
+
+    def test_custom_rowids(self):
+        keys = np.array([3.0, 1.0, 2.0])
+        rowids = np.array([30, 10, 20])
+        cracker = CrackerColumn(keys, rowids)
+        got = set(cracker.range_rowids(0.0, 2.0).tolist())
+        assert got == {10, 20}

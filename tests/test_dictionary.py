@@ -1,0 +1,125 @@
+"""Dictionary encoding of string attributes (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveKDTree,
+    DictionaryColumn,
+    EncodedTable,
+    InvalidQueryError,
+    InvalidTableError,
+    Table,
+    encode_table,
+)
+
+
+@pytest.fixture
+def cities():
+    rng = np.random.default_rng(0)
+    names = np.array(["amsterdam", "berlin", "curitiba", "delft", "eindhoven"])
+    return names[rng.integers(0, 5, 300)]
+
+
+class TestDictionaryColumn:
+    def test_codes_are_order_preserving(self, cities):
+        dictionary = DictionaryColumn(cities)
+        codes = dictionary.codes
+        decoded = dictionary.decode(codes.astype(int))
+        order_values = np.argsort(decoded, kind="stable")
+        order_codes = np.argsort(codes, kind="stable")
+        assert np.array_equal(order_values, order_codes)
+
+    def test_roundtrip(self, cities):
+        dictionary = DictionaryColumn(cities)
+        assert np.array_equal(
+            dictionary.decode(dictionary.codes.astype(int)), cities
+        )
+
+    def test_cardinality(self, cities):
+        assert DictionaryColumn(cities).cardinality == 5
+
+    def test_encode_value(self, cities):
+        dictionary = DictionaryColumn(cities)
+        assert dictionary.encode_value("amsterdam") == 0
+        assert dictionary.encode_value("eindhoven") == 4
+
+    def test_encode_unknown_value(self, cities):
+        with pytest.raises(InvalidQueryError):
+            DictionaryColumn(cities).encode_value("zwolle")
+
+    def test_code_floor_between_values(self, cities):
+        dictionary = DictionaryColumn(cities)
+        # "b..." sorts after amsterdam (code 0), before berlin (code 1).
+        assert dictionary.code_floor("b") == 0.0
+        assert dictionary.code_floor("zzz") == 4.0
+        assert dictionary.code_floor("a") == -1.0  # below everything
+
+    def test_translate_bounds_half_open(self, cities):
+        dictionary = DictionaryColumn(cities)
+        low, high = dictionary.translate_bounds("amsterdam", "delft")
+        # strictly greater than amsterdam, up to and including delft.
+        codes = dictionary.codes
+        mask = (codes > low) & (codes <= high)
+        selected = set(dictionary.decode(codes[mask].astype(int)).tolist())
+        assert selected == {"berlin", "curitiba", "delft"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidTableError):
+            DictionaryColumn([])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(InvalidTableError):
+            DictionaryColumn(np.ones((2, 2)))
+
+    def test_numeric_values_work_too(self):
+        dictionary = DictionaryColumn([30, 10, 20, 10])
+        assert dictionary.cardinality == 3
+        assert dictionary.encode_value(10) == 0
+
+
+class TestEncodeTable:
+    def test_mixed_columns(self, cities):
+        rng = np.random.default_rng(1)
+        encoded = encode_table(
+            {"city": cities, "value": rng.random(cities.shape[0])}
+        )
+        assert encoded.table.n_columns == 2
+        assert encoded.dictionaries[0] is not None
+        assert encoded.dictionaries[1] is None
+
+    def test_indexable_end_to_end(self, cities):
+        rng = np.random.default_rng(2)
+        values = rng.random(cities.shape[0]) * 100
+        encoded = encode_table({"city": cities, "value": values})
+        index = AdaptiveKDTree(encoded.table, size_threshold=16)
+        query = encoded.encode_query(
+            lows=["amsterdam", 10.0], highs=["curitiba", 60.0]
+        )
+        result = index.query(query)
+        want = np.flatnonzero(
+            np.isin(cities, ["berlin", "curitiba"]) & (values > 10) & (values <= 60)
+        )
+        assert np.array_equal(np.sort(result.row_ids), want)
+
+    def test_decode_rows(self, cities):
+        rng = np.random.default_rng(3)
+        values = rng.random(cities.shape[0])
+        encoded = encode_table({"city": cities, "value": values})
+        rows = encoded.decode_rows(np.array([0, 5]))
+        assert rows[0][0] == cities[0]
+        assert rows[0][1] == pytest.approx(values[0])
+
+    def test_encode_query_arity_checked(self, cities):
+        encoded = encode_table({"city": cities})
+        with pytest.raises(InvalidQueryError):
+            encoded.encode_query(["a", 1.0], ["b", 2.0])
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(InvalidTableError):
+            encode_table({})
+
+    def test_dictionary_count_validated(self, cities):
+        table = Table([np.arange(3.0)])
+        with pytest.raises(InvalidTableError):
+            EncodedTable(table, [])

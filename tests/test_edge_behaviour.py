@@ -1,0 +1,152 @@
+"""Cross-cutting edge behaviours: open-ended queries, dtypes, pruning."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveKDTree,
+    AverageKDTree,
+    ProgressiveKDTree,
+    Quasii,
+    RangeQuery,
+    Table,
+)
+from repro.core.metrics import QueryStats
+from tests.conftest import (
+    assert_correct,
+    make_queries,
+    make_uniform_table,
+    reference_answer,
+)
+
+
+class TestOpenEndedQueries:
+    """Semi-infinite predicates: one side of a dimension unbounded."""
+
+    def queries(self, table):
+        span = table.n_rows
+        return [
+            RangeQuery([-np.inf, 0.2 * span], [0.5 * span, np.inf]),
+            RangeQuery([-np.inf, -np.inf], [0.3 * span, 0.3 * span]),
+            RangeQuery([0.7 * span, -np.inf], [np.inf, np.inf]),
+            RangeQuery([-np.inf, -np.inf], [np.inf, np.inf]),
+        ]
+
+    @pytest.mark.parametrize(
+        "cls", [AdaptiveKDTree, ProgressiveKDTree, AverageKDTree, Quasii]
+    )
+    def test_correct(self, cls):
+        table = make_uniform_table(1_500, 2, seed=110)
+        if cls is ProgressiveKDTree:
+            index = cls(table, delta=0.4, size_threshold=32)
+        else:
+            index = cls(table, size_threshold=32)
+        assert_correct(index, table, self.queries(table) * 2)
+
+    def test_adaptive_skips_infinite_pivots(self):
+        table = make_uniform_table(1_500, 2, seed=111)
+        index = AdaptiveKDTree(table, size_threshold=32)
+        index.query(RangeQuery([-np.inf, -np.inf], [np.inf, np.inf]))
+        assert index.node_count == 0  # no finite bounds, no pivots
+
+    def test_unbounded_query_scans_nothing_extra(self):
+        table = make_uniform_table(1_500, 2, seed=112)
+        index = AdaptiveKDTree(table, size_threshold=32)
+        stats = index.query(
+            RangeQuery([-np.inf, -np.inf], [np.inf, np.inf])
+        ).stats
+        assert stats.scanned == 0  # no predicate needs checking
+
+
+class TestFloat32Storage:
+    def test_indexes_work_on_float32(self):
+        rng = np.random.default_rng(113)
+        table = Table(
+            [rng.random(1_000) * 100 for _ in range(2)], dtype=np.float32
+        )
+        assert table.column(0).dtype == np.float32
+        queries = make_queries(table, 10, width_fraction=0.3, seed=114)
+        assert_correct(AdaptiveKDTree(table, size_threshold=32), table, queries)
+
+    def test_progressive_preserves_dtype(self):
+        rng = np.random.default_rng(115)
+        table = Table([rng.random(800) * 100], dtype=np.float32)
+        index = ProgressiveKDTree(table, delta=1.0, size_threshold=32)
+        index.query(RangeQuery([10.0], [20.0]))
+        assert index.index_table.columns[0].dtype == np.float32
+
+
+class TestLookupPruning:
+    def test_selective_lookup_visits_few_nodes(self):
+        """A balanced tree prunes: a tiny query visits O(depth) nodes,
+        not O(all nodes)."""
+        table = make_uniform_table(8_000, 2, seed=116)
+        index = AverageKDTree(table, size_threshold=64)
+        wide = make_queries(table, 1, width_fraction=0.9, seed=117)[0]
+        narrow = make_queries(table, 1, width_fraction=0.01, seed=118)[0]
+        index.query(wide)  # build
+        narrow_stats = index.query(narrow).stats
+        wide_stats = index.query(wide).stats
+        assert narrow_stats.lookup_nodes < wide_stats.lookup_nodes / 3
+        assert narrow_stats.lookup_nodes < index.node_count / 3
+
+    def test_scan_work_tracks_selectivity(self):
+        table = make_uniform_table(8_000, 2, seed=119)
+        index = AverageKDTree(table, size_threshold=64)
+        narrow = make_queries(table, 1, width_fraction=0.02, seed=120)[0]
+        wide = make_queries(table, 1, width_fraction=0.6, seed=121)[0]
+        index.query(wide)
+        assert index.query(narrow).stats.scanned < index.query(wide).stats.scanned / 5
+
+
+class TestQueryPriorityRefinement:
+    def test_progressive_refines_queried_region_first(self):
+        """Repeating one query converges its region while a fresh region
+        stays coarse — the 'pieces required for query processing' rule."""
+        table = make_uniform_table(6_000, 2, seed=122)
+        index = ProgressiveKDTree(table, delta=0.3, size_threshold=64)
+        span = table.n_rows
+        hot = RangeQuery([0.05 * span, 0.05 * span], [0.15 * span, 0.15 * span])
+        for _ in range(16):  # creation (~4 queries) + enough refinement
+            index.query(hot)
+        stats = QueryStats()
+        hot_pieces = index.tree.search(hot, stats)
+        hot_max = max(match.piece.size for match in hot_pieces)
+        cold = RangeQuery(
+            [0.8 * span, 0.8 * span], [0.9 * span, 0.9 * span]
+        )
+        cold_pieces = index.tree.search(cold, QueryStats())
+        cold_max = max(match.piece.size for match in cold_pieces)
+        assert hot_max <= cold_max
+
+    def test_quasii_levels_for_one_dimension(self):
+        table = make_uniform_table(1_000, 1, seed=123)
+        index = Quasii(table, size_threshold=64)
+        assert index._levels == [64]
+        queries = make_queries(table, 5, width_fraction=0.2, seed=124)
+        assert_correct(index, table, queries)
+
+    def test_quasii_level_thresholds_interpolate(self):
+        table = make_uniform_table(10_000, 3, seed=125)
+        index = Quasii(table, size_threshold=64)
+        # s_1 = N^(2/3), s_2 = N^(1/3) (floored at the threshold), s_3 = t.
+        assert index._levels[0] == pytest.approx(10_000 ** (2 / 3), rel=0.01)
+        assert index._levels[1] == pytest.approx(
+            max(64, 10_000 ** (1 / 3)), rel=0.01
+        )
+        assert index._levels[2] == 64
+
+
+class TestRepeatedConvergedQueries:
+    def test_converged_progressive_is_pure_lookup(self):
+        table = make_uniform_table(2_000, 2, seed=126)
+        index = ProgressiveKDTree(table, delta=1.0, size_threshold=64)
+        queries = make_queries(table, 100, seed=127)
+        for query in queries:
+            index.query(query)
+            if index.converged:
+                break
+        assert index.converged
+        stats = index.query(queries[0]).stats
+        assert stats.indexing_work == 0
+        assert stats.phase_seconds["adaptation"] == 0.0

@@ -1,0 +1,35 @@
+"""Error hierarchy and cross-module error behaviour."""
+
+import pytest
+
+from repro import (
+    IndexStateError,
+    InvalidParameterError,
+    InvalidQueryError,
+    InvalidTableError,
+    ReproError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            InvalidQueryError,
+            InvalidTableError,
+            InvalidParameterError,
+            IndexStateError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception):
+        assert issubclass(exception, ReproError)
+        assert issubclass(exception, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise InvalidQueryError("bad")
+
+    def test_not_swallowing_builtins(self):
+        assert not issubclass(ValueError, ReproError)

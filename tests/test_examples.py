@@ -1,0 +1,69 @@
+"""The example scripts run end-to-end at reduced scale."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart.py")
+        module.main(n_rows=5_000, n_queries=6)
+        out = capsys.readouterr().out
+        assert "Index state after the workload" in out
+        assert "AKD" in out and "GPKD" in out
+
+    def test_exploratory_session(self, capsys):
+        module = load_example("exploratory_session.py")
+        module.main(n_rows=8_000)
+        out = capsys.readouterr().out
+        assert "broad sweep" in out
+        assert "drill-down" in out
+        assert "budget violations" in out
+
+    def test_skyserver_hotspots(self, capsys):
+        module = load_example("skyserver_hotspots.py")
+        module.main(n_rows=8_000, n_queries=60)
+        out = capsys.readouterr().out
+        assert "== Q ==" in out
+        assert "index pieces" in out
+
+    def test_interactivity_threshold(self, capsys):
+        module = load_example("interactivity_threshold.py")
+        module.main(n_rows=8_000, n_queries=25)
+        out = capsys.readouterr().out
+        assert "queries above tau" in out
+        assert "GPFQ(10)" in out
+
+    def test_every_example_has_a_main(self):
+        for name in os.listdir(EXAMPLES_DIR):
+            if name.endswith(".py"):
+                module = load_example(name)
+                assert callable(getattr(module, "main", None)), name
+
+    def test_approximate_explore(self, capsys):
+        module = load_example("approximate_explore.py")
+        module.main(n_rows=10_000, n_queries=8)
+        out = capsys.readouterr().out
+        assert "support" in out
+        assert "interval contained the truth" in out
+
+    def test_index_lifecycle(self, capsys):
+        module = load_example("index_lifecycle.py")
+        module.main(n_rows=8_000)
+        out = capsys.readouterr().out
+        assert "profile the workload" in out
+        assert "persist and reload" in out
+        assert "evolve the data" in out

@@ -1,0 +1,192 @@
+"""Experiment entry points (one per paper table/figure) at tiny scale.
+
+These check structure and the headline shape relations, not absolute
+numbers — the benchmark scripts run the full scaled versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    Scale,
+    fig5_delta_impact,
+    fig6a_genomics_cumulative,
+    fig6b_per_query,
+    fig6c_breakdown,
+    fig6d_index_size,
+    fig7_interactivity,
+    grid_runs,
+    standard_workloads,
+    table2_first_query,
+    table3_payoff,
+    table4_robustness,
+    table5_total_time,
+    table6_dimensionality,
+)
+
+TINY = Scale(
+    n_small=3_000,
+    n_large=6_000,
+    n_queries=15,
+    real_rows=2_500,
+    real_queries=15,
+    size_threshold=256,
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return grid_runs(TINY)
+
+
+class TestGrid:
+    def test_workload_lineup(self):
+        names = [w.name for w in standard_workloads(TINY)]
+        assert "Unif(8)" in names
+        assert "Seq(2)" in names
+        assert "Shift(8)" in names
+        assert "Power" in names and "Genomics" in names and "Skyserver" in names
+        assert "Unif(8) L" in names
+        assert len(names) == 14  # the Table II-V grid
+
+    def test_runs_cached(self, runs):
+        again = grid_runs(TINY)
+        for key in runs:
+            assert runs[key] is again[key]
+
+
+class TestTables:
+    def test_table2_shape_and_ordering(self, runs):
+        headers, rows = table2_first_query(TINY)
+        assert headers[0] == "Workload"
+        assert len(rows) == 14
+        by_name = {row[0]: row[1:] for row in rows}
+        unif = dict(zip(headers[1:], by_name["Unif(8)"]))
+        # Paper Table II ordering on the uniform workload.
+        assert unif["MedKD"] >= unif["AvgKD"] > unif["AKD"]
+        assert unif["Q"] > unif["PKD(0.2)"]
+        assert unif["AKD"] > unif["PKD(0.2)"]
+
+    def test_table3_baseline_column_empty(self, runs):
+        headers, rows = table3_payoff(TINY)
+        fs_column = headers.index("FS")
+        for row in rows:
+            assert row[fs_column] is None
+
+    def test_table4_progressive_most_robust(self, runs):
+        headers, rows = table4_robustness(TINY)
+        assert headers == ["Workload", "Q", "AKD", "PKD(0.2)", "GPKD(0.2)"]
+        wins = 0
+        for row in rows:
+            values = row[1:]
+            # A progressive index (PKD or GPKD) has the lowest variance;
+            # at tiny scale wall-clock noise blurs which of the two wins.
+            if min(values[2:]) == min(values):
+                wins += 1
+        assert wins >= (3 * len(rows)) // 4
+
+    def test_table5_totals_positive(self, runs):
+        _, rows = table5_total_time(TINY)
+        for row in rows:
+            assert all(value > 0 for value in row[1:])
+
+    def test_table6_sections(self):
+        sections = table6_dimensionality(TINY, dims=(2, 4))
+        assert [s[0] for s in sections] == ["Unif(2)", "Unif(4)"]
+        for _, headers, rows in sections:
+            assert [row[0] for row in rows] == [
+                "First Query",
+                "PayOff",
+                "Convergence",
+                "Robustness",
+                "Time",
+            ]
+            convergence = rows[2]
+            # Q/AKD/FS report no convergence (dash in the paper).
+            for algorithm, value in zip(headers[1:], convergence[1:]):
+                if algorithm in ("Q", "AKD", "FS"):
+                    assert value is None
+
+
+class TestFig5:
+    # Convergence needs enough queries in the workload; give the delta
+    # sweep a longer tail than the table grid uses.
+    FIG5 = Scale(
+        n_small=3_000,
+        n_large=6_000,
+        n_queries=80,
+        real_rows=2_500,
+        real_queries=15,
+        size_threshold=256,
+    )
+
+    def test_delta_sweep_shapes(self):
+        results = fig5_delta_impact(self.FIG5, deltas=(0.25, 0.5, 1.0), dims=(2, 3))
+        for d, data in results.items():
+            assert len(data["first_query"]) == 3
+            # 5a: costs populated (the grows-with-delta trend is asserted
+            # at full scale in the bench; at 3k rows it sits inside
+            # wall-clock noise, while the deterministic version is covered
+            # by test_progressive_kdtree's work-based delta scaling test).
+            assert all(value > 0 for value in data["first_query"])
+            # 5c: convergence time exists for every delta at this scale.
+            assert all(value is not None for value in data["convergence_seconds"])
+            # references present
+            assert set(data["references"]) == {"FS", "AKD", "Q", "AvgKD", "MedKD"}
+
+    def test_after_convergence_cheaper_than_total(self):
+        results = fig5_delta_impact(self.FIG5, deltas=(0.5,), dims=(2,))
+        data = results[2]
+        assert data["after_convergence_seconds"][0] is not None
+        assert data["after_convergence_seconds"][0] < data["total_seconds"][0]
+
+
+class TestFig6:
+    def test_fig6a_cumulative_monotone(self):
+        xs, series = fig6a_genomics_cumulative(TINY, n_queries=10)
+        assert xs == list(range(1, 11))
+        for name, values in series:
+            assert (np.diff(values) >= 0).all()
+
+    def test_fig6b_series_present(self):
+        xs, series = fig6b_per_query(TINY, n_queries=10)
+        names = [name for name, _ in series]
+        assert names == ["Q", "AKD", "PKD(0.2)", "GPKD(0.2)"]
+
+    def test_fig6c_breakdown_phases(self):
+        breakdown = fig6c_breakdown(TINY)
+        assert set(breakdown) == {"Q", "AKD"}
+        for phases in breakdown.values():
+            assert set(phases) == {
+                "initialization",
+                "adaptation",
+                "index_search",
+                "scan",
+            }
+
+    def test_fig6d_quasii_builds_more_nodes(self):
+        _, series = fig6d_index_size(TINY)
+        by_name = dict(series)
+        assert by_name["Q"][-1] > by_name["AKD"][-1]
+        assert all(b >= a for a, b in zip(by_name["AKD"], by_name["AKD"][1:]))
+
+
+class TestFig7:
+    def test_shape(self):
+        out = fig7_interactivity(TINY, n_queries=20, query_limit=5)
+        names = [name for name, _ in out["series"]]
+        assert names == ["FS", "AKD", "PKD(0.2)", "GPFP(0.2)", "GPFQ(5)"]
+        tau = out["tau"]
+        by_name = dict(out["series"])
+        # FS never gets under tau (tau is half its own mean cost); AKD pays
+        # a big first query, then settles under tau once its region of the
+        # data is cracked.
+        assert all(value > tau for value in by_name["FS"])
+        assert by_name["AKD"][0] > 3 * tau
+        # Settles far below the first query; at this tiny scale the tree is
+        # only a few levels deep, so "under tau" is only approached.
+        assert np.median(by_name["AKD"][8:]) < 2 * tau
+        assert np.median(by_name["AKD"][8:]) < by_name["AKD"][0] / 10
+        # GPFQ holds its spread for the first x queries, then drops.
+        gpfq = by_name["GPFQ(5)"]
+        assert gpfq[5] < gpfq[3]

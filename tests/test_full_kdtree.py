@@ -1,0 +1,122 @@
+"""AvgKD / MedKD baselines: eager build, lookup correctness, balance."""
+
+import numpy as np
+import pytest
+
+from repro import AverageKDTree, InvalidParameterError, MedianKDTree, Table
+from repro.workloads.data import skewed_table
+from tests.conftest import assert_correct, make_queries, make_uniform_table
+
+
+@pytest.fixture(params=[AverageKDTree, MedianKDTree])
+def index_class(request):
+    return request.param
+
+
+class TestCorrectness:
+    def test_uniform(self, index_class, small_table, small_queries):
+        index = index_class(small_table, size_threshold=64)
+        assert_correct(index, small_table, small_queries)
+
+    def test_duplicates(self, index_class, duplicate_table):
+        queries = make_queries(duplicate_table, 15, width_fraction=0.3, seed=5)
+        index = index_class(duplicate_table, size_threshold=32)
+        assert_correct(index, duplicate_table, queries)
+
+    def test_constant_column(self, index_class, constant_column_table):
+        queries = make_queries(
+            constant_column_table.project([0, 2]), 10, width_fraction=0.3, seed=6
+        )
+        # Re-expand queries to 3 dims: constant column matched fully.
+        from repro import RangeQuery
+
+        full_queries = [
+            RangeQuery(
+                [q.lows[0], 0.0, q.lows[1]], [q.highs[0], 100.0, q.highs[1]]
+            )
+            for q in queries
+        ]
+        index = index_class(constant_column_table, size_threshold=32)
+        assert_correct(index, constant_column_table, full_queries)
+
+    def test_skewed_data(self, index_class):
+        table = skewed_table(2_000, 3, seed=9)
+        queries = make_queries(table, 12, width_fraction=0.2, seed=10)
+        assert_correct(index_class(table, size_threshold=64), table, queries)
+
+
+class TestBuildBehaviour:
+    def test_builds_on_first_query(self, index_class, small_table, small_queries):
+        index = index_class(small_table, size_threshold=64)
+        assert not index.converged
+        assert index.tree is None
+        first = index.query(small_queries[0])
+        assert index.converged
+        assert first.stats.phase_seconds["initialization"] > 0.0
+        assert first.stats.nodes_created > 0
+
+    def test_no_further_building(self, index_class, small_table, small_queries):
+        index = index_class(small_table, size_threshold=64)
+        index.query(small_queries[0])
+        nodes = index.node_count
+        for query in small_queries[1:]:
+            stats = index.query(query).stats
+            assert stats.nodes_created == 0
+            assert stats.copied == 0
+        assert index.node_count == nodes
+
+    def test_first_query_dominates(self, index_class, small_table, small_queries):
+        index = index_class(small_table, size_threshold=64)
+        first = index.query(small_queries[0]).stats.work
+        later = index.query(small_queries[1]).stats.work
+        assert first > 10 * later
+
+    def test_leaves_below_threshold(self, index_class, small_table, small_queries):
+        index = index_class(small_table, size_threshold=128)
+        index.query(small_queries[0])
+        assert index.tree.max_leaf_size() <= 128
+
+    def test_tree_validates(self, index_class, small_table, small_queries):
+        index = index_class(small_table, size_threshold=128)
+        index.query(small_queries[0])
+        index.tree.validate(index.index_table.columns)
+
+    def test_threshold_validated(self, index_class, small_table):
+        with pytest.raises(InvalidParameterError):
+            index_class(small_table, size_threshold=0)
+
+
+class TestPivotStrategies:
+    def test_median_build_costs_more_time_than_mean(self):
+        # "finding the median of a piece is more costly than finding the
+        # average" — compare wall-clock of the eager builds (min of three
+        # runs each, to shrug off scheduler noise).
+        table = make_uniform_table(30_000, 4, seed=3)
+        queries = make_queries(table, 1, seed=4)
+        avg_first = min(
+            AverageKDTree(table, 512).query(queries[0]).stats.seconds
+            for _ in range(3)
+        )
+        med_first = min(
+            MedianKDTree(table, 512).query(queries[0]).stats.seconds
+            for _ in range(3)
+        )
+        assert med_first > avg_first
+
+    def test_median_is_balanced_on_skew(self):
+        table = skewed_table(8_000, 2, seed=12)
+        queries = make_queries(table, 1, seed=13)
+        avg = AverageKDTree(table, 128)
+        med = MedianKDTree(table, 128)
+        avg.query(queries[0])
+        med.query(queries[0])
+        # Median pivots guarantee balance; mean pivots degrade on skew.
+        assert med.tree.height() <= avg.tree.height()
+
+    def test_same_answers_regardless_of_pivot(self, small_table, small_queries):
+        avg = AverageKDTree(small_table, 64)
+        med = MedianKDTree(small_table, 64)
+        for query in small_queries:
+            got_avg = np.sort(avg.query(query).row_ids)
+            got_med = np.sort(med.query(query).row_ids)
+            assert np.array_equal(got_avg, got_med)

@@ -1,0 +1,56 @@
+"""FullScan baseline: correctness and cost profile."""
+
+import numpy as np
+import pytest
+
+from repro import FullScan, InvalidQueryError, RangeQuery
+from tests.conftest import assert_correct, make_queries, make_uniform_table
+
+
+class TestFullScan:
+    def test_correct_on_uniform(self, small_table, small_queries):
+        assert_correct(FullScan(small_table), small_table, small_queries)
+
+    def test_correct_on_duplicates(self, duplicate_table):
+        queries = make_queries(duplicate_table, 15, width_fraction=0.3, seed=2)
+        assert_correct(FullScan(duplicate_table), duplicate_table, queries)
+
+    def test_always_converged(self, small_table):
+        assert FullScan(small_table).converged
+
+    def test_no_nodes(self, small_table, small_queries):
+        index = FullScan(small_table)
+        index.query(small_queries[0])
+        assert index.node_count == 0
+
+    def test_cost_stays_flat(self, small_table, small_queries):
+        index = FullScan(small_table)
+        works = [index.query(q).stats.work for q in small_queries]
+        # Scans never get faster or slower: first-column cost identical.
+        assert max(works) <= 2 * min(works)
+
+    def test_no_indexing_work(self, small_table, small_queries):
+        index = FullScan(small_table)
+        for query in small_queries:
+            stats = index.query(query).stats
+            assert stats.copied == 0
+            assert stats.swapped == 0
+            assert stats.nodes_created == 0
+
+    def test_result_metadata(self, small_table, small_queries):
+        result = FullScan(small_table).query(small_queries[0])
+        assert result.count == result.stats.result_count
+        assert result.checksum() == int(result.row_ids.sum())
+
+    def test_dimension_mismatch_rejected(self, small_table):
+        with pytest.raises(InvalidQueryError):
+            FullScan(small_table).query(RangeQuery([0.0], [1.0]))
+
+    def test_empty_query_returns_nothing(self, small_table):
+        query = RangeQuery([5.0, 5.0, 5.0], [5.0, 5.0, 5.0])
+        assert FullScan(small_table).query(query).count == 0
+
+    def test_whole_domain_query_returns_everything(self):
+        table = make_uniform_table(500, 2, seed=1)
+        query = RangeQuery([-np.inf, -np.inf], [np.inf, np.inf])
+        assert FullScan(table).query(query).count == 500

@@ -1,0 +1,211 @@
+"""Greedy Progressive KD-Tree: constant gross cost, reactive top-up, tau."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    GreedyProgressiveKDTree,
+    InvalidParameterError,
+    MachineProfile,
+    ProgressiveKDTree,
+)
+from tests.conftest import assert_correct, make_queries, make_uniform_table
+
+
+def model_for(table):
+    return CostModel(
+        MachineProfile.deterministic(), table.n_rows, table.n_columns
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("delta", [0.1, 0.3, 1.0])
+    def test_correct_at_every_stage(self, small_table, small_queries, delta):
+        index = GreedyProgressiveKDTree(
+            small_table, delta=delta, size_threshold=64
+        )
+        assert_correct(index, small_table, small_queries)
+
+    def test_correct_on_duplicates(self, duplicate_table):
+        queries = make_queries(duplicate_table, 25, width_fraction=0.3, seed=3)
+        index = GreedyProgressiveKDTree(
+            duplicate_table, delta=0.2, size_threshold=32
+        )
+        assert_correct(index, duplicate_table, queries)
+
+    def test_correct_with_tau_and_query_limit(self):
+        table = make_uniform_table(5_000, 2, seed=1)
+        model = model_for(table)
+        index = GreedyProgressiveKDTree(
+            table,
+            delta=0.2,
+            size_threshold=64,
+            tau=model.full_scan_seconds() / 3,
+            query_limit=5,
+            cost_model=model,
+        )
+        assert_correct(index, table, make_queries(table, 15, seed=2))
+
+
+class TestGreedyInvariant:
+    def test_gross_model_cost_constant_until_convergence(self, small_table):
+        """The core GPKD property: every query's gross model-domain cost
+        stays at t_total (within the reactive slack) until convergence."""
+        model = model_for(small_table)
+        index = GreedyProgressiveKDTree(
+            small_table, delta=0.2, size_threshold=64, cost_model=model
+        )
+        queries = make_queries(small_table, 60, seed=4)
+        gross = []
+        for query in queries:
+            stats = index.query(query).stats
+            if index.converged:
+                break
+            gross.append(model.seconds_of(stats))
+        assert len(gross) >= 3
+        target = gross[0]
+        for cost in gross:
+            assert cost == pytest.approx(target, rel=0.25)
+
+    def test_lower_variance_than_plain_progressive(self, small_table):
+        model = model_for(small_table)
+        queries = make_queries(small_table, 80, seed=5)
+
+        def work_variance(index):
+            series = []
+            for query in queries:
+                stats = index.query(query).stats
+                if index.converged:
+                    break  # the converging query is partial by definition
+                series.append(model.seconds_of(stats))
+            return float(np.var(series))
+
+        greedy_var = work_variance(
+            GreedyProgressiveKDTree(
+                small_table, delta=0.2, size_threshold=64, cost_model=model
+            )
+        )
+        plain_var = work_variance(
+            ProgressiveKDTree(
+                small_table, delta=0.2, size_threshold=64, cost_model=model
+            )
+        )
+        assert greedy_var < plain_var
+
+    def test_converges_at_least_as_fast_as_plain(self, small_table):
+        model = model_for(small_table)
+        queries = make_queries(small_table, 200, seed=6)
+
+        def queries_to_converge(index):
+            for position, query in enumerate(queries):
+                index.query(query)
+                if index.converged:
+                    return position
+            return len(queries)
+
+        greedy = queries_to_converge(
+            GreedyProgressiveKDTree(
+                small_table, delta=0.2, size_threshold=64, cost_model=model
+            )
+        )
+        plain = queries_to_converge(
+            ProgressiveKDTree(
+                small_table, delta=0.2, size_threshold=64, cost_model=model
+            )
+        )
+        assert greedy <= plain
+
+    def test_reactive_phase_tops_up_cheap_queries(self, small_table):
+        # A tiny query leaves headroom; the reactive phase must spend it,
+        # so indexing work exceeds the base delta budget.
+        model = model_for(small_table)
+        index = GreedyProgressiveKDTree(
+            small_table, delta=0.05, size_threshold=64, cost_model=model
+        )
+        queries = make_queries(small_table, 3, width_fraction=0.02, seed=7)
+        index.query(queries[0])  # establishes t_total
+        stats = index.query(queries[1]).stats
+        base_budget_rows = 0.05 * small_table.n_rows
+        d = small_table.n_columns
+        assert stats.indexing_work > base_budget_rows * (d + 1)
+
+    def test_first_query_uses_user_delta(self, small_table):
+        model = model_for(small_table)
+        index = GreedyProgressiveKDTree(
+            small_table, delta=0.3, size_threshold=64, cost_model=model
+        )
+        query = make_queries(small_table, 1, seed=8)[0]
+        stats = index.query(query).stats
+        copied_rows = stats.copied / (small_table.n_columns + 1)
+        assert copied_rows >= 0.3 * small_table.n_rows * 0.99
+
+
+class TestInteractivityModes:
+    def test_tau_mode_caps_every_query(self):
+        # Situation (1): scan fits under tau -> t_total = tau.
+        table = make_uniform_table(4_000, 2, seed=9)
+        model = model_for(table)
+        tau = model.full_scan_seconds() * 3
+        index = GreedyProgressiveKDTree(
+            table, delta=0.9, size_threshold=64, tau=tau, cost_model=model
+        )
+        for query in make_queries(table, 150, seed=10):
+            stats = index.query(query).stats
+            assert model.seconds_of(stats) <= tau * 1.1
+            if index.converged:
+                break
+        assert index.converged
+
+    def test_query_limit_spreads_work(self):
+        # Situation (2b): scan above tau, spread over x queries, then the
+        # per-query cost drops below tau.
+        table = make_uniform_table(6_000, 2, seed=11)
+        model = model_for(table)
+        tau = model.full_scan_seconds() / 2
+        limit = 6
+        index = GreedyProgressiveKDTree(
+            table,
+            delta=0.2,
+            size_threshold=64,
+            tau=tau,
+            query_limit=limit,
+            cost_model=model,
+        )
+        queries = make_queries(table, 30, seed=12)
+        costs = [model.seconds_of(index.query(q).stats) for q in queries]
+        # Above tau during the spread, then a drop to (about) tau: after
+        # the spread the greedy target becomes tau itself.
+        assert all(cost > 2 * tau for cost in costs[: limit - 1])
+        assert costs[limit] <= tau * 1.05
+        assert np.median(costs[limit:]) <= tau * 1.1
+
+    def test_fixed_penalty_mode_drops_below_tau_eventually(self):
+        table = make_uniform_table(6_000, 2, seed=13)
+        model = model_for(table)
+        tau = model.full_scan_seconds() / 2
+        index = GreedyProgressiveKDTree(
+            table, delta=0.3, size_threshold=64, tau=tau, cost_model=model
+        )
+        queries = make_queries(table, 40, seed=14)
+        costs = [model.seconds_of(index.query(q).stats) for q in queries]
+        assert costs[0] > tau * 1.2  # scan alone already exceeds tau
+        # Fig. 7's first drop: the per-query cost falls to the threshold
+        # cost once enough of the index is built.
+        assert min(costs) <= tau * 1.05
+        assert costs[-1] < costs[0] / 2
+
+
+class TestValidation:
+    def test_invalid_query_limit(self, small_table):
+        with pytest.raises(InvalidParameterError):
+            GreedyProgressiveKDTree(small_table, query_limit=0)
+
+    def test_inherits_progressive_validation(self, small_table):
+        with pytest.raises(InvalidParameterError):
+            GreedyProgressiveKDTree(small_table, delta=0.0)
+
+    def test_delta_used_reported(self, small_table, small_queries):
+        index = GreedyProgressiveKDTree(small_table, delta=0.2, size_threshold=64)
+        stats = index.query(small_queries[0]).stats
+        assert stats.delta_used is not None and stats.delta_used > 0

@@ -1,0 +1,121 @@
+"""Benchmark harness: run execution, grouped indexes, run accessors."""
+
+import numpy as np
+import pytest
+
+from repro import InvalidParameterError
+from repro.bench import INDEX_FACTORIES, make_index, run_workload
+from repro.workloads import make_synthetic_workload, shifting_workload
+from tests.conftest import make_uniform_table
+
+
+@pytest.fixture
+def tiny_workload():
+    return make_synthetic_workload("uniform", 1_500, 2, 15, 0.01, seed=3)
+
+
+class TestMakeIndex:
+    @pytest.mark.parametrize("name", sorted(INDEX_FACTORIES))
+    def test_every_factory_constructs(self, name):
+        table = make_uniform_table(200, 2, seed=1)
+        index = make_index(name, table, size_threshold=32)
+        assert index.n_rows == 200
+
+    def test_unknown_name_rejected(self):
+        table = make_uniform_table(10, 1)
+        with pytest.raises(InvalidParameterError):
+            make_index("nope", table)
+
+    def test_progressive_params_forwarded(self):
+        table = make_uniform_table(100, 2)
+        index = make_index("PKD", table, size_threshold=32, delta=0.4)
+        assert index.delta == 0.4
+
+
+class TestRunWorkload:
+    @pytest.mark.parametrize("name", ["FS", "AvgKD", "AKD", "PKD", "GPKD", "Q"])
+    def test_validated_run(self, name, tiny_workload):
+        run = run_workload(
+            name, tiny_workload, size_threshold=64, validate=True, delta=0.3
+        )
+        assert run.n_queries == 15
+        assert run.index_name == name
+
+    def test_max_queries_truncates(self, tiny_workload):
+        run = run_workload("FS", tiny_workload, max_queries=5)
+        assert run.n_queries == 5
+
+    def test_node_counts_monotone(self, tiny_workload):
+        run = run_workload("AKD", tiny_workload, size_threshold=32)
+        counts = run.node_counts
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    def test_stats_per_query(self, tiny_workload):
+        run = run_workload("PKD", tiny_workload, size_threshold=64, delta=0.25)
+        assert len(run.stats) == 15
+        assert run.seconds().shape == (15,)
+        assert (run.work() > 0).all()
+
+    def test_cumulative_series(self, tiny_workload):
+        run = run_workload("FS", tiny_workload)
+        cumulative = run.cumulative_seconds()
+        assert (np.diff(cumulative) >= 0).all()
+        assert cumulative[-1] == pytest.approx(run.seconds().sum())
+
+    def test_converged_at(self, tiny_workload):
+        run = run_workload("AvgKD", tiny_workload, size_threshold=64)
+        assert run.converged_at() == 0  # full index converges on query one
+        run_pkd = run_workload("PKD", tiny_workload, size_threshold=64, delta=1.0)
+        at = run_pkd.converged_at()
+        # delta=1 finishes creation on query one; refinement then takes a
+        # handful more queries (the same time budget buys fewer swaps).
+        assert at is not None and at <= 14
+
+    def test_phase_totals_cover_phases(self, tiny_workload):
+        run = run_workload("AKD", tiny_workload, size_threshold=64)
+        totals = run.phase_totals()
+        assert set(totals) == {
+            "initialization",
+            "adaptation",
+            "index_search",
+            "scan",
+        }
+        assert totals["scan"] > 0
+
+
+class TestShiftingRuns:
+    def test_one_index_per_group(self):
+        workload = shifting_workload(800, 2, 30, n_groups=3, queries_per_shift=10)
+        run = run_workload("AKD", workload, size_threshold=32, validate=True)
+        assert run.n_queries == 30
+        # Node counts jump when a fresh group starts getting indexed.
+        assert run.node_counts[-1] > run.node_counts[5]
+
+    def test_shift_correct_for_progressive(self):
+        workload = shifting_workload(600, 2, 20, n_groups=2, queries_per_shift=10)
+        run_workload("PKD", workload, size_threshold=32, delta=0.3, validate=True)
+
+    def test_shift_correct_for_fullscan(self):
+        workload = shifting_workload(600, 2, 20, n_groups=2, queries_per_shift=10)
+        run = run_workload("FS", workload, validate=True)
+        assert run.n_queries == 20
+
+
+class TestValidateMode:
+    def test_validate_raises_on_wrong_index(self, tiny_workload):
+        """The harness's validate mode must actually catch wrong answers."""
+        from repro.bench.harness import INDEX_FACTORIES
+        from repro import WorkloadError
+        from repro.baselines.full_scan import FullScan
+
+        class LyingScan(FullScan):
+            def _execute(self, query, stats):
+                answer = super()._execute(query, stats)
+                return answer[:-1] if answer.size else answer
+
+        INDEX_FACTORIES["_lying"] = lambda table, size_threshold, **kw: LyingScan(table)
+        try:
+            with pytest.raises(WorkloadError):
+                run_workload("_lying", tiny_workload, validate=True)
+        finally:
+            del INDEX_FACTORIES["_lying"]

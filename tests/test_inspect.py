@@ -1,0 +1,115 @@
+"""Tree introspection helpers."""
+
+import numpy as np
+
+from repro import AdaptiveKDTree, AverageKDTree, ProgressiveKDTree
+from repro.core.inspect import export_dot, render_tree, summarize_tree
+from repro.core.kdtree import KDTree
+from tests.conftest import make_queries, make_uniform_table
+
+
+def built_index():
+    table = make_uniform_table(2_000, 2, seed=40)
+    index = AverageKDTree(table, size_threshold=128)
+    index.query(make_queries(table, 1, seed=41)[0])
+    return index
+
+
+class TestSummary:
+    def test_counts_match_tree(self):
+        index = built_index()
+        summary = summarize_tree(index.tree)
+        assert summary.n_internal == index.tree.node_count
+        assert summary.n_leaves == index.tree.leaf_count
+        assert summary.height == index.tree.height()
+        assert summary.n_rows == 2_000
+
+    def test_leaf_sizes_tile_table(self):
+        index = built_index()
+        summary = summarize_tree(index.tree)
+        assert summary.min_leaf >= 1
+        assert summary.max_leaf <= 128
+        assert summary.mean_leaf * summary.n_leaves == 2_000
+
+    def test_dims_used_round_robin(self):
+        index = built_index()
+        summary = summarize_tree(index.tree)
+        # Mean-pivot full build alternates dims, so both get splits.
+        assert all(count > 0 for count in summary.dims_used)
+
+    def test_balance_reasonable_for_full_build(self):
+        index = built_index()
+        summary = summarize_tree(index.tree)
+        assert 0.8 <= summary.balance <= 3.0
+
+    def test_adaptive_sequential_is_unbalanced(self):
+        from repro.workloads.patterns import sequential_queries
+
+        table = make_uniform_table(3_000, 2, seed=42)
+        index = AdaptiveKDTree(table, size_threshold=16)
+        for query in sequential_queries(table, 40, 0.0005, seed=43):
+            index.query(query)
+        summary = summarize_tree(index.tree)
+        assert summary.balance > 3.0  # the linked-list degeneration
+
+    def test_converged_leaves_counted(self):
+        table = make_uniform_table(1_000, 2, seed=44)
+        index = ProgressiveKDTree(table, delta=1.0, size_threshold=64)
+        queries = make_queries(table, 30, seed=45)
+        for query in queries:
+            index.query(query)
+            if index.converged:
+                break
+        summary = summarize_tree(index.tree)
+        assert summary.converged_leaves == summary.n_leaves
+
+    def test_str_is_readable(self):
+        summary = summarize_tree(built_index().tree)
+        text = str(summary)
+        assert "pieces" in text and "height" in text
+
+    def test_single_piece_tree(self):
+        tree = KDTree(100, 2)
+        summary = summarize_tree(tree)
+        assert summary.n_internal == 0
+        assert summary.n_leaves == 1
+        assert summary.height == 0
+
+
+class TestRenderTree:
+    def test_contains_split_keys(self):
+        index = built_index()
+        text = render_tree(index.tree, max_depth=3)
+        assert "dim0 <=" in text
+        assert "[0," in text
+
+    def test_depth_limit(self):
+        index = built_index()
+        text = render_tree(index.tree, max_depth=1)
+        assert "elided" in text
+
+    def test_node_limit(self):
+        index = built_index()
+        text = render_tree(index.tree, max_depth=50, max_nodes=5)
+        assert "limit reached" in text
+
+    def test_single_piece(self):
+        tree = KDTree(10, 1)
+        assert render_tree(tree) == "[0,10)"
+
+
+class TestExportDot:
+    def test_valid_dot_structure(self):
+        index = built_index()
+        dot = export_dot(index.tree)
+        assert dot.startswith("digraph kdtree {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == 2 * index.tree.node_count
+
+    def test_leaves_marked(self):
+        index = built_index()
+        assert "style=filled" in export_dot(index.tree)
+
+    def test_custom_name(self):
+        tree = KDTree(10, 1)
+        assert "digraph mytree {" in export_dot(tree, name="mytree")

@@ -1,0 +1,159 @@
+"""End-to-end integration: every technique against every workload pattern,
+plus cross-technique behavioural comparisons from the paper's narrative."""
+
+import numpy as np
+import pytest
+
+from repro import AverageKDTree, ProgressiveKDTree
+from repro.bench import run_workload
+from repro.bench.measures import total_seconds, total_work, variance
+from repro.workloads import (
+    SYNTHETIC_PATTERNS,
+    genomics_workload,
+    make_synthetic_workload,
+    power_workload,
+    skyserver_workload,
+)
+
+ALGORITHMS = ["FS", "AvgKD", "MedKD", "Q", "AKD", "PKD", "GPKD", "SFC"]
+PATTERNS = sorted(SYNTHETIC_PATTERNS) + ["shift"]
+
+
+class TestEveryAlgorithmOnEveryPattern:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_correct_answers(self, pattern, algorithm):
+        if pattern == "shift" and algorithm == "SFC":
+            pytest.skip("SFC over rotating column groups is out of scope")
+        workload = make_synthetic_workload(
+            pattern, 1_200, 2, 12, 0.01, seed=17
+        )
+        run_workload(
+            algorithm,
+            workload,
+            size_threshold=64,
+            validate=True,
+            delta=0.3,
+        )
+
+
+class TestRealWorkloads:
+    @pytest.mark.parametrize("algorithm", ["FS", "AKD", "PKD", "GPKD", "Q"])
+    def test_power(self, algorithm):
+        workload = power_workload(n_rows=2_000, n_queries=10)
+        run_workload(algorithm, workload, size_threshold=64, validate=True)
+
+    @pytest.mark.parametrize("algorithm", ["FS", "AKD", "PKD", "Q"])
+    def test_skyserver(self, algorithm):
+        workload = skyserver_workload(n_rows=2_000, n_queries=10)
+        run_workload(algorithm, workload, size_threshold=64, validate=True)
+
+    @pytest.mark.parametrize("algorithm", ["FS", "AKD", "PKD"])
+    def test_genomics(self, algorithm):
+        workload = genomics_workload(n_rows=1_500, n_queries=8)
+        run_workload(algorithm, workload, size_threshold=64, validate=True)
+
+
+class TestPaperNarrative:
+    """Behavioural claims from Section IV, checked in work units."""
+
+    @pytest.fixture(scope="class")
+    def uniform_runs(self):
+        workload = make_synthetic_workload("uniform", 6_000, 3, 60, 0.01, seed=23)
+        return {
+            name: run_workload(name, workload, size_threshold=128, delta=0.2)
+            for name in ("FS", "AvgKD", "MedKD", "Q", "AKD", "PKD", "GPKD")
+        }
+
+    def test_first_query_ordering(self, uniform_runs):
+        # Full indexes > adaptive > progressive > scan (Table II shape).
+        first = {name: run.work()[0] for name, run in uniform_runs.items()}
+        assert first["MedKD"] >= first["AvgKD"] > first["AKD"]
+        assert first["Q"] > first["AKD"]
+        assert first["AKD"] > first["PKD"]
+        assert first["PKD"] < first["FS"] * 3
+        assert first["FS"] < first["PKD"]
+
+    def test_robustness_ordering(self, uniform_runs):
+        # GPKD most robust; progressive beats adaptive (Table IV shape).
+        spread = {
+            name: variance(run, use_work=True) for name, run in uniform_runs.items()
+        }
+        assert spread["GPKD"] < spread["PKD"]
+        assert spread["GPKD"] < spread["AKD"]
+        assert spread["GPKD"] < spread["Q"]
+
+    def test_adaptive_wins_total_time(self, uniform_runs):
+        # AKD has the lowest total among incremental indexes on uniform.
+        totals = {name: total_work(run) for name, run in uniform_runs.items()}
+        assert totals["AKD"] < totals["PKD"]
+        assert totals["AKD"] < totals["FS"]
+
+    def test_everything_beats_fullscan_eventually(self, uniform_runs):
+        totals = {name: total_work(run) for name, run in uniform_runs.items()}
+        for name in ("AvgKD", "AKD", "Q"):
+            assert totals[name] < totals["FS"]
+
+    def test_converged_progressive_tracks_full_index(self):
+        # After convergence, PKD per-query work matches AvgKD's.
+        workload = make_synthetic_workload("uniform", 4_000, 2, 80, 0.01, seed=29)
+        pkd = run_workload("PKD", workload, size_threshold=128, delta=0.5)
+        avg = run_workload("AvgKD", workload, size_threshold=128)
+        at = pkd.converged_at()
+        assert at is not None
+        pkd_tail = pkd.work()[at + 1 :]
+        avg_tail = avg.work()[at + 1 :]
+        assert pkd_tail.size > 10
+        assert pkd_tail.mean() < avg_tail.mean() * 1.5
+
+    def test_shift_resists_indexing(self):
+        # Paper: on Shift no algorithm except AKD pays off, because every
+        # ten queries the investment is thrown away.  At our scale the
+        # robust signals are: nothing converges, the aggressive refiner
+        # (QUASII) pays the most, and the scan stays competitive (at the
+        # paper's 50M rows AKD additionally undercuts FS — a pure scale
+        # effect the work counters make explicit).
+        workload = make_synthetic_workload(
+            "shift", 4_000, 3, 40, 0.01, seed=31,
+            n_groups=4, queries_per_shift=10,
+        )
+        runs = {
+            name: run_workload(name, workload, size_threshold=128, delta=0.2)
+            for name in ("FS", "AKD", "MedKD", "PKD", "Q")
+        }
+        totals = {name: total_work(run) for name, run in runs.items()}
+        assert totals["FS"] <= min(totals.values())
+        assert totals["Q"] > totals["AKD"] > totals["PKD"]
+        for name in ("AKD", "PKD", "Q"):
+            assert runs[name].converged_at() is None
+
+    def test_sequential_is_adaptive_worst_case(self):
+        workload = make_synthetic_workload(
+            "sequential", 4_000, 2, 60, 1e-4, seed=37
+        )
+        akd = total_work(run_workload("AKD", workload, size_threshold=64))
+        pkd = total_work(
+            run_workload("PKD", workload, size_threshold=64, delta=0.2)
+        )
+        # Progressive indexing shrugs off the sweep; AKD degenerates.
+        assert pkd < akd
+
+
+class TestRepeatability:
+    def test_runs_are_deterministic_in_work_units(self):
+        workload = make_synthetic_workload("uniform", 2_000, 2, 15, 0.01, seed=41)
+        first = run_workload("AKD", workload, size_threshold=64).work()
+        second = run_workload("AKD", workload, size_threshold=64).work()
+        assert np.array_equal(first, second)
+
+    def test_progressive_structure_identical_across_runs(self):
+        workload = make_synthetic_workload("uniform", 2_000, 2, 30, 0.01, seed=43)
+        trees = []
+        for _ in range(2):
+            index = ProgressiveKDTree(workload.table, delta=0.3, size_threshold=64)
+            for query in workload.queries:
+                index.query(query)
+            trees.append(
+                sorted((leaf.start, leaf.end) for leaf in index.tree.iter_leaves())
+            )
+        assert trees[0] == trees[1]

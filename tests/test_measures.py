@@ -1,0 +1,113 @@
+"""Paper measures computed over crafted runs."""
+
+import pytest
+
+from repro.bench.harness import WorkloadRun
+from repro.bench.measures import (
+    convergence_query,
+    convergence_seconds,
+    first_query_seconds,
+    first_query_work,
+    payoff_query,
+    payoff_seconds,
+    total_seconds,
+    total_work,
+    variance,
+)
+from repro.core.metrics import QueryStats
+
+
+def run_from(seconds, converged_at=None, work=None):
+    run = WorkloadRun("w", "ix")
+    for position, value in enumerate(seconds):
+        stats = QueryStats()
+        stats.seconds = value
+        stats.scanned = work[position] if work else int(value * 1000)
+        stats.converged = converged_at is not None and position >= converged_at
+        run.stats.append(stats)
+    return run
+
+
+class TestFirstQuery:
+    def test_seconds(self):
+        assert first_query_seconds(run_from([2.0, 1.0])) == 2.0
+
+    def test_work(self):
+        assert first_query_work(run_from([1.0], work=[77])) == 77
+
+
+class TestPayoff:
+    def test_pays_off_when_cumulative_crosses(self):
+        index_run = run_from([5.0, 1.0, 1.0, 1.0])
+        baseline = run_from([2.0, 2.0, 2.0, 2.0])
+        assert payoff_query(index_run, baseline) == 3
+
+    def test_immediate_payoff(self):
+        index_run = run_from([1.0, 1.0])
+        baseline = run_from([2.0, 2.0])
+        assert payoff_query(index_run, baseline) == 0
+
+    def test_never_pays_off(self):
+        index_run = run_from([5.0, 5.0])
+        baseline = run_from([1.0, 1.0])
+        assert payoff_query(index_run, baseline) is None
+
+    def test_payoff_seconds_at_crossing(self):
+        index_run = run_from([5.0, 1.0, 1.0, 1.0])
+        baseline = run_from([2.0, 2.0, 2.0, 2.0])
+        assert payoff_seconds(index_run, baseline) == pytest.approx(8.0)
+
+    def test_payoff_seconds_total_when_never(self):
+        # Paper convention (Shift workload): report the total time.
+        index_run = run_from([5.0, 5.0])
+        baseline = run_from([1.0, 1.0])
+        assert payoff_seconds(index_run, baseline) == pytest.approx(10.0)
+
+    def test_work_domain(self):
+        index_run = run_from([0, 0], work=[10, 0])
+        baseline = run_from([0, 0], work=[5, 5])
+        assert payoff_query(index_run, baseline, use_work=True) == 1
+
+
+class TestConvergence:
+    def test_query_and_seconds(self):
+        run = run_from([2.0, 2.0, 1.0, 1.0], converged_at=2)
+        assert convergence_query(run) == 2
+        assert convergence_seconds(run) == pytest.approx(5.0)
+
+    def test_never_converges(self):
+        run = run_from([1.0, 1.0])
+        assert convergence_query(run) is None
+        assert convergence_seconds(run) is None
+
+
+class TestVariance:
+    def test_constant_series_zero(self):
+        assert variance(run_from([1.0] * 10)) == 0.0
+
+    def test_window_limited(self):
+        quiet_then_spiky = [1.0] * 50 + [100.0] * 10
+        assert variance(run_from(quiet_then_spiky), limit=50) == 0.0
+
+    def test_window_stops_at_convergence(self):
+        spiky_after_convergence = run_from(
+            [1.0, 1.0, 1.0, 50.0, 50.0], converged_at=2
+        )
+        assert variance(spiky_after_convergence) == 0.0
+
+    def test_variance_ordering(self):
+        jittery = run_from([1.0, 5.0, 1.0, 5.0])
+        smooth = run_from([3.0, 3.1, 2.9, 3.0])
+        assert variance(jittery) > variance(smooth)
+
+    def test_work_domain(self):
+        run = run_from([0, 0, 0], work=[10, 10, 10])
+        assert variance(run, use_work=True) == 0.0
+
+
+class TestTotals:
+    def test_total_seconds(self):
+        assert total_seconds(run_from([1.0, 2.0, 3.0])) == pytest.approx(6.0)
+
+    def test_total_work(self):
+        assert total_work(run_from([0, 0], work=[3, 4])) == 7

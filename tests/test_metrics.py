@@ -1,0 +1,67 @@
+"""QueryStats and the phase timers."""
+
+import time
+
+import pytest
+
+from repro.core.metrics import PHASES, PhaseTimer, QueryStats
+
+
+class TestQueryStats:
+    def test_defaults(self):
+        stats = QueryStats()
+        assert stats.seconds == 0.0
+        assert stats.work == 0
+        assert set(stats.phase_seconds) == set(PHASES)
+
+    def test_work_is_sum_of_counters(self):
+        stats = QueryStats(scanned=10, copied=5, swapped=3, lookup_nodes=2)
+        assert stats.work == 20
+
+    def test_indexing_work(self):
+        stats = QueryStats(scanned=10, copied=5, swapped=3)
+        assert stats.indexing_work == 8
+
+    def test_merge_accumulates(self):
+        first = QueryStats(scanned=1, copied=2, swapped=3, lookup_nodes=4)
+        first.seconds = 1.0
+        first.phase_seconds["scan"] = 0.5
+        second = QueryStats(scanned=10, nodes_created=7)
+        second.seconds = 2.0
+        second.phase_seconds["scan"] = 0.25
+        first.merge(second)
+        assert first.seconds == 3.0
+        assert first.scanned == 11
+        assert first.nodes_created == 7
+        assert first.phase_seconds["scan"] == 0.75
+
+    def test_repr_contains_counts(self):
+        stats = QueryStats(scanned=42)
+        assert "scanned=42" in repr(stats)
+
+
+class TestPhaseTimer:
+    def test_accumulates_into_phase(self):
+        stats = QueryStats()
+        with PhaseTimer(stats, "scan"):
+            time.sleep(0.002)
+        assert stats.phase_seconds["scan"] > 0.0
+        assert stats.phase_seconds["adaptation"] == 0.0
+
+    def test_multiple_entries_accumulate(self):
+        stats = QueryStats()
+        for _ in range(3):
+            with PhaseTimer(stats, "adaptation"):
+                time.sleep(0.001)
+        assert stats.phase_seconds["adaptation"] >= 0.003
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(KeyError):
+            PhaseTimer(QueryStats(), "nonsense")
+
+    def test_timer_survives_exceptions(self):
+        stats = QueryStats()
+        with pytest.raises(RuntimeError):
+            with PhaseTimer(stats, "scan"):
+                raise RuntimeError("boom")
+        assert stats.phase_seconds["scan"] >= 0.0

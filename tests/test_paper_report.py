@@ -1,0 +1,42 @@
+"""The all-in-one report generator (library-level, not via the CLI)."""
+
+import pytest
+
+from repro.bench.experiments import Scale
+from repro.bench.paper_report import generate_report
+
+TINY = Scale(
+    n_small=2_000,
+    n_large=3_000,
+    n_queries=12,
+    real_rows=2_000,
+    real_queries=12,
+    size_threshold=256,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(TINY)
+
+
+class TestGenerateReport:
+    def test_contains_every_section(self, report):
+        for marker in (
+            "Table II", "Table III", "Table IV", "Table V", "Table VI",
+            "Fig 5", "Fig 6a", "Fig 6b", "Fig 6c", "Fig 6d", "Fig 7",
+        ):
+            assert marker in report
+
+    def test_mentions_scale(self, report):
+        assert "N=2000/3000" in report
+
+    def test_all_workloads_in_tables(self, report):
+        for name in ("Unif(8)", "Seq(2)", "Shift(8)", "Genomics"):
+            assert name in report
+
+    def test_charts_rendered(self, report):
+        assert report.count("|") > 50  # chart rows
+
+    def test_tau_reference_line(self, report):
+        assert "-=tau" in report

@@ -1,0 +1,170 @@
+"""Partitioning kernels: stability, in-place invariants, pausability."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import IncrementalPartition, stable_partition
+from repro.errors import InvalidParameterError
+
+
+def make_rows(n, seed=0, low=0, high=100):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(low, high, n).astype(np.float64)
+    payload = rng.random(n)
+    rowids = np.arange(n, dtype=np.int64)
+    return keys, payload, rowids
+
+
+def check_partitioned(keys, start, split, end, pivot):
+    assert (keys[start:split] <= pivot).all()
+    assert (keys[split:end] > pivot).all()
+
+
+class TestStablePartition:
+    def test_basic(self):
+        keys, payload, rowids = make_rows(200, seed=1)
+        snapshot = keys.copy()
+        split = stable_partition([keys, payload, rowids], 0, 200, 0, 50.0)
+        check_partitioned(keys, 0, split, 200, 50.0)
+        assert split == int((snapshot <= 50.0).sum())
+
+    def test_rows_stay_aligned(self):
+        keys, payload, rowids = make_rows(300, seed=2)
+        pairs_before = {int(r): (k, p) for k, p, r in zip(keys, payload, rowids)}
+        stable_partition([keys, payload, rowids], 0, 300, 0, 42.0)
+        for k, p, r in zip(keys, payload, rowids):
+            assert pairs_before[int(r)] == (k, p)
+
+    def test_stability(self):
+        # Equal-key rows keep their relative order on each side.
+        keys = np.array([5.0, 1.0, 5.0, 1.0, 5.0, 9.0])
+        rowids = np.arange(6, dtype=np.int64)
+        stable_partition([keys, rowids], 0, 6, 0, 4.0)
+        left_ids = rowids[:2]
+        right_ids = rowids[2:]
+        assert list(left_ids) == [1, 3]
+        assert list(right_ids) == [0, 2, 4, 5]
+
+    def test_subrange_untouched_outside(self):
+        keys, payload, rowids = make_rows(100, seed=3)
+        before_head = keys[:10].copy()
+        before_tail = keys[90:].copy()
+        stable_partition([keys, payload, rowids], 10, 90, 0, 50.0)
+        assert np.array_equal(keys[:10], before_head)
+        assert np.array_equal(keys[90:], before_tail)
+
+    def test_all_left(self):
+        keys = np.array([1.0, 2.0, 3.0])
+        split = stable_partition([keys], 0, 3, 0, 10.0)
+        assert split == 3
+
+    def test_all_right(self):
+        keys = np.array([5.0, 6.0, 7.0])
+        split = stable_partition([keys], 0, 3, 0, 1.0)
+        assert split == 0
+
+    def test_empty_range(self):
+        keys = np.array([1.0])
+        assert stable_partition([keys], 1, 1, 0, 0.5) == 1
+
+    def test_pivot_column_selectable(self):
+        keys0 = np.array([1.0, 9.0, 1.0, 9.0])
+        keys1 = np.array([9.0, 1.0, 9.0, 1.0])
+        split = stable_partition([keys0, keys1], 0, 4, 1, 5.0)
+        assert split == 2
+        check_partitioned(keys1, 0, split, 4, 5.0)
+
+
+class TestIncrementalPartition:
+    def test_run_to_completion(self):
+        keys, payload, rowids = make_rows(500, seed=4)
+        job = IncrementalPartition([keys, payload, rowids], 0, 500, 0, 50.0)
+        job.run_to_completion()
+        assert job.done
+        check_partitioned(keys, 0, job.split, 500, 50.0)
+
+    @pytest.mark.parametrize("budget", [1, 2, 3, 7, 16, 100, 10_000])
+    def test_any_budget_schedule(self, budget):
+        keys, payload, rowids = make_rows(400, seed=5)
+        job = IncrementalPartition([keys, payload, rowids], 0, 400, 0, 50.0)
+        while not job.done:
+            used = job.advance(budget)
+            assert used > 0  # forward progress guaranteed
+        check_partitioned(keys, 0, job.split, 400, 50.0)
+
+    def test_invariant_holds_mid_flight(self):
+        keys, payload, rowids = make_rows(600, seed=6)
+        job = IncrementalPartition([keys, payload, rowids], 0, 600, 0, 50.0)
+        while not job.done:
+            job.advance(37)
+            assert (keys[: job.lo] <= 50.0).all()
+            assert (keys[job.hi :] > 50.0).all()
+
+    def test_rows_stay_aligned_through_pauses(self):
+        keys, payload, rowids = make_rows(350, seed=7)
+        pairs_before = {int(r): (k, p) for k, p, r in zip(keys, payload, rowids)}
+        job = IncrementalPartition([keys, payload, rowids], 0, 350, 0, 40.0)
+        while not job.done:
+            job.advance(11)
+        for k, p, r in zip(keys, payload, rowids):
+            assert pairs_before[int(r)] == (k, p)
+
+    def test_same_result_as_full_scan_count(self):
+        keys, payload, rowids = make_rows(256, seed=8)
+        expected_left = int((keys <= 30.0).sum())
+        job = IncrementalPartition([keys, payload, rowids], 0, 256, 0, 30.0)
+        while not job.done:
+            job.advance(13)
+        assert job.split == expected_left
+
+    def test_subrange(self):
+        keys, payload, rowids = make_rows(200, seed=9)
+        head = keys[:50].copy()
+        tail = keys[150:].copy()
+        job = IncrementalPartition([keys, payload, rowids], 50, 150, 0, 50.0)
+        job.run_to_completion()
+        check_partitioned(keys, 50, job.split, 150, 50.0)
+        assert np.array_equal(keys[:50], head)
+        assert np.array_equal(keys[150:], tail)
+
+    def test_all_one_side(self):
+        keys = np.full(64, 7.0)
+        job = IncrementalPartition([keys], 0, 64, 0, 10.0)
+        job.run_to_completion()
+        assert job.split == 64
+        job2 = IncrementalPartition([keys], 0, 64, 0, 1.0)
+        job2.run_to_completion()
+        assert job2.split == 0
+
+    def test_single_row(self):
+        keys = np.array([5.0])
+        job = IncrementalPartition([keys], 0, 1, 0, 4.0)
+        job.run_to_completion()
+        assert job.split == 0
+
+    def test_empty_is_immediately_done(self):
+        keys = np.array([])
+        job = IncrementalPartition([keys], 0, 0, 0, 1.0)
+        assert job.done
+        assert job.advance(10) == 0
+
+    def test_zero_budget_no_work(self):
+        keys, payload, rowids = make_rows(64, seed=10)
+        snapshot = keys.copy()
+        job = IncrementalPartition([keys, payload, rowids], 0, 64, 0, 50.0)
+        assert job.advance(0) == 0
+        assert np.array_equal(keys, snapshot)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IncrementalPartition([np.arange(3.0)], 2, 1, 0, 0.0)
+
+    def test_remaining_rows_monotone(self):
+        keys, payload, rowids = make_rows(300, seed=11)
+        job = IncrementalPartition([keys, payload, rowids], 0, 300, 0, 50.0)
+        remaining = job.remaining_rows
+        while not job.done:
+            job.advance(23)
+            assert job.remaining_rows <= remaining
+            remaining = job.remaining_rows
+        assert job.remaining_rows == 0

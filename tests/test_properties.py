@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The master invariant — every index answers every query exactly like a full
+scan, at every point of its incremental construction — is exercised over
+random data distributions, query boxes, deltas, and thresholds.  The
+pausable partition is exercised over arbitrary pause schedules.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AdaptiveKDTree,
+    AverageKDTree,
+    GreedyProgressiveKDTree,
+    MedianKDTree,
+    ProgressiveKDTree,
+    Quasii,
+    RangeQuery,
+    SFCCracking,
+    Table,
+)
+from repro.baselines.cracking1d import CrackerColumn
+from repro.core.partition import IncrementalPartition, stable_partition
+from tests.conftest import reference_answer
+
+INDEX_CLASSES = [
+    AdaptiveKDTree,
+    ProgressiveKDTree,
+    GreedyProgressiveKDTree,
+    AverageKDTree,
+    MedianKDTree,
+    Quasii,
+    SFCCracking,
+]
+
+
+@st.composite
+def table_and_queries(draw):
+    """Random small table (varied distributions) plus random query boxes."""
+    n_rows = draw(st.integers(min_value=5, max_value=400))
+    n_dims = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    kind = draw(st.sampled_from(["uniform", "integer", "skewed", "mixed"]))
+    if kind == "uniform":
+        matrix = rng.random((n_rows, n_dims)) * 100
+    elif kind == "integer":
+        matrix = rng.integers(0, 10, size=(n_rows, n_dims)).astype(float)
+    elif kind == "skewed":
+        matrix = rng.lognormal(0, 2, size=(n_rows, n_dims))
+    else:
+        matrix = rng.random((n_rows, n_dims)) * 100
+        matrix[:, 0] = np.round(matrix[:, 0] / 20)  # heavy duplicates
+    table = Table.from_matrix(matrix)
+    minimums, maximums = table.minimums(), table.maximums()
+    n_queries = draw(st.integers(min_value=1, max_value=8))
+    queries = []
+    for _ in range(n_queries):
+        lows, highs = [], []
+        for dim in range(n_dims):
+            a = rng.uniform(minimums[dim] - 1, maximums[dim] + 1)
+            b = rng.uniform(minimums[dim] - 1, maximums[dim] + 1)
+            lows.append(min(a, b))
+            highs.append(max(a, b))
+        queries.append(RangeQuery(lows, highs))
+    return table, queries
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=table_and_queries(), class_index=st.integers(0, len(INDEX_CLASSES) - 1))
+def test_master_invariant_all_indexes(data, class_index):
+    table, queries = data
+    cls = INDEX_CLASSES[class_index]
+    if cls is ProgressiveKDTree or cls is GreedyProgressiveKDTree:
+        index = cls(table, delta=0.3, size_threshold=8)
+    elif cls is SFCCracking:
+        index = cls(table)
+    else:
+        index = cls(table, size_threshold=8)
+    for query in queries:
+        got = np.sort(index.query(query).row_ids)
+        want = reference_answer(table, query)
+        assert np.array_equal(got, want)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1,
+        max_size=300,
+    ),
+    pivot=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    schedule_seed=st.integers(0, 2**16),
+)
+def test_incremental_partition_any_schedule(keys, pivot, schedule_seed):
+    array = np.array(keys)
+    rowids = np.arange(array.size, dtype=np.int64)
+    original = array.copy()
+    job = IncrementalPartition([array, rowids], 0, array.size, 0, pivot)
+    rng = np.random.default_rng(schedule_seed)
+    while not job.done:
+        assert job.advance(int(rng.integers(1, 20))) > 0
+    assert (array[: job.split] <= pivot).all()
+    assert (array[job.split :] > pivot).all()
+    # Same multiset of rows, rows still aligned with their ids.
+    assert np.array_equal(np.sort(array), np.sort(original))
+    assert np.array_equal(array, original[rowids])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1,
+        max_size=200,
+    ),
+    pivot=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+)
+def test_stable_partition_matches_incremental_split(keys, pivot):
+    first = np.array(keys)
+    second = first.copy()
+    split_stable = stable_partition([first], 0, first.size, 0, pivot)
+    job = IncrementalPartition([second], 0, second.size, 0, pivot)
+    job.run_to_completion()
+    assert split_stable == job.split
+    assert np.array_equal(np.sort(first), np.sort(second))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 100), min_size=1, max_size=300),
+    bounds=st.lists(
+        st.tuples(st.integers(-10, 110), st.integers(-10, 110)),
+        min_size=1,
+        max_size=10,
+    ),
+)
+def test_cracker_column_ranges(keys, bounds):
+    array = np.array(keys, dtype=np.float64)
+    cracker = CrackerColumn(array)
+    for a, b in bounds:
+        low, high = float(min(a, b)), float(max(a, b))
+        got = np.sort(cracker.range_rowids(low, high))
+        want = np.flatnonzero((array > low) & (array <= high))
+        assert np.array_equal(got, want)
+    cracker.validate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=table_and_queries())
+def test_progressive_tree_always_validates(data):
+    table, queries = data
+    index = ProgressiveKDTree(table, delta=0.4, size_threshold=8)
+    for query in queries:
+        index.query(query)
+        if index.tree is not None:
+            index.tree.validate(index.index_table.columns)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=table_and_queries())
+def test_adaptive_tree_always_validates(data):
+    table, queries = data
+    index = AdaptiveKDTree(table, size_threshold=8)
+    for query in queries:
+        index.query(query)
+        index.tree.validate(index.index_table.columns)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=table_and_queries())
+def test_progressive_rowids_stay_a_permutation(data):
+    table, queries = data
+    index = ProgressiveKDTree(table, delta=1.0, size_threshold=8)
+    index.query(queries[0])
+    rowids = np.sort(index.index_table.rowids)
+    assert np.array_equal(rowids, np.arange(table.n_rows))

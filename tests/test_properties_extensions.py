@@ -1,0 +1,139 @@
+"""Property-based tests for the extension modules.
+
+The same master-invariant discipline as ``test_properties.py``, applied to
+updates (appends/deletes), snapshots, dictionary encoding, and table
+partitioning.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AdaptiveKDTree, RangeQuery, Table
+from repro.core.dictionary import DictionaryColumn
+from repro.core.serialize import FrozenKDIndex, snapshot_index
+from repro.core.table_partitioning import AdaptiveTablePartitioner
+from repro.core.updates import AppendableAdaptiveKDTree
+
+
+@st.composite
+def evolving_workload(draw):
+    """A table plus an interleaved script of queries/appends/deletes."""
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    n_rows = draw(st.integers(min_value=20, max_value=200))
+    n_dims = draw(st.integers(min_value=1, max_value=3))
+    matrix = rng.random((n_rows, n_dims)) * 100
+    script = draw(
+        st.lists(
+            st.sampled_from(["query", "append", "delete"]),
+            min_size=3,
+            max_size=12,
+        )
+    )
+    return seed, matrix, script
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=evolving_workload())
+def test_updates_master_invariant(data):
+    seed, matrix, script = data
+    rng = np.random.default_rng(seed + 1)
+    n_dims = matrix.shape[1]
+    table = Table.from_matrix(matrix)
+    index = AppendableAdaptiveKDTree(table, size_threshold=8, merge_fraction=0.2)
+    live = matrix.copy()
+    deleted = set()
+    for action in script:
+        if action == "append":
+            rows = rng.random((int(rng.integers(1, 20)), n_dims)) * 100
+            index.append(rows)
+            live = np.vstack([live, rows])
+        elif action == "delete" and live.shape[0] > len(deleted):
+            victim = int(rng.integers(0, live.shape[0]))
+            index.delete([victim])
+            deleted.add(victim)
+        else:
+            lows = rng.random(n_dims) * 100 - 10
+            highs = lows + rng.random(n_dims) * 60
+            query = RangeQuery(lows, highs)
+            keep = np.ones(live.shape[0], dtype=bool)
+            for dim in range(n_dims):
+                keep &= (live[:, dim] > lows[dim]) & (live[:, dim] <= highs[dim])
+            want = np.array(
+                sorted(set(np.flatnonzero(keep).tolist()) - deleted),
+                dtype=np.int64,
+            )
+            got = np.sort(index.query(query).row_ids)
+            assert np.array_equal(got, want)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n_rows=st.integers(min_value=10, max_value=300),
+    n_queries=st.integers(min_value=1, max_value=6),
+)
+def test_snapshot_roundtrip_property(seed, n_rows, n_queries):
+    rng = np.random.default_rng(seed)
+    table = Table.from_matrix(rng.random((n_rows, 2)) * 50)
+    index = AdaptiveKDTree(table, size_threshold=8)
+    queries = []
+    for _ in range(n_queries):
+        lows = rng.random(2) * 40
+        queries.append(RangeQuery(lows, lows + 10))
+        index.query(queries[-1])
+    frozen = FrozenKDIndex.from_snapshot(snapshot_index(index))
+    for query in queries:
+        assert np.array_equal(
+            np.sort(index.query(query).row_ids),
+            np.sort(frozen.query(query).row_ids),
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(
+        st.sampled_from(["aa", "ab", "b", "ba", "c", "zz"]),
+        min_size=1,
+        max_size=100,
+    ),
+    low=st.sampled_from(["a", "aa", "ab", "b", "c", "y"]),
+    high=st.sampled_from(["ab", "b", "ba", "c", "zz", "zzz"]),
+)
+def test_dictionary_range_translation_property(values, low, high):
+    if low > high:
+        low, high = high, low
+    array = np.array(values)
+    dictionary = DictionaryColumn(array)
+    code_low, code_high = dictionary.translate_bounds(low, high)
+    codes = dictionary.codes
+    mask = (codes > code_low) & (codes <= code_high)
+    want = (array > low) & (array <= high)
+    assert np.array_equal(mask, want)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n_rows=st.integers(min_value=10, max_value=200),
+    n_payload=st.integers(min_value=0, max_value=3),
+)
+def test_table_partitioner_payload_alignment_property(seed, n_rows, n_payload):
+    rng = np.random.default_rng(seed)
+    dims = [rng.random(n_rows) * 100 for _ in range(2)]
+    payloads = [np.arange(n_rows) * 10.0 + p for p in range(n_payload)]
+    table = Table(dims + payloads)
+    partitioner = AdaptiveTablePartitioner(
+        table, dimension_positions=[0, 1], size_threshold=8
+    )
+    for _ in range(4):
+        lows = rng.random(2) * 80
+        partitioner.query(RangeQuery(lows, lows + 20))
+    # Every payload column must still be the original function of rowid.
+    rowids = partitioner.row_ids_in_order()
+    for p in range(n_payload):
+        assert np.array_equal(partitioner.storage(2 + p), rowids * 10.0 + p)
+    # And the dimension columns must match the original rows too.
+    for dim in range(2):
+        assert np.allclose(partitioner.storage(dim), dims[dim][rowids])

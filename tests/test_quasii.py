@@ -1,0 +1,131 @@
+"""QUASII: d-level hierarchy, aggressive refinement, sealing."""
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveKDTree, InvalidParameterError, Quasii, RangeQuery
+from tests.conftest import assert_correct, make_queries, make_uniform_table
+
+
+class TestCorrectness:
+    def test_uniform(self, small_table, small_queries):
+        assert_correct(Quasii(small_table, size_threshold=64), small_table, small_queries)
+
+    def test_duplicates(self, duplicate_table):
+        queries = make_queries(duplicate_table, 20, width_fraction=0.3, seed=3)
+        assert_correct(
+            Quasii(duplicate_table, size_threshold=32), duplicate_table, queries
+        )
+
+    def test_constant_column(self, constant_column_table):
+        queries = [
+            RangeQuery([10.0, 40.0, 10.0], [60.0, 50.0, 60.0]),
+            RangeQuery([5.0, 41.0, 5.0], [95.0, 42.0, 95.0]),
+            RangeQuery([5.0, 42.0, 5.0], [95.0, 99.0, 95.0]),
+        ] * 3
+        assert_correct(
+            Quasii(constant_column_table, size_threshold=32),
+            constant_column_table,
+            queries,
+        )
+
+    def test_repeated_query_stable(self, small_table, small_queries):
+        index = Quasii(small_table, size_threshold=64)
+        first = np.sort(index.query(small_queries[0]).row_ids)
+        again = np.sort(index.query(small_queries[0]).row_ids)
+        assert np.array_equal(first, again)
+
+    def test_single_dimension(self):
+        table = make_uniform_table(1_000, 1, seed=4)
+        queries = make_queries(table, 10, width_fraction=0.2, seed=5)
+        assert_correct(Quasii(table, size_threshold=32), table, queries)
+
+
+class TestRefinementBehaviour:
+    def test_level_thresholds_shrink(self, small_table):
+        index = Quasii(small_table, size_threshold=64)
+        assert index._levels == sorted(index._levels, reverse=True)
+        assert index._levels[-1] == 64
+
+    def test_aggressive_first_touch(self, small_table, small_queries):
+        # QUASII creates far more pieces on the first query than AKD's
+        # minimal adaptation (paper: 13,480 vs 161 nodes).
+        quasii = Quasii(small_table, size_threshold=32)
+        adaptive = AdaptiveKDTree(small_table, size_threshold=32)
+        quasii.query(small_queries[0])
+        adaptive.query(small_queries[0])
+        assert quasii.node_count > 2 * adaptive.node_count
+
+    def test_first_touch_cost_higher_than_akd(self, small_table, small_queries):
+        quasii = Quasii(small_table, size_threshold=32)
+        adaptive = AdaptiveKDTree(small_table, size_threshold=32)
+        q_work = quasii.query(small_queries[0]).stats.indexing_work
+        a_work = adaptive.query(small_queries[0]).stats.indexing_work
+        assert q_work > a_work
+
+    def test_refined_region_gets_fast(self, small_table, small_queries):
+        index = Quasii(small_table, size_threshold=32)
+        first = index.query(small_queries[0]).stats.work
+        repeat = index.query(small_queries[0]).stats.work
+        assert repeat < first / 5
+
+    def test_sealed_pieces_not_recracked(self, small_table):
+        index = Quasii(small_table, size_threshold=32)
+        span = small_table.n_rows
+        query = RangeQuery([span * 0.2] * 3, [span * 0.5] * 3)
+        index.query(query)
+        nodes_after = index.node_count
+        # A slightly shifted query inside the refined region may crack a
+        # little more at the bottom level but must not rebuild the top.
+        shifted = RangeQuery([span * 0.25] * 3, [span * 0.45] * 3)
+        index.query(shifted)
+        assert index.node_count < nodes_after * 1.5
+
+    def test_never_converges(self, small_table, small_queries):
+        index = Quasii(small_table, size_threshold=64)
+        for query in small_queries:
+            index.query(query)
+        assert not index.converged
+
+    def test_threshold_validated(self, small_table):
+        with pytest.raises(InvalidParameterError):
+            Quasii(small_table, size_threshold=0)
+
+    def test_pieces_partition_table(self, small_table, small_queries):
+        index = Quasii(small_table, size_threshold=64)
+        for query in small_queries[:5]:
+            index.query(query)
+        # Top-level pieces must tile [0, N) exactly.
+        positions = sorted((p.start, p.end) for p in index._top)
+        assert positions[0][0] == 0
+        assert positions[-1][1] == small_table.n_rows
+        for (s0, e0), (s1, e1) in zip(positions, positions[1:]):
+            assert e0 == s1
+
+    def test_bounds_consistent_with_data(self, small_table, small_queries):
+        index = Quasii(small_table, size_threshold=64)
+        for query in small_queries[:5]:
+            index.query(query)
+        column = index.index_table.columns[0]
+        for piece in index._top:
+            values = column[piece.start : piece.end]
+            if values.size:
+                assert (values > piece.low).all()
+                assert (values <= piece.high).all()
+
+
+class TestHighDimensional:
+    def test_genomics_dimensionality(self):
+        # 19 levels deep, one per dimension; answers stay exact.
+        from repro.workloads import genomics_workload
+
+        workload = genomics_workload(n_rows=1_200, n_queries=6)
+        index = Quasii(workload.table, size_threshold=64)
+        from tests.conftest import assert_correct
+
+        assert_correct(index, workload.table, workload.queries)
+
+    def test_sixteen_dims(self):
+        table = make_uniform_table(800, 16, seed=7)
+        queries = make_queries(table, 4, width_fraction=0.6, seed=8)
+        assert_correct(Quasii(table, size_threshold=64), table, queries)

@@ -1,0 +1,109 @@
+"""RangeQuery: validation, semantics, and the adaptation pivot order."""
+
+import numpy as np
+import pytest
+
+from repro import InvalidQueryError, RangeQuery
+
+
+class TestConstruction:
+    def test_basic(self):
+        query = RangeQuery([1.0, 2.0], [3.0, 4.0])
+        assert query.n_dims == 2
+        assert query.lows[0] == 1.0
+        assert query.highs[1] == 4.0
+
+    def test_bounds_are_readonly(self):
+        query = RangeQuery([1.0], [2.0])
+        with pytest.raises(ValueError):
+            query.lows[0] = 0.0
+
+    def test_label_carried(self):
+        query = RangeQuery([0.0], [1.0], label=3)
+        assert query.label == 3
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery([1.0, 2.0], [3.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery([], [])
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery([5.0], [1.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery([float("nan")], [1.0])
+        with pytest.raises(InvalidQueryError):
+            RangeQuery([0.0], [float("nan")])
+
+    def test_rejects_two_dimensional_bounds(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery([[1.0]], [[2.0]])
+
+    def test_equal_bounds_allowed_but_empty(self):
+        query = RangeQuery([1.0], [1.0])
+        assert query.is_empty()
+
+    def test_infinite_bounds_allowed(self):
+        query = RangeQuery([-np.inf, 0.0], [np.inf, 1.0])
+        assert not query.is_empty()
+
+
+class TestAdaptationPairs:
+    def test_paper_example_order(self):
+        # 6 < A <= 13 AND 5 < B <= 8 -> (A,6), (B,5), (A,13), (B,8)
+        query = RangeQuery([6.0, 5.0], [13.0, 8.0])
+        assert list(query.adaptation_pairs()) == [
+            (0, 6.0),
+            (1, 5.0),
+            (0, 13.0),
+            (1, 8.0),
+        ]
+
+    def test_skips_infinite_bounds(self):
+        query = RangeQuery([-np.inf, 5.0], [13.0, np.inf])
+        assert list(query.adaptation_pairs()) == [(1, 5.0), (0, 13.0)]
+
+    def test_bound_pairs(self):
+        query = RangeQuery([1.0, 2.0], [3.0, 4.0])
+        assert list(query.bound_pairs()) == [(0, 1.0, 3.0), (1, 2.0, 4.0)]
+
+
+class TestGeometry:
+    def test_intersects_box(self):
+        query = RangeQuery([2.0, 2.0], [4.0, 4.0])
+        assert query.intersects_box(np.array([0.0, 0.0]), np.array([3.0, 3.0]))
+        assert not query.intersects_box(np.array([4.0, 0.0]), np.array([9.0, 9.0]))
+
+    def test_box_touching_low_edge_excluded(self):
+        # Piece holds x <= 2; query needs x > 2 -> no intersection.
+        query = RangeQuery([2.0], [4.0])
+        assert not query.intersects_box(np.array([0.0]), np.array([2.0]))
+
+    def test_box_touching_high_edge_included(self):
+        # Piece holds 4 < x; query needs x <= 4 -> no intersection.
+        query = RangeQuery([2.0], [4.0])
+        assert not query.intersects_box(np.array([4.0]), np.array([9.0]))
+
+
+class TestEquality:
+    def test_equal_queries(self):
+        assert RangeQuery([1.0], [2.0]) == RangeQuery([1.0], [2.0])
+
+    def test_unequal_queries(self):
+        assert RangeQuery([1.0], [2.0]) != RangeQuery([1.0], [3.0])
+
+    def test_hashable(self):
+        seen = {RangeQuery([1.0], [2.0]), RangeQuery([1.0], [2.0])}
+        assert len(seen) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert RangeQuery([1.0], [2.0]) != "query"
+
+    def test_repr_mentions_terms(self):
+        text = repr(RangeQuery([6.0], [13.0]))
+        assert "6" in text and "13" in text

@@ -1,0 +1,80 @@
+"""The work-unit regression guard, and the repository's own baseline."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.regression import (
+    Drift,
+    baseline_metrics,
+    compare_baseline,
+    record_baseline,
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "work_baseline.json"
+)
+
+
+class TestMechanics:
+    def test_metrics_deterministic(self):
+        assert baseline_metrics() == baseline_metrics()
+
+    def test_record_and_compare_roundtrip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        record_baseline(path)
+        drift = compare_baseline(path)
+        assert drift.ok
+        assert "OK" in str(drift)
+
+    def test_detects_changed_value(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        metrics = record_baseline(path)
+        key = sorted(metrics)[0]
+        metrics[key] += 1.0
+        with open(path, "w") as handle:
+            json.dump(metrics, handle)
+        drift = compare_baseline(path)
+        assert not drift.ok
+        assert drift.changed
+        assert "drift" in str(drift)
+
+    def test_detects_missing_and_added(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        metrics = record_baseline(path)
+        key = sorted(metrics)[0]
+        removed = dict(metrics)
+        del removed[key]
+        removed["bogus/metric"] = 1.0
+        with open(path, "w") as handle:
+            json.dump(removed, handle)
+        drift = compare_baseline(path)
+        assert drift.added  # the key we removed reappears as new
+        assert drift.missing  # the bogus one is gone
+
+    def test_tolerance_absorbs_small_drift(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        metrics = record_baseline(path)
+        key = sorted(metrics)[0]
+        metrics[key] *= 1.001
+        with open(path, "w") as handle:
+            json.dump(metrics, handle)
+        assert compare_baseline(path, tolerance=0.01).ok
+        assert not compare_baseline(path, tolerance=0.0).ok
+
+
+class TestRepositoryBaseline:
+    """The checked-in baseline: algorithm behaviour must not silently drift."""
+
+    def test_baseline_exists(self):
+        assert os.path.exists(BASELINE_PATH), (
+            "run tests/data/make_baseline.py to record the baseline"
+        )
+
+    def test_current_code_matches_baseline(self):
+        drift = compare_baseline(BASELINE_PATH)
+        assert drift.ok, (
+            f"{drift}\nIf the change is intentional, re-record with "
+            "tests/data/make_baseline.py"
+        )

@@ -1,0 +1,74 @@
+"""Report rendering."""
+
+import os
+
+from repro.bench.report import format_series, format_table, save_report
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table("Title", ["a", "bb"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "=" * 5
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "-" in lines[3]
+        assert "2.5000" in text
+        assert "-" in lines[-1]  # None renders as dash
+
+    def test_scientific_for_tiny_values(self):
+        text = format_table("T", ["v"], [[0.0000001]])
+        assert "e-07" in text
+
+    def test_scientific_for_huge_values(self):
+        text = format_table("T", ["v"], [[123456.0]])
+        assert "e+05" in text
+
+    def test_zero_renders_plainly(self):
+        assert "0" in format_table("T", ["v"], [[0.0]])
+
+    def test_bool_rendering(self):
+        text = format_table("T", ["v"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_precision_control(self):
+        text = format_table("T", ["v"], [[1.23456]], precision=2)
+        assert "1.23" in text
+        assert "1.2346" not in text
+
+    def test_alignment_consistent(self):
+        text = format_table("T", ["col"], [[1], [22], [333]])
+        rows = text.splitlines()[4:]
+        assert len({len(row) for row in rows}) == 1
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        text = format_series(
+            "Fig", "q", [1, 2, 3], [("A", [0.1, 0.2, 0.3]), ("B", [1.0, 2.0, 3.0])]
+        )
+        header = text.splitlines()[2]
+        assert "q" in header and "A" in header and "B" in header
+
+    def test_short_series_padded_with_dash(self):
+        text = format_series("Fig", "q", [1, 2], [("A", [0.5])])
+        assert text.splitlines()[-1].strip().endswith("-")
+
+
+class TestSaveReport:
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "report.txt")
+        save_report(path, "hello")
+        with open(path) as handle:
+            assert handle.read() == "hello\n"
+
+    def test_keeps_trailing_newline(self, tmp_path):
+        path = str(tmp_path / "r.txt")
+        save_report(path, "line\n")
+        with open(path) as handle:
+            assert handle.read() == "line\n"
+
+    def test_bare_filename(self, tmp_path):
+        os.chdir(tmp_path)
+        save_report("report.txt", "x")
+        assert os.path.exists("report.txt")

@@ -1,0 +1,135 @@
+"""Scan kernels: candidate-list semantics, residual checks, work counters."""
+
+import numpy as np
+import pytest
+
+from repro import RangeQuery
+from repro.core.metrics import QueryStats
+from repro.core.scan import count_matches, full_scan, full_scan_bitmap, range_scan
+
+
+def brute_force(columns, query):
+    keep = np.ones(columns[0].shape[0], dtype=bool)
+    for dim in range(query.n_dims):
+        keep &= (columns[dim] > query.lows[dim]) & (columns[dim] <= query.highs[dim])
+    return np.flatnonzero(keep)
+
+
+@pytest.fixture
+def columns():
+    rng = np.random.default_rng(0)
+    return [rng.random(500) * 100 for _ in range(3)]
+
+
+class TestFullScan:
+    def test_matches_brute_force(self, columns):
+        query = RangeQuery([10.0, 20.0, 30.0], [60.0, 70.0, 80.0])
+        got = full_scan(columns, query, QueryStats())
+        assert np.array_equal(np.sort(got), brute_force(columns, query))
+
+    def test_half_open_semantics(self):
+        column = np.array([1.0, 2.0, 3.0, 4.0])
+        query = RangeQuery([2.0], [3.0])
+        got = full_scan([column], query, QueryStats())
+        assert list(got) == [2]  # only the value 3: 2 < x <= 3
+
+    def test_empty_result(self, columns):
+        query = RangeQuery([200.0, 0.0, 0.0], [300.0, 100.0, 100.0])
+        assert full_scan(columns, query, QueryStats()).size == 0
+
+    def test_infinite_bounds_skip_checks(self, columns):
+        stats = QueryStats()
+        query = RangeQuery([-np.inf] * 3, [np.inf] * 3)
+        got = full_scan(columns, query, stats)
+        assert got.size == 500
+        assert stats.scanned == 0  # nothing needed checking
+
+    def test_counts_first_column_fully(self, columns):
+        stats = QueryStats()
+        query = RangeQuery([0.0, 0.0, 0.0], [50.0, 100.0, 100.0])
+        full_scan(columns, query, stats)
+        # First column scanned fully; later columns only candidates.
+        assert stats.scanned >= 500
+        assert stats.scanned < 3 * 500
+
+    def test_short_circuits_on_empty_candidates(self, columns):
+        stats = QueryStats()
+        query = RangeQuery([200.0, 0.0, 0.0], [300.0, 1.0, 1.0])
+        full_scan(columns, query, stats)
+        assert stats.scanned == 500  # later columns never touched
+
+    def test_no_columns(self):
+        assert full_scan([], RangeQuery([0.0], [1.0]), QueryStats()).size == 0
+
+
+class TestRangeScan:
+    def test_subrange_only(self, columns):
+        query = RangeQuery([0.0, 0.0, 0.0], [100.0, 100.0, 100.0])
+        got = range_scan(columns, 100, 200, query, QueryStats())
+        assert got.min() >= 100 and got.max() < 200
+
+    def test_returns_absolute_positions(self, columns):
+        query = RangeQuery([10.0, 10.0, 10.0], [90.0, 90.0, 90.0])
+        got = range_scan(columns, 50, 450, query, QueryStats())
+        want = brute_force(columns, query)
+        want = want[(want >= 50) & (want < 450)]
+        assert np.array_equal(np.sort(got), want)
+
+    def test_check_flags_skip_implied_predicates(self, columns):
+        stats = QueryStats()
+        query = RangeQuery([10.0, 10.0, 10.0], [90.0, 90.0, 90.0])
+        none_needed = range_scan(
+            columns,
+            0,
+            500,
+            query,
+            stats,
+            check_low=[False] * 3,
+            check_high=[False] * 3,
+        )
+        assert none_needed.size == 500
+        assert stats.scanned == 0
+
+    def test_check_flags_partial(self, columns):
+        # Only dim 0's lower bound needs checking.
+        query = RangeQuery([50.0, 0.0, 0.0], [100.0, 100.0, 100.0])
+        got = range_scan(
+            columns,
+            0,
+            500,
+            query,
+            QueryStats(),
+            check_low=[True, False, False],
+            check_high=[False, False, False],
+        )
+        want = np.flatnonzero(columns[0] > 50.0)
+        assert np.array_equal(np.sort(got), want)
+
+    def test_empty_range(self, columns):
+        query = RangeQuery([0.0] * 3, [100.0] * 3)
+        assert range_scan(columns, 10, 10, query, QueryStats()).size == 0
+        assert range_scan(columns, 10, 5, query, QueryStats()).size == 0
+
+
+class TestBitmapScan:
+    def test_matches_candidate_scan(self, columns):
+        query = RangeQuery([10.0, 20.0, 30.0], [60.0, 70.0, 80.0])
+        option1 = full_scan_bitmap(columns, query, QueryStats())
+        option2 = full_scan(columns, query, QueryStats())
+        assert np.array_equal(np.sort(option1), np.sort(option2))
+
+    def test_scans_every_column_fully(self, columns):
+        stats = QueryStats()
+        query = RangeQuery([10.0, 20.0, 30.0], [60.0, 70.0, 80.0])
+        full_scan_bitmap(columns, query, stats)
+        assert stats.scanned == 3 * 500
+
+    def test_all_unbounded(self, columns):
+        query = RangeQuery([-np.inf] * 3, [np.inf] * 3)
+        assert full_scan_bitmap(columns, query, QueryStats()).size == 500
+
+
+class TestCountMatches:
+    def test_count(self, columns):
+        query = RangeQuery([10.0, 20.0, 30.0], [60.0, 70.0, 80.0])
+        assert count_matches(columns, query) == brute_force(columns, query).size

@@ -1,0 +1,114 @@
+"""Index snapshots: save, load, and query equivalence."""
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveKDTree, AverageKDTree, IndexStateError, ProgressiveKDTree
+from repro.core.serialize import (
+    FrozenKDIndex,
+    load_index,
+    save_index,
+    snapshot_index,
+)
+from tests.conftest import make_queries, make_uniform_table
+
+
+def warmed_index(cls, n_queries=10, **kwargs):
+    table = make_uniform_table(2_000, 2, seed=50)
+    queries = make_queries(table, n_queries, width_fraction=0.2, seed=51)
+    index = cls(table, size_threshold=64, **kwargs)
+    for query in queries:
+        index.query(query)
+    return table, queries, index
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [
+            (AdaptiveKDTree, {}),
+            (AverageKDTree, {}),
+            (ProgressiveKDTree, {"delta": 1.0}),
+        ],
+    )
+    def test_answers_survive_roundtrip(self, cls, kwargs, tmp_path):
+        table, queries, index = warmed_index(cls, **kwargs)
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        for query in queries:
+            original = np.sort(index.query(query).row_ids)
+            reloaded = np.sort(frozen.query(query).row_ids)
+            assert np.array_equal(original, reloaded)
+
+    def test_structure_preserved(self, tmp_path):
+        _, __, index = warmed_index(AdaptiveKDTree)
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        assert frozen.node_count == index.node_count
+        assert frozen.tree.height() == index.tree.height()
+        assert frozen.converged
+
+    def test_frozen_does_not_adapt(self, tmp_path):
+        table, queries, index = warmed_index(AdaptiveKDTree, n_queries=2)
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        nodes = frozen.node_count
+        fresh = make_queries(table, 5, width_fraction=0.1, seed=52)
+        for query in fresh:
+            stats = frozen.query(query).stats
+            assert stats.nodes_created == 0
+            assert stats.indexing_work == 0
+        assert frozen.node_count == nodes
+
+    def test_frozen_answers_fresh_queries_correctly(self, tmp_path):
+        from tests.conftest import reference_answer
+
+        table, _, index = warmed_index(AdaptiveKDTree)
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        for query in make_queries(table, 10, width_fraction=0.3, seed=53):
+            got = np.sort(frozen.query(query).row_ids)
+            assert np.array_equal(got, reference_answer(table, query))
+
+
+class TestSnapshotValidation:
+    def test_snapshot_before_first_query_rejected(self):
+        table = make_uniform_table(100, 2)
+        with pytest.raises(IndexStateError):
+            snapshot_index(AdaptiveKDTree(table))
+
+    def test_corrupt_split_rejected(self, tmp_path):
+        _, __, index = warmed_index(AdaptiveKDTree)
+        payload = snapshot_index(index)
+        payload["tree_splits"] = payload["tree_splits"].copy()
+        internal = np.flatnonzero(payload["tree_dims"] >= 0)
+        if internal.size:
+            payload["tree_splits"][internal[0]] = 10**9
+        with pytest.raises(IndexStateError):
+            FrozenKDIndex.from_snapshot(payload)
+
+    def test_truncated_encoding_rejected(self):
+        _, __, index = warmed_index(AdaptiveKDTree)
+        payload = snapshot_index(index)
+        payload["tree_dims"] = payload["tree_dims"][:-1]
+        payload["tree_keys"] = payload["tree_keys"][:-1]
+        payload["tree_splits"] = payload["tree_splits"][:-1]
+        with pytest.raises(IndexStateError):
+            FrozenKDIndex.from_snapshot(payload)
+
+    def test_column_length_mismatch_rejected(self):
+        _, __, index = warmed_index(AdaptiveKDTree)
+        payload = snapshot_index(index)
+        payload["column_0"] = payload["column_0"][:-1]
+        with pytest.raises(IndexStateError):
+            FrozenKDIndex.from_snapshot(payload)
+
+    def test_snapshot_contains_all_columns(self):
+        _, __, index = warmed_index(AdaptiveKDTree)
+        payload = snapshot_index(index)
+        assert "column_0" in payload and "column_1" in payload
+        assert payload["rowids"].shape[0] == 2_000

@@ -1,0 +1,189 @@
+"""ExplorationSession: the user-facing facade."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    InvalidQueryError,
+    InvalidTableError,
+)
+from repro.session import ExplorationSession
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(80)
+    n = 3_000
+    cities = np.array(["ams", "ber", "cwb", "nyc"])[rng.integers(0, 4, n)]
+    return {
+        "lat": rng.random(n) * 90,
+        "lon": rng.random(n) * 180,
+        "fare": rng.random(n) * 60,
+        "city": cities,
+    }
+
+
+@pytest.fixture
+def session(data):
+    session = ExplorationSession()
+    session.register("taxi", data)
+    return session
+
+
+def brute(data, **bounds):
+    n = len(data["lat"])
+    keep = np.ones(n, dtype=bool)
+    for column, (low, high) in bounds.items():
+        keep &= (data[column] > low) & (data[column] <= high)
+    return np.flatnonzero(keep)
+
+
+class TestRegistration:
+    def test_tables_listed(self, session):
+        assert session.tables == ["taxi"]
+
+    def test_duplicate_rejected(self, session, data):
+        with pytest.raises(InvalidTableError):
+            session.register("taxi", data)
+
+    def test_unknown_table_rejected(self, session):
+        with pytest.raises(InvalidTableError):
+            session.query("nope", lat=(0.0, 1.0))
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ExplorationSession(technique="magic")
+
+
+class TestQueries:
+    def test_numeric_query_correct(self, session, data):
+        result = session.query("taxi", lat=(10.0, 50.0), lon=(20.0, 90.0))
+        want = brute(data, lat=(10.0, 50.0), lon=(20.0, 90.0))
+        assert np.array_equal(np.sort(result.row_ids), want)
+
+    def test_string_column_query(self, session, data):
+        result = session.query("taxi", city=("ams", "ber"), fare=(10.0, 40.0))
+        mask = (data["city"] == "ber") & (data["fare"] > 10) & (data["fare"] <= 40)
+        assert np.array_equal(np.sort(result.row_ids), np.flatnonzero(mask))
+
+    def test_single_column_query(self, session, data):
+        result = session.query("taxi", fare=(50.0, 60.0))
+        want = brute(data, fare=(50.0, 60.0))
+        assert np.array_equal(np.sort(result.row_ids), want)
+
+    def test_keyword_order_irrelevant(self, session):
+        first = session.query("taxi", lat=(10.0, 50.0), lon=(20.0, 90.0))
+        second = session.query("taxi", lon=(20.0, 90.0), lat=(10.0, 50.0))
+        assert np.array_equal(np.sort(first.row_ids), np.sort(second.row_ids))
+
+    def test_repeated_queries_stay_correct(self, session, data):
+        rng = np.random.default_rng(81)
+        for _ in range(15):
+            low = rng.random() * 60
+            result = session.query("taxi", lat=(low, low + 20.0))
+            want = brute(data, lat=(low, low + 20.0))
+            assert np.array_equal(np.sort(result.row_ids), want)
+
+    def test_empty_bounds_rejected(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.query("taxi")
+
+    def test_unknown_column_rejected(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.query("taxi", altitude=(0.0, 1.0))
+
+    def test_malformed_bound_rejected(self, session):
+        with pytest.raises(InvalidQueryError):
+            session.query("taxi", lat=5.0)
+
+
+class TestResults:
+    def test_fetch_decodes_strings(self, session):
+        result = session.query("taxi", city=("ams", "ber"), fare=(0.0, 60.0))
+        cities = result.fetch("city")
+        assert set(cities.tolist()) <= {"ber"}
+
+    def test_fetch_other_columns(self, session, data):
+        result = session.query("taxi", lat=(10.0, 20.0))
+        fares = result.fetch("fare")
+        assert np.allclose(np.sort(fares), np.sort(data["fare"][result.row_ids]))
+
+    def test_rows_materialisation(self, session):
+        result = session.query("taxi", lat=(10.0, 20.0), fare=(0.0, 30.0))
+        rows = result.rows()
+        assert len(rows) == result.count
+        if rows:
+            assert len(rows[0]) == 2  # the queried columns, sorted
+
+    def test_rows_custom_columns(self, session):
+        result = session.query("taxi", lat=(10.0, 20.0))
+        rows = result.rows(columns=["city", "fare"])
+        if rows:
+            assert isinstance(rows[0][0], str)
+
+    def test_seconds_measured(self, session):
+        assert session.query("taxi", lat=(0.0, 90.0)).seconds > 0
+
+
+class TestIndexManagement:
+    def test_one_index_per_group(self, session):
+        session.query("taxi", lat=(0.0, 50.0))
+        session.query("taxi", lat=(0.0, 50.0), lon=(0.0, 90.0))
+        session.query("taxi", lon=(0.0, 90.0), lat=(0.0, 50.0))
+        stats = session.stats("taxi")
+        assert set(stats["column_groups"]) == {"lat", "lat, lon"}
+        assert stats["queries_run"] == 3
+
+    def test_auto_is_greedy(self, session):
+        session.query("taxi", lat=(0.0, 50.0))
+        stats = session.stats("taxi")
+        assert (
+            stats["column_groups"]["lat"]["technique"]
+            == "GreedyProgressiveKDTree"
+        )
+
+    @pytest.mark.parametrize(
+        "technique,expected",
+        [
+            ("adaptive", "AdaptiveKDTree"),
+            ("progressive", "ProgressiveKDTree"),
+            ("quasii", "Quasii"),
+            ("scan", "FullScan"),
+        ],
+    )
+    def test_explicit_techniques(self, data, technique, expected):
+        session = ExplorationSession(technique=technique)
+        session.register("taxi", data)
+        result = session.query("taxi", lat=(10.0, 50.0))
+        want = brute(data, lat=(10.0, 50.0))
+        assert np.array_equal(np.sort(result.row_ids), want)
+        assert (
+            session.stats("taxi")["column_groups"]["lat"]["technique"]
+            == expected
+        )
+
+    def test_stats_include_tree_summary(self, session):
+        session.query("taxi", lat=(0.0, 50.0), lon=(0.0, 90.0))
+        stats = session.stats("taxi")
+        entry = stats["column_groups"]["lat, lon"]
+        assert "nodes" in entry and "converged" in entry
+
+    def test_repr(self, session):
+        assert "taxi" in repr(session)
+
+
+class TestSessionErrors:
+    def test_stats_unknown_table(self, session):
+        with pytest.raises(InvalidTableError):
+            session.stats("nope")
+
+    def test_fetch_unknown_column(self, session):
+        result = session.query("taxi", lat=(0.0, 90.0))
+        with pytest.raises(InvalidQueryError):
+            result._session.fetch("taxi", "altitude", result.row_ids)
+
+    def test_empty_result_rows(self, session):
+        result = session.query("taxi", lat=(1e6, 2e6))
+        assert result.count == 0
+        assert result.rows() == []

@@ -1,0 +1,100 @@
+"""Space-filling-curve cracking: Z-order encoding and the index."""
+
+import numpy as np
+import pytest
+
+from repro import InvalidParameterError, SFCCracking
+from repro.baselines.sfc_cracking import morton_encode, quantize
+from tests.conftest import assert_correct, make_queries, make_uniform_table
+
+
+class TestQuantize:
+    def test_range_mapping(self):
+        values = np.array([0.0, 50.0, 100.0])
+        cells = quantize(values, 0.0, 100.0, bits=4)
+        assert cells[0] == 0
+        assert cells[-1] == 15  # clamped at the top cell
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        values = np.sort(rng.random(100) * 42.0)
+        cells = quantize(values, 0.0, 42.0, bits=8)
+        assert (np.diff(cells.astype(np.int64)) >= 0).all()
+
+    def test_clamps_out_of_range(self):
+        cells = quantize(np.array([-10.0, 200.0]), 0.0, 100.0, bits=4)
+        assert cells[0] == 0 and cells[1] == 15
+
+    def test_constant_domain(self):
+        cells = quantize(np.array([5.0, 5.0]), 5.0, 5.0, bits=4)
+        assert (cells == 0).all()
+
+    def test_scalar_input(self):
+        assert quantize(50.0, 0.0, 100.0, bits=4) == 8
+
+
+class TestMortonEncode:
+    def test_known_interleaving(self):
+        # x=0b11, y=0b00 at 2 bits, 2 dims: key bits x at even positions.
+        cells = np.array([[0b11], [0b00]], dtype=np.uint64)
+        assert morton_encode(cells, bits=2)[0] == 0b0101
+
+    def test_monotone_per_coordinate(self):
+        rng = np.random.default_rng(1)
+        base = rng.integers(0, 15, size=(3, 50)).astype(np.uint64)
+        bumped = base.copy()
+        bumped[1] += 1  # increase one coordinate everywhere
+        low = morton_encode(base, bits=5)
+        high = morton_encode(bumped, bits=5)
+        assert (high > low).all()
+
+    def test_distinct_cells_distinct_keys(self):
+        cells = np.array([[0, 1, 2, 3], [3, 2, 1, 0]], dtype=np.uint64)
+        keys = morton_encode(cells, bits=2)
+        assert len(set(keys.tolist())) == 4
+
+    def test_rejects_key_overflow(self):
+        cells = np.zeros((8, 1), dtype=np.uint64)
+        with pytest.raises(InvalidParameterError):
+            morton_encode(cells, bits=8)
+
+
+class TestSFCCracking:
+    def test_correct_on_uniform(self, small_table, small_queries):
+        assert_correct(SFCCracking(small_table), small_table, small_queries)
+
+    def test_correct_on_duplicates(self, duplicate_table):
+        queries = make_queries(duplicate_table, 15, width_fraction=0.3, seed=4)
+        assert_correct(SFCCracking(duplicate_table), duplicate_table, queries)
+
+    def test_correct_high_dims(self):
+        table = make_uniform_table(1_500, 6, seed=5)
+        queries = make_queries(table, 10, width_fraction=0.4, seed=6)
+        assert_correct(SFCCracking(table), table, queries)
+
+    def test_first_query_pays_mapping(self, small_table, small_queries):
+        index = SFCCracking(small_table)
+        first = index.query(small_queries[0]).stats
+        later = index.query(small_queries[1]).stats
+        # The curve mapping dominates the first query (the paper's point).
+        assert first.copied > small_table.n_rows
+        assert later.copied < first.copied
+
+    def test_default_bits_fit_key(self):
+        for d in (1, 2, 4, 8, 16):
+            table = make_uniform_table(100, d, seed=d)
+            index = SFCCracking(table)
+            assert index.bits_per_dim * d <= 63
+
+    def test_invalid_bits_rejected(self, small_table):
+        with pytest.raises(InvalidParameterError):
+            SFCCracking(small_table, bits_per_dim=0)
+        with pytest.raises(InvalidParameterError):
+            SFCCracking(small_table, bits_per_dim=30)
+
+    def test_node_count_grows(self, small_table, small_queries):
+        index = SFCCracking(small_table)
+        index.query(small_queries[0])
+        first = index.node_count
+        index.query(small_queries[1])
+        assert index.node_count >= first

@@ -1,0 +1,108 @@
+"""Table: DSM construction, projection, and statistics."""
+
+import numpy as np
+import pytest
+
+from repro import InvalidTableError, Table
+
+
+class TestConstruction:
+    def test_from_columns(self):
+        table = Table([np.arange(5.0), np.ones(5)])
+        assert table.n_rows == 5
+        assert table.n_columns == 2
+        assert table.names == ["c0", "c1"]
+
+    def test_from_matrix(self):
+        table = Table.from_matrix(np.arange(12.0).reshape(4, 3))
+        assert table.n_rows == 4
+        assert table.n_columns == 3
+        assert table.column(1)[0] == 1.0
+
+    def test_from_dict(self):
+        table = Table.from_dict({"a": np.arange(3.0), "b": np.ones(3)})
+        assert table.names == ["a", "b"]
+        assert table.column_by_name("b")[2] == 1.0
+
+    def test_custom_names(self):
+        table = Table([np.arange(2.0)], names=["x"])
+        assert table.names == ["x"]
+
+    def test_converts_to_float(self):
+        table = Table([np.array([1, 2, 3])])
+        assert table.column(0).dtype == np.float64
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(InvalidTableError):
+            Table([])
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(InvalidTableError):
+            Table([np.arange(3.0), np.arange(4.0)])
+
+    def test_rejects_matrix_wrong_ndim(self):
+        with pytest.raises(InvalidTableError):
+            Table.from_matrix(np.arange(3.0))
+
+    def test_rejects_two_dimensional_column(self):
+        with pytest.raises(InvalidTableError):
+            Table([np.ones((2, 2))])
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(InvalidTableError):
+            Table([np.arange(2.0)], names=["a", "b"])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(InvalidTableError):
+            Table([np.arange(2.0), np.arange(2.0)], names=["a", "a"])
+
+    def test_unknown_name_lookup(self):
+        table = Table([np.arange(2.0)])
+        with pytest.raises(InvalidTableError):
+            table.column_by_name("missing")
+
+
+class TestAccess:
+    def test_len(self):
+        assert len(Table([np.arange(7.0)])) == 7
+
+    def test_row_reconstruction(self):
+        table = Table([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert list(table.row(1)) == [2.0, 4.0]
+
+    def test_copy_columns_are_independent(self):
+        table = Table([np.arange(3.0)])
+        copies = table.copy_columns()
+        copies[0][0] = 99.0
+        assert table.column(0)[0] == 0.0
+
+    def test_columns_returns_views(self):
+        table = Table([np.arange(3.0)])
+        assert table.columns()[0] is table.column(0)
+
+    def test_project(self):
+        table = Table(
+            [np.arange(3.0), np.ones(3), np.zeros(3)], names=["a", "b", "c"]
+        )
+        projected = table.project([2, 0])
+        assert projected.names == ["c", "a"]
+        assert projected.column(1)[2] == 2.0
+
+    def test_project_shares_storage(self):
+        table = Table([np.arange(3.0)])
+        assert table.project([0]).column(0) is table.column(0)
+
+    def test_project_empty_rejected(self):
+        with pytest.raises(InvalidTableError):
+            Table([np.arange(3.0)]).project([])
+
+
+class TestStatistics:
+    def test_minimums_maximums_means(self):
+        table = Table([np.array([1.0, 3.0]), np.array([10.0, 20.0])])
+        assert list(table.minimums()) == [1.0, 10.0]
+        assert list(table.maximums()) == [3.0, 20.0]
+        assert list(table.means()) == [2.0, 15.0]
+
+    def test_repr(self):
+        assert "2 rows" in repr(Table([np.arange(2.0)]))

@@ -1,0 +1,153 @@
+"""Adaptive Table Partitioning (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveKDTree,
+    AdaptiveTablePartitioner,
+    InvalidParameterError,
+    InvalidTableError,
+    RangeQuery,
+    Table,
+)
+from tests.conftest import make_queries, make_uniform_table, reference_answer
+
+
+@pytest.fixture
+def table_with_payload():
+    rng = np.random.default_rng(6)
+    n = 2_500
+    dims = [rng.random(n) * 100 for _ in range(2)]
+    payloads = [rng.random(n) * 10, np.arange(n, dtype=float)]
+    return Table(dims + payloads, names=["x", "y", "weight", "serial"])
+
+
+def dim_queries(table, n, seed=7):
+    projected = table.project([0, 1])
+    return make_queries(projected, n, width_fraction=0.25, seed=seed)
+
+
+class TestCorrectness:
+    def test_answers_match_reference(self, table_with_payload):
+        partitioner = AdaptiveTablePartitioner(
+            table_with_payload, dimension_positions=[0, 1], size_threshold=32
+        )
+        projected = table_with_payload.project([0, 1])
+        for query in dim_queries(table_with_payload, 15):
+            got = np.sort(partitioner.query(query).row_ids)
+            want = reference_answer(projected, query)
+            assert np.array_equal(got, want)
+
+    def test_all_columns_as_dimensions(self):
+        table = make_uniform_table(1_500, 3, seed=8)
+        partitioner = AdaptiveTablePartitioner(table, size_threshold=32)
+        for query in make_queries(table, 10, seed=9):
+            got = np.sort(partitioner.query(query).row_ids)
+            want = reference_answer(table, query)
+            assert np.array_equal(got, want)
+
+    def test_tree_validates(self, table_with_payload):
+        partitioner = AdaptiveTablePartitioner(
+            table_with_payload, dimension_positions=[0, 1], size_threshold=32
+        )
+        for query in dim_queries(table_with_payload, 8):
+            partitioner.query(query)
+        partitioner.tree.validate(
+            [partitioner.storage(0), partitioner.storage(1)]
+        )
+
+
+class TestPayloadCoherence:
+    def test_rows_stay_aligned(self, table_with_payload):
+        partitioner = AdaptiveTablePartitioner(
+            table_with_payload, dimension_positions=[0, 1], size_threshold=32
+        )
+        for query in dim_queries(table_with_payload, 10):
+            partitioner.query(query)
+        # The 'serial' payload equals the original row position, so after
+        # any amount of reorganisation storage[serial] must equal rowids.
+        serial = partitioner.storage(3)
+        assert np.array_equal(serial.astype(int), partitioner.row_ids_in_order())
+
+    def test_fetch_reads_partitioned_payload(self, table_with_payload):
+        partitioner = AdaptiveTablePartitioner(
+            table_with_payload, dimension_positions=[0, 1], size_threshold=32
+        )
+        query = dim_queries(table_with_payload, 1)[0]
+        result = partitioner.partitioned_query(query)
+        direct = result.fetch(2)
+        via_rowids = table_with_payload.column(2)[result.row_ids]
+        assert np.allclose(np.sort(direct), np.sort(via_rowids))
+
+    def test_payload_movement_is_charged(self, table_with_payload):
+        wide = AdaptiveTablePartitioner(
+            table_with_payload, dimension_positions=[0, 1], size_threshold=32
+        )
+        narrow = AdaptiveKDTree(
+            table_with_payload.project([0, 1]), size_threshold=32
+        )
+        query = dim_queries(table_with_payload, 1)[0]
+        wide_cost = wide.query(query).stats.copied
+        narrow_cost = narrow.query(query).stats.copied
+        assert wide_cost > narrow_cost  # payload columns move too
+
+
+class TestResultRuns:
+    def test_runs_compress_contiguous_positions(self, table_with_payload):
+        partitioner = AdaptiveTablePartitioner(
+            table_with_payload, dimension_positions=[0, 1], size_threshold=32
+        )
+        queries = dim_queries(table_with_payload, 6)
+        for query in queries:
+            partitioner.query(query)
+        result = partitioner.partitioned_query(queries[0])
+        runs = partitioner.result_runs(result.positions)
+        covered = sum(end - start for start, end in runs)
+        assert covered == result.count
+        for (s0, e0), (s1, e1) in zip(runs, runs[1:]):
+            assert e0 < s1  # disjoint, ordered
+
+    def test_empty_runs(self, table_with_payload):
+        partitioner = AdaptiveTablePartitioner(
+            table_with_payload, dimension_positions=[0, 1]
+        )
+        assert partitioner.result_runs(np.empty(0, dtype=np.int64)) == []
+
+    def test_partitioning_increases_contiguity(self):
+        # After adaptation, a repeated query's answer occupies fewer runs
+        # than the same answer over the unorganised table would.
+        table = make_uniform_table(4_000, 2, seed=10)
+        partitioner = AdaptiveTablePartitioner(table, size_threshold=64)
+        query = make_queries(table, 1, width_fraction=0.2, seed=11)[0]
+        result = partitioner.partitioned_query(query)
+        runs = partitioner.result_runs(result.positions)
+        assert len(runs) < max(1, result.count // 2)
+
+
+class TestValidation:
+    def test_rejects_bad_dimension_positions(self, table_with_payload):
+        with pytest.raises(InvalidTableError):
+            AdaptiveTablePartitioner(table_with_payload, dimension_positions=[0, 9])
+        with pytest.raises(InvalidTableError):
+            AdaptiveTablePartitioner(table_with_payload, dimension_positions=[0, 0])
+        with pytest.raises(InvalidTableError):
+            AdaptiveTablePartitioner(table_with_payload, dimension_positions=[])
+
+    def test_rejects_bad_threshold(self, table_with_payload):
+        with pytest.raises(InvalidParameterError):
+            AdaptiveTablePartitioner(table_with_payload, size_threshold=0)
+
+    def test_storage_before_query_rejected(self, table_with_payload):
+        partitioner = AdaptiveTablePartitioner(table_with_payload)
+        with pytest.raises(InvalidTableError):
+            partitioner.storage(0)
+
+    def test_query_dimension_arity(self, table_with_payload):
+        partitioner = AdaptiveTablePartitioner(
+            table_with_payload, dimension_positions=[0, 1]
+        )
+        from repro import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError):
+            partitioner.query(RangeQuery([0.0], [1.0]))

@@ -1,0 +1,110 @@
+"""The differential validation harness."""
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveKDTree, FullScan, ProgressiveKDTree, RangeQuery
+from repro.core.index_base import BaseIndex
+from repro.core.metrics import QueryStats
+from repro.validation import check_index, check_indexes
+from tests.conftest import make_queries, make_uniform_table
+
+
+class BrokenIndex(BaseIndex):
+    """Deliberately wrong: drops the last matching row of every answer."""
+
+    name = "Broken"
+
+    def _execute(self, query, stats):
+        from repro.core.scan import full_scan
+
+        answer = full_scan(self.table.columns(), query, stats)
+        return answer[:-1] if answer.size else answer
+
+
+class NoisyIndex(BaseIndex):
+    """Deliberately wrong the other way: adds a bogus row id."""
+
+    name = "Noisy"
+
+    def _execute(self, query, stats):
+        from repro.core.scan import full_scan
+
+        answer = full_scan(self.table.columns(), query, stats)
+        return np.concatenate([answer, np.array([0], dtype=np.int64)])
+
+
+class TestCheckIndex:
+    def test_correct_index_passes(self, small_table, small_queries):
+        report = check_index(
+            AdaptiveKDTree(small_table, size_threshold=64),
+            small_table,
+            small_queries,
+        )
+        assert report.ok
+        assert "OK" in str(report)
+        report.raise_on_failure()  # no-op
+
+    def test_detects_missing_rows(self, small_table, small_queries):
+        report = check_index(BrokenIndex(small_table), small_table, small_queries)
+        assert not report.ok
+        assert report.mismatches
+        first = report.mismatches[0]
+        assert first.missing.size == 1
+        assert first.unexpected.size == 0
+        with pytest.raises(AssertionError):
+            report.raise_on_failure()
+
+    def test_detects_unexpected_rows(self, small_table):
+        # A query that excludes row 0 exposes the bogus extra id.
+        value = small_table.column(0)[0]
+        query = RangeQuery(
+            [value + 1, -np.inf, -np.inf], [np.inf, np.inf, np.inf]
+        )
+        report = check_index(NoisyIndex(small_table), small_table, [query])
+        assert not report.ok
+        assert report.mismatches[0].unexpected.size == 1
+
+    def test_stop_after_limits_work(self, small_table, small_queries):
+        report = check_index(
+            BrokenIndex(small_table),
+            small_table,
+            small_queries,
+            stop_after=2,
+        )
+        assert len(report.mismatches) == 2
+
+    def test_detects_structural_corruption(self, small_table, small_queries):
+        index = AdaptiveKDTree(small_table, size_threshold=64)
+        index.query(small_queries[0])
+        # Corrupt the index table behind the tree's back.
+        index.index_table.columns[0][:] = 0.0
+        report = check_index(
+            index, small_table, small_queries[1:3], check_structure=True
+        )
+        assert report.structural_errors or report.mismatches
+
+    def test_mismatch_str(self, small_table, small_queries):
+        report = check_index(BrokenIndex(small_table), small_table, small_queries)
+        text = str(report.mismatches[0])
+        assert "missing" in text
+
+
+class TestCheckIndexes:
+    def test_multiple_factories(self, small_table, small_queries):
+        reports = check_indexes(
+            {
+                "akd": lambda t: AdaptiveKDTree(t, size_threshold=64),
+                "pkd": lambda t: ProgressiveKDTree(
+                    t, delta=0.3, size_threshold=64
+                ),
+                "fs": FullScan,
+                "broken": BrokenIndex,
+            },
+            small_table,
+            small_queries,
+        )
+        assert reports["akd"].ok
+        assert reports["pkd"].ok
+        assert reports["fs"].ok
+        assert not reports["broken"].ok

@@ -1,0 +1,298 @@
+"""Workload generators: data, the Fig. 4 patterns, shifting, real stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro import RangeQuery, WorkloadError
+from repro.workloads import (
+    SYNTHETIC_PATTERNS,
+    alternating_zoom_queries,
+    clustered_table,
+    genomics_workload,
+    make_synthetic_workload,
+    per_dimension_selectivity,
+    periodic_queries,
+    power_workload,
+    sequential_queries,
+    shifting_workload,
+    skewed_table,
+    skyserver_workload,
+    uniform_table,
+    zoom_queries,
+)
+from repro.workloads.base import Workload
+
+
+class TestSelectivityRule:
+    def test_paper_values(self):
+        # Section IV-A: sigma=1% -> 10% at d=2, 31% at d=4, 56% at d=8.
+        assert per_dimension_selectivity(0.01, 2) == pytest.approx(0.10, abs=0.005)
+        assert per_dimension_selectivity(0.01, 4) == pytest.approx(0.31, abs=0.01)
+        assert per_dimension_selectivity(0.01, 8) == pytest.approx(0.56, abs=0.01)
+
+    def test_single_dimension_identity(self):
+        assert per_dimension_selectivity(0.05, 1) == pytest.approx(0.05)
+
+    def test_rejects_bad_selectivity(self):
+        with pytest.raises(WorkloadError):
+            per_dimension_selectivity(0.0, 2)
+        with pytest.raises(WorkloadError):
+            per_dimension_selectivity(1.5, 2)
+        with pytest.raises(WorkloadError):
+            per_dimension_selectivity(0.1, 0)
+
+
+class TestDataGenerators:
+    def test_uniform_shape_and_range(self):
+        table = uniform_table(1_000, 3, seed=1)
+        assert table.n_rows == 1_000 and table.n_columns == 3
+        assert table.minimums().min() >= 0.0
+        assert table.maximums().max() <= 1_000.0
+
+    def test_uniform_deterministic_by_seed(self):
+        first = uniform_table(100, 2, seed=5)
+        second = uniform_table(100, 2, seed=5)
+        assert np.array_equal(first.column(0), second.column(0))
+
+    def test_skewed_is_heavy_tailed(self):
+        table = skewed_table(5_000, 1, seed=2)
+        column = table.column(0)
+        assert np.mean(column) > np.median(column) * 1.5
+
+    def test_clustered_has_clusters(self):
+        table = clustered_table(2_000, 2, n_clusters=4, spread=0.005, seed=3)
+        assert table.n_rows == 2_000
+
+    def test_shape_validation(self):
+        with pytest.raises(WorkloadError):
+            uniform_table(0, 2)
+        with pytest.raises(WorkloadError):
+            clustered_table(100, 2, n_clusters=0)
+
+
+def selectivity_of(table, query):
+    keep = np.ones(table.n_rows, dtype=bool)
+    for dim in range(table.n_columns):
+        column = table.column(dim)
+        keep &= (column > query.lows[dim]) & (column <= query.highs[dim])
+    return keep.mean()
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("pattern", sorted(SYNTHETIC_PATTERNS))
+    def test_pattern_produces_valid_queries(self, pattern):
+        workload = make_synthetic_workload(pattern, 2_000, 3, 30, 0.01, seed=1)
+        assert workload.n_queries == 30
+        minimums = workload.table.minimums()
+        maximums = workload.table.maximums()
+        for query in workload.queries:
+            assert query.n_dims == 3
+            assert (query.lows >= minimums - 1e-9).all()
+            assert (query.highs <= maximums + 1e-9).all()
+            assert not query.is_empty()
+
+    @pytest.mark.parametrize("pattern", ["uniform", "skewed", "periodic"])
+    def test_pattern_selectivity_approximate(self, pattern):
+        workload = make_synthetic_workload(pattern, 4_000, 2, 20, 0.01, seed=2)
+        observed = np.mean(
+            [selectivity_of(workload.table, q) for q in workload.queries]
+        )
+        assert 0.001 < observed < 0.05  # about 1%, allowing edge effects
+
+    def test_uniform_deterministic(self):
+        table = uniform_table(1_000, 2, seed=4)
+        from repro.workloads.patterns import uniform_queries
+
+        first = uniform_queries(table, 10, 0.01, seed=9)
+        second = uniform_queries(table, 10, 0.01, seed=9)
+        assert first == second
+
+    def test_sequential_disjoint(self):
+        table = uniform_table(2_000, 2, seed=5)
+        queries = sequential_queries(table, 50, 1e-4, seed=6)
+        for first, second in zip(queries, queries[1:]):
+            # Sweeping: consecutive windows move strictly forward.
+            assert (second.lows >= first.lows).all()
+        # Tiny selectivity makes them non-overlapping.
+        assert queries[0].highs[0] <= queries[1].lows[0] + 1e-9
+
+    def test_periodic_restarts(self):
+        table = uniform_table(2_000, 2, seed=7)
+        queries = periodic_queries(table, 40, 0.01, period=10)
+        width = queries[0].highs[0] - queries[0].lows[0]
+        # The restart revisits (almost) the same window — jittered so each
+        # pass cracks slightly different positions, as in the paper's runs.
+        assert abs(queries[0].lows[0] - queries[10].lows[0]) < width
+        assert queries[5].lows[0] > queries[0].lows[0] + width
+
+    def test_zoom_converges_to_centre(self):
+        table = uniform_table(2_000, 1, seed=8)
+        queries = zoom_queries(table, 20, 0.01)
+        centre = table.minimums()[0] + (table.maximums() - table.minimums())[0] / 2
+        first_distance = abs(queries[0].lows[0] - centre)
+        last_distance = abs(queries[-1].lows[0] - centre)
+        assert last_distance < first_distance
+
+    def test_alternating_zoom_two_targets(self):
+        table = uniform_table(2_000, 1, seed=9)
+        queries = alternating_zoom_queries(table, 40, 0.01)
+        even_mean = np.mean([q.lows[0] for q in queries[::2]])
+        odd_mean = np.mean([q.lows[0] for q in queries[1::2]])
+        assert abs(even_mean - odd_mean) > 0.2 * table.n_rows
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_synthetic_workload("nonsense", 100, 2, 10)
+
+    def test_workload_names_match_paper(self):
+        workload = make_synthetic_workload("uniform", 500, 8, 5, seed=0)
+        assert workload.name == "Unif(8)"
+        workload = make_synthetic_workload("periodic", 500, 8, 5, seed=0)
+        assert workload.name == "Prdc(8)"
+
+
+class TestShifting:
+    def test_table_is_wider(self):
+        workload = shifting_workload(500, 3, 40, n_groups=4, queries_per_shift=10)
+        assert workload.table.n_columns == 12
+        assert workload.query_dims == 3
+        assert len(workload.groups) == 4
+
+    def test_labels_rotate_every_k_queries(self):
+        workload = shifting_workload(500, 2, 40, n_groups=4, queries_per_shift=10)
+        labels = [q.label for q in workload.queries]
+        assert labels[:10] == [0] * 10
+        assert labels[10:20] == [1] * 10
+        assert labels[-1] == 3
+
+    def test_wraps_when_longer_than_rotation(self):
+        workload = shifting_workload(500, 2, 90, n_groups=4, queries_per_shift=10)
+        assert workload.n_queries == 90
+        assert workload.queries[40].label == 0  # wrapped around
+
+    def test_queries_fit_group_domains(self):
+        workload = shifting_workload(500, 2, 20, n_groups=2, queries_per_shift=10)
+        for query in workload.queries:
+            projected = workload.table.project(list(workload.groups[query.label]))
+            assert (query.lows >= projected.minimums() - 1e-9).all()
+            assert (query.highs <= projected.maximums() + 1e-9).all()
+
+    def test_grouped_workload_validation(self):
+        table = uniform_table(100, 4, seed=1)
+        with pytest.raises(WorkloadError):
+            Workload(
+                name="bad",
+                table=table,
+                queries=[RangeQuery([0.0, 0.0], [1.0, 1.0])],  # missing label
+                groups=[(0, 1), (2, 3)],
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            shifting_workload(100, 2, 10, n_groups=0)
+
+
+class TestRealWorkloads:
+    def test_power_shape(self):
+        workload = power_workload(n_rows=3_000, n_queries=20)
+        assert workload.table.n_columns == 3
+        assert workload.n_queries == 20
+        assert workload.metadata["simulated"]
+
+    def test_skyserver_shape(self):
+        workload = skyserver_workload(n_rows=3_000, n_queries=20)
+        assert workload.table.n_columns == 2
+        assert workload.table.names == ["ra", "dec"]
+        ra = workload.table.column(0)
+        assert ra.min() >= 0.0 and ra.max() <= 360.0
+
+    def test_skyserver_queries_are_skewed(self):
+        workload = skyserver_workload(n_rows=3_000, n_queries=200, seed=1)
+        centres = np.array([(q.lows[0] + q.highs[0]) / 2 for q in workload.queries])
+        # Hot clusters: the most popular 30-degree band holds many queries.
+        histogram, _ = np.histogram(centres, bins=12, range=(0, 360))
+        assert histogram.max() > 3 * max(1, histogram.mean())
+
+    def test_genomics_shape(self):
+        workload = genomics_workload(n_rows=3_000, n_queries=15)
+        assert workload.table.n_columns == 19
+        assert workload.n_queries == 15
+
+    def test_genomics_queries_selective_conjunctions(self):
+        workload = genomics_workload(n_rows=5_000, n_queries=10, seed=2)
+        selectivities = [
+            selectivity_of(workload.table, q) for q in workload.queries
+        ]
+        assert np.mean(selectivities) < 0.3  # stacked weak predicates
+
+    def test_workload_repr(self):
+        workload = power_workload(n_rows=1_000, n_queries=5)
+        assert "Power" in repr(workload)
+
+    def test_empty_workload_rejected(self):
+        table = uniform_table(10, 1)
+        with pytest.raises(WorkloadError):
+            Workload(name="empty", table=table, queries=[])
+
+
+class TestExtensionPatterns:
+    def test_zoomin_windows_shrink(self):
+        table = uniform_table(2_000, 2, seed=30)
+        from repro.workloads.patterns import zoom_in_queries
+
+        queries = zoom_in_queries(table, 20, 0.01, seed=31)
+        extents = [q.highs[0] - q.lows[0] for q in queries]
+        assert all(b <= a + 1e-9 for a, b in zip(extents, extents[1:]))
+        assert extents[-1] < extents[0] / 5
+
+    def test_zoomin_floors_at_selectivity(self):
+        table = uniform_table(2_000, 2, seed=32)
+        from repro.workloads.patterns import zoom_in_queries
+
+        queries = zoom_in_queries(table, 60, 0.01, seed=33)
+        span = table.maximums()[0] - table.minimums()[0]
+        floor = span * per_dimension_selectivity(0.01, 2)
+        assert queries[-1].highs[0] - queries[-1].lows[0] == pytest.approx(
+            floor, rel=0.01
+        )
+
+    def test_zoomin_shrink_validated(self):
+        table = uniform_table(100, 1, seed=34)
+        from repro.workloads.patterns import zoom_in_queries
+
+        with pytest.raises(WorkloadError):
+            zoom_in_queries(table, 5, 0.01, shrink=1.5)
+
+    def test_mixed_changes_character(self):
+        table = uniform_table(2_000, 2, seed=35)
+        from repro.workloads.patterns import mixed_queries
+
+        queries = mixed_queries(table, 40, 0.01, seed=36, segment=10)
+        assert len(queries) == 40
+        # Segments differ: centres of different segments have different
+        # dispersion characters (weak but deterministic check).
+        first = np.array([q.lows[0] for q in queries[:10]])
+        later = np.array([q.lows[0] for q in queries[10:20]])
+        assert not np.allclose(first.std(), later.std(), rtol=1e-6)
+
+    def test_mixed_segment_validated(self):
+        table = uniform_table(100, 1, seed=37)
+        from repro.workloads.patterns import mixed_queries
+
+        with pytest.raises(WorkloadError):
+            mixed_queries(table, 5, 0.01, segment=0)
+
+    def test_extension_patterns_in_registry(self):
+        assert "zoomin" in SYNTHETIC_PATTERNS
+        assert "mixed" in SYNTHETIC_PATTERNS
+        workload = make_synthetic_workload("zoomin", 500, 2, 10, seed=38)
+        assert workload.name == "ZoomIn(2)"
+
+
+class TestTablePassthrough:
+    def test_make_synthetic_workload_reuses_table(self):
+        table = uniform_table(800, 2, seed=50)
+        workload = make_synthetic_workload(
+            "uniform", 999_999, 2, 10, 0.01, seed=51, table=table
+        )
+        assert workload.table is table  # n_rows argument ignored when given

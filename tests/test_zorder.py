@@ -1,0 +1,156 @@
+"""Z-order range decomposition (BIGMIN/LITMAX-style)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import InvalidParameterError, SFCCracking
+from repro.baselines.zorder import interleave_point, merge_ranges, z_query_ranges
+from tests.conftest import assert_correct, make_queries, make_uniform_table
+
+
+def cells_in_box(low_cells, high_cells, bits, d):
+    """All Morton keys of cells inside the box (brute force)."""
+    import itertools
+
+    axes = [range(low_cells[i], high_cells[i] + 1) for i in range(d)]
+    return {
+        interleave_point(tuple(point), bits)
+        for point in itertools.product(*axes)
+    }
+
+
+class TestMergeRanges:
+    def test_merges_adjacent(self):
+        assert merge_ranges([(0, 3), (4, 7)]) == [(0, 7)]
+
+    def test_merges_overlapping(self):
+        assert merge_ranges([(0, 5), (3, 9)]) == [(0, 9)]
+
+    def test_keeps_gaps(self):
+        assert merge_ranges([(0, 1), (5, 6)]) == [(0, 1), (5, 6)]
+
+    def test_sorts_input(self):
+        assert merge_ranges([(5, 6), (0, 1)]) == [(0, 1), (5, 6)]
+
+    def test_empty(self):
+        assert merge_ranges([]) == []
+
+
+class TestDecomposition:
+    def test_whole_space_is_one_range(self):
+        ranges = z_query_ranges([0, 0], [15, 15], bits=4)
+        assert ranges == [(0, 255)]
+
+    def test_single_cell(self):
+        ranges = z_query_ranges([3, 5], [3, 5], bits=4)
+        key = interleave_point((3, 5), 4)
+        assert ranges == [(key, key)]
+
+    def test_exact_cover_small_boxes(self):
+        # With a generous budget, the union of ranges must be exactly the
+        # box's cells — no false candidates at all.
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            low = rng.integers(0, 12, 2)
+            high = low + rng.integers(0, 4, 2)
+            ranges = z_query_ranges(low, high, bits=4, max_ranges=1024)
+            covered = set()
+            for z_low, z_high in ranges:
+                covered.update(range(z_low, z_high + 1))
+            assert covered == cells_in_box(low, high, 4, 2)
+
+    def test_superset_under_tight_budget(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            low = rng.integers(0, 10, 2)
+            high = low + rng.integers(0, 6, 2)
+            ranges = z_query_ranges(low, high, bits=4, max_ranges=3)
+            assert len(ranges) <= 3
+            covered = set()
+            for z_low, z_high in ranges:
+                covered.update(range(z_low, z_high + 1))
+            assert covered >= cells_in_box(low, high, 4, 2)
+
+    def test_tighter_than_naive_range(self):
+        low, high = [2, 2], [5, 5]
+        bits = 4
+        naive_span = (
+            interleave_point((5, 5), bits) - interleave_point((2, 2), bits) + 1
+        )
+        ranges = z_query_ranges(low, high, bits, max_ranges=64)
+        decomposed_span = sum(z_high - z_low + 1 for z_low, z_high in ranges)
+        assert decomposed_span < naive_span
+        assert decomposed_span == 16  # exactly the 4x4 box
+
+    def test_empty_box(self):
+        assert z_query_ranges([5], [3], bits=4) == []
+
+    def test_three_dims(self):
+        ranges = z_query_ranges([1, 1, 1], [2, 2, 2], bits=3, max_ranges=512)
+        covered = set()
+        for z_low, z_high in ranges:
+            covered.update(range(z_low, z_high + 1))
+        assert covered == cells_in_box([1, 1, 1], [2, 2, 2], 3, 3)
+
+    def test_key_budget_validated(self):
+        with pytest.raises(InvalidParameterError):
+            z_query_ranges([0] * 8, [1] * 8, bits=8)
+        with pytest.raises(InvalidParameterError):
+            z_query_ranges([0, 0], [1], bits=4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        low0=st.integers(0, 15), low1=st.integers(0, 15),
+        extent0=st.integers(0, 15), extent1=st.integers(0, 15),
+        budget=st.integers(1, 64),
+    )
+    def test_always_a_superset_property(self, low0, low1, extent0, extent1, budget):
+        low = [low0, low1]
+        high = [min(15, low0 + extent0), min(15, low1 + extent1)]
+        ranges = z_query_ranges(low, high, bits=4, max_ranges=budget)
+        covered = set()
+        for z_low, z_high in ranges:
+            covered.update(range(z_low, z_high + 1))
+        assert covered >= cells_in_box(low, high, 4, 2)
+        assert len(ranges) <= budget
+
+
+class TestSFCWithDecomposition:
+    def test_correct_answers(self):
+        table = make_uniform_table(2_000, 2, seed=70)
+        queries = make_queries(table, 12, width_fraction=0.15, seed=71)
+        index = SFCCracking(table, decompose_ranges=32)
+        assert_correct(index, table, queries)
+
+    def test_fewer_false_candidates_than_naive(self):
+        table = make_uniform_table(5_000, 2, seed=72)
+        queries = make_queries(table, 10, width_fraction=0.1, seed=73)
+        naive = SFCCracking(table)
+        tight = SFCCracking(table, decompose_ranges=32)
+        naive_scanned = sum(naive.query(q).stats.scanned for q in queries)
+        tight_scanned = sum(tight.query(q).stats.scanned for q in queries)
+        assert tight_scanned < naive_scanned / 2
+
+    def test_decompose_param_validated(self):
+        table = make_uniform_table(100, 2)
+        with pytest.raises(InvalidParameterError):
+            SFCCracking(table, decompose_ranges=-1)
+
+
+class TestInterleaveConsistency:
+    def test_matches_vectorised_morton(self):
+        """interleave_point (scalar) must agree with morton_encode
+        (vectorised) bit for bit."""
+        import itertools
+
+        from repro.baselines.sfc_cracking import morton_encode
+
+        cells = np.array(
+            list(itertools.product(range(4), range(4), range(4)))
+        ).T.astype(np.uint64)
+        vectorised = morton_encode(cells, bits=2)
+        for position in range(cells.shape[1]):
+            point = tuple(int(cells[dim, position]) for dim in range(3))
+            assert interleave_point(point, 2) == int(vectorised[position])
