@@ -58,11 +58,18 @@ from .baselines import (
     SFCCracking,
 )
 from .session import ExplorationSession, SessionResult
+from .invariants import (
+    InvariantMonitor,
+    assert_invariants,
+    convergence_determinism_errors,
+    structural_errors,
+)
 from .errors import (
     IndexStateError,
     InvalidParameterError,
     InvalidQueryError,
     InvalidTableError,
+    InvariantViolationError,
     ReproError,
     WorkloadError,
 )
@@ -105,11 +112,16 @@ __all__ = [
     "Quasii",
     "CrackerColumn",
     "SFCCracking",
+    "InvariantMonitor",
+    "assert_invariants",
+    "structural_errors",
+    "convergence_determinism_errors",
     "ReproError",
     "InvalidQueryError",
     "InvalidTableError",
     "InvalidParameterError",
     "IndexStateError",
+    "InvariantViolationError",
     "WorkloadError",
     "__version__",
 ]

@@ -36,7 +36,7 @@ from ..core.partition import stable_partition
 from ..core.query import RangeQuery
 from ..core.scan import range_scan
 from ..core.table import Table
-from ..errors import InvalidParameterError
+from ..errors import IndexStateError, InvalidParameterError
 
 __all__ = ["Quasii", "QPiece"]
 
@@ -276,3 +276,44 @@ class Quasii(BaseIndex):
     @property
     def index_table(self) -> Optional[IndexTable]:
         return self._index
+
+    def self_check(self) -> None:
+        """Verify the QUASII hierarchy invariants; raises on breach.
+
+        * each level's pieces tile their parent's row range in order;
+        * every row of a level-``i`` piece satisfies the piece's own
+          half-open bound ``low < x <= high`` on dimension ``i - 1``;
+        * levels never exceed the table's dimensionality.
+        """
+        if self._index is None:
+            return
+
+        def walk(container: List[QPiece], start: int, end: int) -> None:
+            expected = start
+            for piece in container:
+                if piece.start != expected:
+                    raise IndexStateError(
+                        f"QUASII gap: expected start {expected}, got {piece!r}"
+                    )
+                expected = piece.end
+                if piece.level > self.n_dims:
+                    raise IndexStateError(f"level overflow in {piece!r}")
+                values = self._index.columns[piece.level - 1][
+                    piece.start : piece.end
+                ]
+                if np.isfinite(piece.low) and not (values > piece.low).all():
+                    raise IndexStateError(
+                        f"{piece!r} holds rows <= its lower bound {piece.low}"
+                    )
+                if np.isfinite(piece.high) and not (values <= piece.high).all():
+                    raise IndexStateError(
+                        f"{piece!r} holds rows > its upper bound {piece.high}"
+                    )
+                if piece.children is not None:
+                    walk(piece.children, piece.start, piece.end)
+            if expected != end:
+                raise IndexStateError(
+                    f"QUASII pieces cover [.., {expected}), parent ends at {end}"
+                )
+
+        walk(self._top, 0, self.n_rows)

@@ -24,7 +24,7 @@ from ..core.index_base import BaseIndex
 from ..core.metrics import PhaseTimer, QueryStats
 from ..core.query import RangeQuery
 from ..core.table import Table
-from ..errors import InvalidParameterError
+from ..errors import IndexStateError, InvalidParameterError
 from .cracking1d import CrackerColumn
 
 __all__ = ["SFCCracking", "morton_encode", "quantize"]
@@ -190,3 +190,20 @@ class SFCCracking(BaseIndex):
     @property
     def converged(self) -> bool:
         return False
+
+    def self_check(self) -> None:
+        """Verify the cracker-column invariants; raises on breach.
+
+        Delegates the crack-boundary checks to the cracker column itself,
+        then verifies the rowid column is still a permutation of
+        ``[0, N)`` — cracking permutes rows, it must never drop or
+        duplicate them.
+        """
+        if self._cracker is None:
+            return
+        self._cracker.validate()
+        rowids = np.sort(self._cracker.rowids)
+        if not np.array_equal(rowids, np.arange(self.n_rows, dtype=np.int64)):
+            raise IndexStateError(
+                "SFC cracker rowids are not a permutation of the table rows"
+            )

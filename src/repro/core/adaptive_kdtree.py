@@ -24,7 +24,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from .cost_model import CostModel, MachineProfile
-from .index_base import BaseIndex, IndexTable
+from .index_base import BaseIndex, IndexDebugState, IndexTable
 from .kdtree import KDTree
 from .metrics import PhaseTimer, QueryStats
 from .node import Piece
@@ -181,3 +181,15 @@ class AdaptiveKDTree(BaseIndex):
     @property
     def index_table(self) -> Optional[IndexTable]:
         return self._index
+
+    def debug_state(self) -> IndexDebugState:
+        """Generic KD state plus the open-piece counter.
+
+        ``_open_pieces`` is maintained incrementally by :meth:`_split`;
+        exposing it lets the invariant checkers cross-validate the counter
+        against an actual count of above-threshold leaves (a drifting
+        counter would silently corrupt :attr:`converged`).
+        """
+        state = super().debug_state()
+        state.extras["open_pieces"] = self._open_pieces
+        return state

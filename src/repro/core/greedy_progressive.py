@@ -34,6 +34,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from .cost_model import CostModel
+from .index_base import IndexDebugState
 from .metrics import PhaseTimer, QueryStats
 from .progressive_kdtree import CONVERGED, CREATION, REFINEMENT, ProgressiveKDTree
 from .query import RangeQuery
@@ -256,6 +257,14 @@ class GreedyProgressiveKDTree(ProgressiveKDTree):
             (self.n_dims + 1) * self.n_rows
         )
         return answer
+
+    def debug_state(self) -> IndexDebugState:
+        """PKD state plus the greedy controller's target bookkeeping."""
+        state = super().debug_state()
+        state.extras["t_total"] = self._t_total
+        state.extras["under_tau"] = self._under_tau
+        state.extras["fixed_budget_seconds"] = self._fixed_budget_seconds
+        return state
 
     def _reactive(self, query: RangeQuery, stats: QueryStats) -> None:
         model = self.cost_model

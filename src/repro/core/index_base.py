@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +24,7 @@ from .query import RangeQuery
 from .scan import range_scan
 from .table import Table
 
-__all__ = ["QueryResult", "IndexTable", "BaseIndex"]
+__all__ = ["QueryResult", "IndexTable", "BaseIndex", "IndexDebugState"]
 
 
 class QueryResult:
@@ -106,6 +107,49 @@ class IndexTable:
         return self.rowids[positions]
 
 
+@dataclass
+class IndexDebugState:
+    """Snapshot of an index's internal structures for invariant checking.
+
+    This is the debug-only introspection contract between the index
+    backends and :mod:`repro.invariants`: it is built on demand by
+    :meth:`BaseIndex.debug_state` and never touched on the query hot path.
+
+    Attributes
+    ----------
+    index:
+        The index the state was captured from.
+    tree, index_table:
+        The KD-Tree and reorganised column copies, when the backend has
+        them materialised (``None`` otherwise — e.g. before the first
+        query, or for non-KD backends).
+    size_threshold:
+        Convergence piece size, when the backend has one.
+    filled_ranges:
+        Row ranges of the index table that currently hold valid rows.
+        ``None`` means "all of ``[0, n_rows)``"; the Progressive KD-Tree
+        overrides this during its creation phase, where the middle of the
+        index table is still uninitialised.
+    open_pieces:
+        The backend's own work-list of unconverged pieces, when it keeps
+        one (PKD/GPKD refinement).
+    phase:
+        Lifecycle phase string for phase-aware checks.
+    extras:
+        Backend-specific scalars the checkers can cross-validate
+        (e.g. PKD creation write cursors, AKD's open-piece counter).
+    """
+
+    index: "BaseIndex"
+    tree: Optional[object] = None
+    index_table: Optional["IndexTable"] = None
+    size_threshold: Optional[int] = None
+    filled_ranges: Optional[List[Tuple[int, int]]] = None
+    open_pieces: Optional[list] = None
+    phase: Optional[str] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
 class BaseIndex(ABC):
     """Abstract incremental multidimensional index.
 
@@ -150,6 +194,31 @@ class BaseIndex(ABC):
     def node_count(self) -> int:
         """Number of index nodes currently materialised (Fig. 6d)."""
         return 0
+
+    # -- debug introspection (invariant checking; never on the hot path) ------
+
+    def debug_state(self) -> IndexDebugState:
+        """Expose internal structures to :mod:`repro.invariants`.
+
+        The default implementation covers every KD-based backend via the
+        conventional ``tree`` / ``index_table`` / ``size_threshold``
+        attributes; backends with partial or non-KD state override it.
+        """
+        return IndexDebugState(
+            index=self,
+            tree=getattr(self, "tree", None),
+            index_table=getattr(self, "index_table", None),
+            size_threshold=getattr(self, "size_threshold", None),
+        )
+
+    def self_check(self) -> None:
+        """Backend-specific structural self-check; raises on breach.
+
+        Debug-only: called by the invariant checkers and the fuzzer, never
+        by :meth:`query`.  Backends whose structure is not a KD-Tree
+        (QUASII's hierarchy, the cracker columns) override this to verify
+        their own organisation.
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(N={self.n_rows}, d={self.n_dims})"

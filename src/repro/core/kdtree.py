@@ -183,10 +183,32 @@ class KDTree:
     def max_leaf_size(self) -> int:
         return max((leaf.size for leaf in self.iter_leaves()), default=0)
 
+    def preorder_signature(self) -> List[Tuple[int, float, int]]:
+        """Preorder ``(dim, key, split)`` triples; leaves are ``(-1, 0, 0)``.
+
+        Two trees over the same table are structurally identical iff their
+        signatures are equal — the comparison behind the PKD/GPKD
+        determinism invariant (a converged progressive tree must match the
+        up-front mean-pivot KD-Tree) and the serialize round-trip test.
+        """
+        signature: List[Tuple[int, float, int]] = []
+        stack: List[AnyNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf():
+                signature.append((-1, 0.0, 0))
+            else:
+                signature.append((node.dim, node.key, node.split))
+                stack.append(node.right)
+                stack.append(node.left)
+        return signature
+
     # -- validation (used heavily by the test suite) --------------------------
 
-    def validate(self, columns: Sequence[np.ndarray]) -> None:
-        """Check all structural invariants; raises IndexStateError on breach.
+    def structural_errors(self, columns: Sequence[np.ndarray]) -> List[str]:
+        """All structural invariant breaches, as human-readable strings.
+
+        Checked invariants:
 
         * leaf ranges tile ``[0, n_rows)`` exactly, in order;
         * every internal node's split lies strictly inside its range and
@@ -195,40 +217,54 @@ class KDTree:
           inside an unfinished incremental-partition window, which are by
           definition not yet classified against the piece's own pivot (the
           *path* bounds must still hold for them).
+
+        Unlike :meth:`validate` this collects *every* breach, so the
+        invariant tooling can report the full picture in one shot.
         """
+        problems: List[str] = []
         expected_start = 0
         for leaf, lob, hib in self.iter_leaves_with_bounds():
             if leaf.start != expected_start:
-                raise IndexStateError(
+                problems.append(
                     f"leaf gap: expected start {expected_start}, got {leaf.start}"
                 )
             expected_start = leaf.end
             for dim in range(self.n_dims):
                 values = columns[dim][leaf.start : leaf.end]
                 if np.isfinite(lob[dim]) and not (values > lob[dim]).all():
-                    raise IndexStateError(
+                    problems.append(
                         f"leaf [{leaf.start},{leaf.end}) violates lower bound "
                         f"{lob[dim]} on dim {dim}"
                     )
                 if np.isfinite(hib[dim]) and not (values <= hib[dim]).all():
-                    raise IndexStateError(
+                    problems.append(
                         f"leaf [{leaf.start},{leaf.end}) violates upper bound "
                         f"{hib[dim]} on dim {dim}"
                     )
         if expected_start != self.n_rows:
-            raise IndexStateError(
+            problems.append(
                 f"leaves cover [0, {expected_start}), table has {self.n_rows} rows"
             )
-        self._validate_internal(self.root)
+        self._internal_errors(self.root, problems)
+        return problems
 
-    def _validate_internal(self, node: AnyNode) -> None:
+    def validate(self, columns: Sequence[np.ndarray]) -> None:
+        """Check all structural invariants; raises IndexStateError on breach.
+
+        See :meth:`structural_errors` for the invariant catalogue.
+        """
+        problems = self.structural_errors(columns)
+        if problems:
+            raise IndexStateError("; ".join(problems))
+
+    def _internal_errors(self, node: AnyNode, problems: List[str]) -> None:
         if node.is_leaf():
             return
         if not (node.start < node.split < node.end):
-            raise IndexStateError(f"bad split in {node!r}")
+            problems.append(f"bad split in {node!r}")
         if node.left.start != node.start or node.left.end != node.split:
-            raise IndexStateError(f"left child range mismatch under {node!r}")
+            problems.append(f"left child range mismatch under {node!r}")
         if node.right.start != node.split or node.right.end != node.end:
-            raise IndexStateError(f"right child range mismatch under {node!r}")
-        self._validate_internal(node.left)
-        self._validate_internal(node.right)
+            problems.append(f"right child range mismatch under {node!r}")
+        self._internal_errors(node.left, problems)
+        self._internal_errors(node.right, problems)

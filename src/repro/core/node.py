@@ -13,7 +13,7 @@ partition job, and a convergence flag.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from .partition import IncrementalPartition
 
@@ -117,6 +117,18 @@ class Piece:
 
     def is_leaf(self) -> bool:
         return True
+
+    def job_window(self) -> Optional[Tuple[int, int]]:
+        """The unclassified row window ``[lo, hi)`` of a paused partition.
+
+        ``None`` when no refinement job is attached or the job already ran
+        to completion.  Rows inside the window are not yet classified
+        against the piece's own pivot; the invariant checkers exempt
+        exactly this window from the paused-partition side checks.
+        """
+        if self.job is None or self.job.done:
+            return None
+        return self.job.lo, self.job.hi
 
     def __repr__(self) -> str:
         state = "converged" if self.converged else "open"

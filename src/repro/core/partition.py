@@ -167,3 +167,40 @@ class IncrementalPartition:
         while not self.done:
             total += self.advance(self.end - self.start + 1)
         return total
+
+    def invariant_errors(self) -> List[str]:
+        """Breaches of the paused-partition invariant, as strings.
+
+        Verifies the three-region contract :meth:`advance` maintains —
+        ``[start, lo)`` classified ``<= pivot``, ``[hi, end)`` classified
+        ``> pivot``, ``[lo, hi)`` untouched-but-unclassified — plus pointer
+        sanity and the ``done`` flag.  Debug-only (reads the key column);
+        used by :mod:`repro.invariants` and the fuzzer.
+        """
+        problems: List[str] = []
+        if not (self.start <= self.lo <= self.hi <= self.end):
+            problems.append(
+                f"partition pointers out of order: start={self.start}, "
+                f"lo={self.lo}, hi={self.hi}, end={self.end}"
+            )
+            return problems
+        if self.done != (self.lo >= self.hi):
+            problems.append(
+                f"done flag is {self.done} with lo={self.lo}, hi={self.hi}"
+            )
+        keys = self.arrays[self.key_index]
+        left = keys[self.start : self.lo]
+        if left.size and not (left <= self.pivot).all():
+            bad = int(self.start + np.argmax(left > self.pivot))
+            problems.append(
+                f"row {bad} in classified-left [{self.start},{self.lo}) has "
+                f"key {keys[bad]} > pivot {self.pivot}"
+            )
+        right = keys[self.hi : self.end]
+        if right.size and not (right > self.pivot).all():
+            bad = int(self.hi + np.argmax(right <= self.pivot))
+            problems.append(
+                f"row {bad} in classified-right [{self.hi},{self.end}) has "
+                f"key {keys[bad]} <= pivot {self.pivot}"
+            )
+        return problems

@@ -33,7 +33,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from .cost_model import CostModel, MachineProfile
-from .index_base import BaseIndex, IndexTable
+from .index_base import BaseIndex, IndexDebugState, IndexTable
 from .kdtree import KDTree
 from .metrics import PhaseTimer, QueryStats
 from .node import Piece
@@ -467,3 +467,42 @@ class ProgressiveKDTree(BaseIndex):
     def rows_copied(self) -> int:
         """Rows moved into the index table so far (creation progress)."""
         return self._rows_copied
+
+    def debug_state(self) -> IndexDebugState:
+        """Full internal state for the invariant checkers.
+
+        During the creation phase only the top/bottom write regions of the
+        index table hold valid rows; ``filled_ranges`` narrows the
+        alignment checks accordingly, and the creation cursors plus the
+        first pivot go into ``extras`` so the phase-specific creation
+        invariant (top side ``<= pivot0``, bottom side ``> pivot0``, both
+        sides together holding exactly the copied base prefix) can be
+        verified.
+        """
+        if self.phase == CREATION and self._index is not None:
+            filled = [
+                span
+                for span in (
+                    (0, self._top_write),
+                    (self._bottom_write + 1, self.n_rows),
+                )
+                if span[0] < span[1]
+            ]
+        else:
+            filled = None
+        return IndexDebugState(
+            index=self,
+            tree=self._tree,
+            index_table=self._index,
+            size_threshold=self.size_threshold,
+            filled_ranges=filled,
+            open_pieces=list(self._open),
+            phase=self.phase,
+            extras={
+                "pivot0": self._pivot0,
+                "rows_copied": self._rows_copied,
+                "top_write": self._top_write,
+                "bottom_write": self._bottom_write,
+                "active_piece": self._active,
+            },
+        )

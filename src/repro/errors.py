@@ -28,5 +28,23 @@ class IndexStateError(ReproError):
     """An operation was attempted in an illegal index state."""
 
 
+class InvariantViolationError(IndexStateError):
+    """One or more structural invariants of an index do not hold.
+
+    Raised by :func:`repro.invariants.assert_invariants`; carries the full
+    list of violations so a single failure reports everything that broke.
+    """
+
+    def __init__(self, index_name: str, problems) -> None:
+        self.index_name = index_name
+        self.problems = list(problems)
+        listing = "; ".join(self.problems[:10])
+        suffix = "" if len(self.problems) <= 10 else f" (+{len(self.problems) - 10} more)"
+        super().__init__(
+            f"{index_name}: {len(self.problems)} invariant violation(s): "
+            f"{listing}{suffix}"
+        )
+
+
 class WorkloadError(ReproError):
     """A workload definition could not be generated or validated."""

@@ -1,0 +1,526 @@
+"""Seeded differential fuzzer for all index backends.
+
+``python -m repro.fuzz`` drives randomized workloads through every index
+in this package and, after **every single query**, checks both halves of
+the correctness contract:
+
+* the *answer* — must equal a full scan of the base table
+  (the paper's master invariant, via the same reference used by
+  :mod:`repro.validation`);
+* the *structure* — the full invariant suite of :mod:`repro.invariants`,
+  including cross-query monotonicity and (on integer-valued data) the
+  converged-tree determinism check.
+
+Workload kinds cover the regimes where incremental indexes break:
+``uniform`` boxes, ``skewed`` lognormal data with hotspot queries,
+``zoom`` sequences converging on a point, ``duplicate``-heavy integer
+grids (ties on every pivot), and ``degenerate`` tables with a
+single-valued column (unsplittable dimensions).  Query generation mixes
+in ±inf half-open sides, bounds equal to existing data values (the
+off-by-one surface), and empty ranges.
+
+Every run is reproducible from its seed.  On failure the fuzzer shrinks
+the workload with a delta-debugging pass, saves a JSON repro file, and
+prints the exact replay command::
+
+    python -m repro.fuzz --replay fuzz-failure-akd-uniform-seed0.json
+
+Exit status is 0 for a clean run, 1 when any failure survived.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .baselines import (
+    AverageKDTree,
+    FullScan,
+    MedianKDTree,
+    Quasii,
+    SFCCracking,
+)
+from .core import (
+    AdaptiveKDTree,
+    GreedyProgressiveKDTree,
+    ProgressiveKDTree,
+    RangeQuery,
+    Table,
+)
+from .core.metrics import QueryStats
+from .core.scan import full_scan
+from .invariants import InvariantMonitor, convergence_determinism_errors
+
+__all__ = [
+    "BACKENDS",
+    "WORKLOAD_KINDS",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "make_backend",
+    "build_workload",
+    "run_backend_case",
+    "minimize_queries",
+    "run_fuzz",
+    "replay",
+    "main",
+]
+
+#: backend name -> factory(table, case); the eight techniques under test.
+BACKENDS: Dict[str, Callable[[Table, "FuzzCase"], object]] = {
+    "fs": lambda table, case: FullScan(table),
+    "avgkd": lambda table, case: AverageKDTree(
+        table, size_threshold=case.size_threshold
+    ),
+    "medkd": lambda table, case: MedianKDTree(
+        table, size_threshold=case.size_threshold
+    ),
+    "akd": lambda table, case: AdaptiveKDTree(
+        table, size_threshold=case.size_threshold
+    ),
+    "pkd": lambda table, case: ProgressiveKDTree(
+        table, delta=case.delta, size_threshold=case.size_threshold
+    ),
+    "gpkd": lambda table, case: GreedyProgressiveKDTree(
+        table, delta=case.delta, size_threshold=case.size_threshold
+    ),
+    "quasii": lambda table, case: Quasii(
+        table, size_threshold=case.size_threshold
+    ),
+    "sfc": lambda table, case: SFCCracking(table),
+}
+
+WORKLOAD_KINDS = ["uniform", "skewed", "zoom", "duplicate", "degenerate"]
+
+
+@dataclass
+class FuzzCase:
+    """One reproducible workload: everything derives from these scalars."""
+
+    seed: int
+    kind: str
+    n_rows: int
+    n_dims: int
+    n_queries: int
+    size_threshold: int = 64
+    delta: float = 0.25
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(
+            [self.seed, WORKLOAD_KINDS.index(self.kind)]
+        )
+
+
+@dataclass
+class FuzzFailure:
+    """One backend failure, minimized and replayable."""
+
+    backend: str
+    case: FuzzCase
+    query_position: int
+    problems: List[str]
+    query_indices: List[int] = field(default_factory=list)
+
+    def describe(self) -> str:
+        head = (
+            f"{self.backend}/{self.case.kind}: FAILED at query "
+            f"#{self.query_position} (minimized to "
+            f"{len(self.query_indices)} queries)"
+        )
+        return head + "".join(f"\n    - {p}" for p in self.problems[:5])
+
+    def to_json(self) -> str:
+        payload = {"backend": self.backend, "case": asdict(self.case)}
+        payload["query_indices"] = self.query_indices
+        payload["problems"] = self.problems
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzFailure":
+        payload = json.loads(text)
+        return cls(
+            backend=payload["backend"],
+            case=FuzzCase(**payload["case"]),
+            query_position=0,
+            problems=payload.get("problems", []),
+            query_indices=list(payload["query_indices"]),
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one full fuzz run."""
+
+    cases_run: int = 0
+    queries_run: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def make_backend(name: str, table: Table, case: FuzzCase):
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown backend {name!r}; options: all, {', '.join(sorted(BACKENDS))}"
+        ) from None
+    return factory(table, case)
+
+
+# ---------------------------------------------------------------- workloads
+
+def _build_table(case: FuzzCase, rng: np.random.Generator) -> Table:
+    n, d = case.n_rows, case.n_dims
+    if case.kind == "skewed":
+        matrix = rng.lognormal(0.0, 2.0, size=(n, d))
+    elif case.kind == "duplicate":
+        matrix = rng.integers(0, 20, size=(n, d)).astype(np.float64)
+    elif case.kind == "degenerate":
+        matrix = rng.random((n, d)) * 100.0
+        matrix[:, rng.integers(0, d)] = 42.0  # one single-valued column
+    else:  # uniform / zoom share uniform data
+        matrix = rng.random((n, d)) * 100.0
+    return Table.from_matrix(matrix)
+
+
+def _random_bounds(
+    rng: np.random.Generator, column: np.ndarray
+) -> Tuple[float, float]:
+    """One dimension's ``(low, high)``, biased toward the failure surface."""
+    lo_dom = float(column.min())
+    hi_dom = float(column.max())
+    span = max(hi_dom - lo_dom, 1.0)
+    roll = rng.random()
+    if roll < 0.10:
+        return -np.inf, float(rng.uniform(lo_dom - 0.1 * span, hi_dom + 0.1 * span))
+    if roll < 0.20:
+        return float(rng.uniform(lo_dom - 0.1 * span, hi_dom + 0.1 * span)), np.inf
+    if roll < 0.40:
+        # Bounds sitting exactly on data values: the half-open off-by-one
+        # surface (a row equal to `low` must be excluded, equal to `high`
+        # included).
+        low = float(column[rng.integers(0, column.shape[0])])
+        high = float(column[rng.integers(0, column.shape[0])])
+        if low > high:
+            low, high = high, low
+        return low, high
+    if roll < 0.45:
+        value = float(rng.uniform(lo_dom, hi_dom))
+        return value, value  # legal but empty range
+    a = float(rng.uniform(lo_dom - 0.05 * span, hi_dom + 0.05 * span))
+    b = float(rng.uniform(lo_dom - 0.05 * span, hi_dom + 0.05 * span))
+    return (a, b) if a <= b else (b, a)
+
+
+def _zoom_queries(
+    rng: np.random.Generator, table: Table, n_queries: int
+) -> List[RangeQuery]:
+    minimums = table.minimums()
+    maximums = table.maximums()
+    spans = np.maximum(maximums - minimums, 1e-9)
+    target = minimums + rng.random(table.n_columns) * spans
+    queries = []
+    for position in range(n_queries):
+        width = spans * (0.9 ** position) * 0.5
+        lows = np.maximum(minimums - 0.01 * spans, target - width)
+        highs = np.minimum(maximums + 0.01 * spans, target + width)
+        highs = np.maximum(highs, lows)
+        queries.append(RangeQuery(lows, highs))
+    return queries
+
+
+def build_workload(case: FuzzCase) -> Tuple[Table, List[RangeQuery]]:
+    """Reconstruct the case's table and full query list from its seed."""
+    rng = case.rng()
+    table = _build_table(case, rng)
+    if case.kind == "zoom":
+        queries = _zoom_queries(rng, table, case.n_queries)
+    elif case.kind == "skewed":
+        # Hotspot queries over skewed data: most boxes land in the dense
+        # low-value region, a few sweep the long tail.
+        queries = []
+        for _ in range(case.n_queries):
+            bounds = [
+                _random_bounds(rng, table.column(dim))
+                for dim in range(case.n_dims)
+            ]
+            if rng.random() < 0.7:
+                bounds = [
+                    (low, min(high, float(np.median(table.column(dim)) * 2)))
+                    if np.isfinite(high)
+                    else (low, high)
+                    for dim, (low, high) in enumerate(bounds)
+                ]
+            bounds = [(min(l, h), max(l, h)) for l, h in bounds]
+            queries.append(
+                RangeQuery([b[0] for b in bounds], [b[1] for b in bounds])
+            )
+    else:
+        queries = [
+            RangeQuery(
+                *zip(
+                    *[
+                        _random_bounds(rng, table.column(dim))
+                        for dim in range(case.n_dims)
+                    ]
+                )
+            )
+            for _ in range(case.n_queries)
+        ]
+    return table, queries
+
+
+# ------------------------------------------------------------------ driving
+
+def _reference(table: Table, query: RangeQuery) -> np.ndarray:
+    return np.sort(full_scan(table.columns(), query, QueryStats()))
+
+
+def run_backend_case(
+    backend: str,
+    table: Table,
+    queries: Sequence[RangeQuery],
+    case: FuzzCase,
+) -> Tuple[Optional[int], List[str]]:
+    """Drive one backend through one workload with per-query checking.
+
+    Returns ``(failing_query_position, problems)`` — ``(None, [])`` for a
+    clean run.  The first query that mis-answers, breaks an invariant, or
+    raises ends the run.
+    """
+    index = make_backend(backend, table, case)
+    monitor = InvariantMonitor(index)
+    for position, query in enumerate(queries):
+        try:
+            got = np.sort(index.query(query).row_ids)
+        except Exception as error:  # noqa: BLE001 - the fuzzer reports it
+            return position, [
+                f"query raised {type(error).__name__}: {error}"
+            ]
+        problems: List[str] = []
+        want = _reference(table, query)
+        if not np.array_equal(got, want):
+            missing = np.setdiff1d(want, got)
+            unexpected = np.setdiff1d(got, want)
+            problems.append(
+                f"answer mismatch: got {got.size} rows, expected {want.size} "
+                f"({missing.size} missing, {unexpected.size} unexpected) "
+                f"for {query!r}"
+            )
+        problems.extend(monitor.observe())
+        if problems:
+            return position, problems
+    if case.kind == "duplicate":
+        # Integer data: mean pivots are rounding-free, so the converged
+        # progressive trees must equal the up-front mean-pivot KD-Tree.
+        problems = convergence_determinism_errors(index)
+        if problems:
+            return len(queries) - 1, problems
+    return None, []
+
+
+def minimize_queries(
+    backend: str,
+    table: Table,
+    queries: Sequence[RangeQuery],
+    case: FuzzCase,
+    failing_position: int,
+    max_probes: int = 150,
+) -> List[int]:
+    """Delta-debug the failing workload down to a (near-)minimal prefix.
+
+    Returns the indices (into the original query list) still needed to
+    reproduce *a* failure.  Block-removal ddmin with a probe budget; the
+    result is 1-minimal when the budget suffices.
+    """
+    probes = [0]
+
+    def still_fails(indices: List[int]) -> bool:
+        if probes[0] >= max_probes:
+            return False
+        probes[0] += 1
+        position, _ = run_backend_case(
+            backend, table, [queries[i] for i in indices], case
+        )
+        return position is not None
+
+    kept = list(range(failing_position + 1))
+    block = max(1, len(kept) // 2)
+    while block >= 1:
+        cursor = 0
+        while cursor < len(kept) and len(kept) > 1:
+            trial = kept[:cursor] + kept[cursor + block :]
+            if trial and still_fails(trial):
+                kept = trial
+            else:
+                cursor += block
+        block //= 2
+    return kept
+
+
+def run_fuzz(
+    seed: int = 0,
+    queries: int = 50,
+    backends: Optional[Sequence[str]] = None,
+    kinds: Optional[Sequence[str]] = None,
+    rows: int = 1500,
+    dims: Optional[int] = None,
+    size_threshold: int = 64,
+    delta: float = 0.25,
+    save_dir: Optional[str] = None,
+    verbose: bool = False,
+    log: Callable[[str], None] = print,
+) -> FuzzReport:
+    """The full differential sweep: every kind x every backend."""
+    backend_names = list(BACKENDS) if backends is None else list(backends)
+    kind_names = WORKLOAD_KINDS if kinds is None else list(kinds)
+    for kind in kind_names:
+        if kind not in WORKLOAD_KINDS:
+            raise SystemExit(
+                f"unknown workload kind {kind!r}; "
+                f"options: {', '.join(WORKLOAD_KINDS)}"
+            )
+    report = FuzzReport()
+    for kind_position, kind in enumerate(kind_names):
+        case_dims = dims if dims is not None else 2 + kind_position % 2
+        case = FuzzCase(
+            seed=seed,
+            kind=kind,
+            n_rows=rows,
+            n_dims=case_dims,
+            n_queries=queries,
+            size_threshold=size_threshold,
+            delta=delta,
+        )
+        table, workload = build_workload(case)
+        for backend in backend_names:
+            position, problems = run_backend_case(backend, table, workload, case)
+            report.cases_run += 1
+            report.queries_run += (
+                len(workload) if position is None else position + 1
+            )
+            if position is None:
+                if verbose:
+                    log(f"{backend}/{kind}: OK ({len(workload)} queries)")
+                continue
+            indices = minimize_queries(
+                backend, table, workload, case, position
+            )
+            failure = FuzzFailure(
+                backend=backend,
+                case=case,
+                query_position=position,
+                problems=problems,
+                query_indices=indices,
+            )
+            report.failures.append(failure)
+            log(failure.describe())
+            if save_dir is not None:
+                path = (
+                    f"{save_dir.rstrip('/')}/"
+                    f"fuzz-failure-{backend}-{kind}-seed{seed}.json"
+                )
+                with open(path, "w") as handle:
+                    handle.write(failure.to_json())
+                log(f"    repro saved; replay with: python -m repro.fuzz "
+                    f"--replay {path}")
+    return report
+
+
+def replay(path: str, log: Callable[[str], None] = print) -> bool:
+    """Re-run a saved failure file; returns True when it still fails."""
+    with open(path) as handle:
+        failure = FuzzFailure.from_json(handle.read())
+    table, workload = build_workload(failure.case)
+    subset = [workload[i] for i in failure.query_indices]
+    position, problems = run_backend_case(
+        failure.backend, table, subset, failure.case
+    )
+    if position is None:
+        log(f"{path}: no longer reproduces ({len(subset)} queries clean)")
+        return False
+    log(
+        f"{path}: reproduces at query #{position} "
+        f"(original index {failure.query_indices[position]})"
+    )
+    for problem in problems:
+        log(f"    - {problem}")
+    return True
+
+
+# ---------------------------------------------------------------------- CLI
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential + invariant fuzzer for all index backends.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--queries", type=int, default=50, help="queries per (kind, backend) case"
+    )
+    parser.add_argument(
+        "--backends",
+        default="all",
+        help=f"comma list or 'all' ({', '.join(sorted(BACKENDS))})",
+    )
+    parser.add_argument(
+        "--kinds",
+        default="all",
+        help=f"comma list or 'all' ({', '.join(WORKLOAD_KINDS)})",
+    )
+    parser.add_argument("--rows", type=int, default=1500)
+    parser.add_argument(
+        "--dims", type=int, default=None, help="fix dimensionality (default: vary)"
+    )
+    parser.add_argument("--size-threshold", type=int, default=64)
+    parser.add_argument("--delta", type=float, default=0.25)
+    parser.add_argument(
+        "--save-dir", default=".", help="where failure repro files go"
+    )
+    parser.add_argument(
+        "--replay", default=None, help="re-run a saved failure file and exit"
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        try:
+            return 1 if replay(args.replay) else 0
+        except (OSError, ValueError, KeyError) as error:
+            parser.error(f"cannot replay {args.replay!r}: {error}")
+
+    backends = (
+        None if args.backends == "all" else args.backends.split(",")
+    )
+    kinds = None if args.kinds == "all" else args.kinds.split(",")
+    report = run_fuzz(
+        seed=args.seed,
+        queries=args.queries,
+        backends=backends,
+        kinds=kinds,
+        rows=args.rows,
+        dims=args.dims,
+        size_threshold=args.size_threshold,
+        delta=args.delta,
+        save_dir=args.save_dir,
+        verbose=args.verbose,
+    )
+    status = "OK" if report.ok else f"{len(report.failures)} FAILURE(S)"
+    print(
+        f"fuzz: {status} — {report.cases_run} cases, "
+        f"{report.queries_run} queries checked (seed {args.seed})"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,428 @@
+"""Structural invariant checkers for every index backend.
+
+:mod:`repro.validation` checks that indexes *answer* like a full scan;
+this module checks that the *structures* behind those answers are sound.
+The distinction matters because incremental indexes spend most of their
+life in intermediate states — a half-copied index table, a paused Hoare
+partition, a tree whose newest split is one row off — where a structural
+bug can hide behind accidentally-correct answers for many queries before
+surfacing.  The checkers here make those states directly inspectable.
+
+Invariant catalogue (see DESIGN.md for the full rationale):
+
+I1  **Leaf partition** — KD-Tree leaf ranges tile ``[0, N)`` exactly, in
+    order, and every internal node's split matches its children's ranges.
+I2  **Path bounds** — every row of every leaf satisfies all ancestor
+    pivot bounds (exclusive low / inclusive high, matching the paper's
+    ``low < x <= high`` semantics).
+I3  **Rowid alignment** — across the DSM arrays, position ``i`` of the
+    index table holds exactly row ``rowids[i]`` of the base table, for
+    every dimension column; rowids are unique (and a full permutation of
+    ``[0, N)`` once the index table is fully populated).
+I4  **Paused partitions** — an in-progress :class:`IncrementalPartition`
+    attached to a piece covers exactly that piece, agrees with the
+    piece's scheduled ``(split_dim, pivot)``, operates on the index
+    table's own arrays, and its classified side regions are correctly
+    classified.
+I5  **Convergence** — a piece flagged converged is at/below the size
+    threshold or provably unsplittable (constant on every dimension);
+    the open-piece work-list and the converged flags agree; convergence
+    is *monotone* across queries (converged pieces never reopen or
+    split, node counts never shrink; see :class:`InvariantMonitor`).
+I6  **Determinism** — a fully converged Progressive (or Greedy
+    Progressive) KD-Tree has the same structure as the up-front
+    mean-pivot KD-Tree over the same table
+    (:func:`convergence_determinism_errors`; exact on integer-valued
+    data, where mean pivots carry no float-summation rounding).
+
+Backends whose structure is not a KD-Tree participate through
+:meth:`BaseIndex.self_check` (QUASII hierarchy, cracker columns).
+
+Everything here is debug-only: nothing is invoked from the query hot
+path, and the checkers only *read* index state via
+:meth:`BaseIndex.debug_state`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from .core.index_base import BaseIndex, IndexDebugState
+from .core.progressive_kdtree import CONVERGED, CREATION, ProgressiveKDTree
+from .core.query import RangeQuery
+from .errors import InvariantViolationError
+
+__all__ = [
+    "structural_errors",
+    "assert_invariants",
+    "alignment_errors",
+    "partition_job_errors",
+    "convergence_errors",
+    "creation_state_errors",
+    "convergence_determinism_errors",
+    "InvariantMonitor",
+]
+
+
+# --------------------------------------------------------------------- I3
+
+def alignment_errors(state: IndexDebugState) -> List[str]:
+    """Rowid/column alignment breaches (invariant I3).
+
+    Checks the filled ranges of the index table: rowids in range and
+    unique, and every dimension column equal to the base column gathered
+    through the rowids.  When the filled ranges cover the whole table the
+    rowids must additionally form a permutation of ``[0, N)`` (uniqueness
+    plus full coverage imply it).
+    """
+    index_table = state.index_table
+    if index_table is None:
+        return []
+    base = state.index.table
+    problems: List[str] = []
+    ranges = (
+        state.filled_ranges
+        if state.filled_ranges is not None
+        else [(0, index_table.n_rows)]
+    )
+    chunks = [index_table.rowids[start:end] for start, end in ranges]
+    if not chunks:
+        return problems
+    rowids = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    if rowids.size == 0:
+        return problems
+    if rowids.min() < 0 or rowids.max() >= base.n_rows:
+        problems.append(
+            f"rowids outside [0, {base.n_rows}): "
+            f"min {rowids.min()}, max {rowids.max()}"
+        )
+        return problems
+    if np.unique(rowids).size != rowids.size:
+        problems.append(
+            f"duplicate rowids in the index table "
+            f"({rowids.size - np.unique(rowids).size} repeats)"
+        )
+    for dim in range(base.n_columns):
+        base_column = base.column(dim)
+        for (start, end), ids in zip(ranges, chunks):
+            if not np.array_equal(
+                index_table.columns[dim][start:end], base_column[ids]
+            ):
+                bad = int(
+                    np.argmax(
+                        index_table.columns[dim][start:end] != base_column[ids]
+                    )
+                )
+                problems.append(
+                    f"column {dim} misaligned at index position {start + bad}: "
+                    f"holds {index_table.columns[dim][start + bad]!r}, rowid "
+                    f"{ids[bad]} maps to {base_column[ids[bad]]!r}"
+                )
+                break
+    return problems
+
+
+# --------------------------------------------------------------------- I4
+
+def partition_job_errors(state: IndexDebugState) -> List[str]:
+    """Paused-partition breaches (invariant I4)."""
+    tree = state.tree
+    if tree is None or state.index_table is None:
+        return []
+    problems: List[str] = []
+    arrays = state.index_table.all_arrays
+    for leaf in tree.iter_leaves():
+        job = getattr(leaf, "job", None)
+        if job is None:
+            continue
+        if job.done:
+            problems.append(f"{leaf!r} still holds a completed partition job")
+        if job.start != leaf.start or job.end != leaf.end:
+            problems.append(
+                f"job range [{job.start},{job.end}) does not cover {leaf!r}"
+            )
+        if leaf.split_dim is None or job.key_index != leaf.split_dim:
+            problems.append(
+                f"job key dim {job.key_index} disagrees with scheduled "
+                f"split_dim {leaf.split_dim} on {leaf!r}"
+            )
+        if leaf.pivot is None or job.pivot != leaf.pivot:
+            problems.append(
+                f"job pivot {job.pivot} disagrees with scheduled pivot "
+                f"{leaf.pivot} on {leaf!r}"
+            )
+        if leaf.converged:
+            problems.append(f"converged {leaf!r} has an active partition job")
+        if len(job.arrays) != len(arrays) or any(
+            job_array is not index_array
+            for job_array, index_array in zip(job.arrays, arrays)
+        ):
+            problems.append(
+                f"job on {leaf!r} partitions arrays that are not the index "
+                "table's own columns"
+            )
+        problems.extend(job.invariant_errors())
+    return problems
+
+
+# --------------------------------------------------------------------- I5
+
+def convergence_errors(state: IndexDebugState) -> List[str]:
+    """Convergence-flag and work-list breaches (invariant I5)."""
+    tree = state.tree
+    if tree is None:
+        return []
+    problems: List[str] = []
+    threshold = state.size_threshold
+    n_dims = state.index.n_dims
+    leaf_ids: Set[int] = set()
+    open_count = 0
+    for leaf in tree.iter_leaves():
+        leaf_ids.add(id(leaf))
+        converged = getattr(leaf, "converged", False)
+        dims_tried = getattr(leaf, "dims_tried", 0)
+        if threshold is not None and leaf.size > threshold:
+            open_count += 1
+        if (
+            converged
+            and threshold is not None
+            and leaf.size > threshold
+            and dims_tried < n_dims
+        ):
+            problems.append(
+                f"{leaf!r} is flagged converged at size {leaf.size} > "
+                f"threshold {threshold} with only {dims_tried} dims tried"
+            )
+    if state.open_pieces is not None:
+        open_ids = set()
+        for piece in state.open_pieces:
+            open_ids.add(id(piece))
+            if id(piece) not in leaf_ids:
+                problems.append(f"open work-list entry {piece!r} is not a leaf")
+            if getattr(piece, "converged", False):
+                problems.append(f"open work-list entry {piece!r} is converged")
+            if threshold is not None and piece.size <= threshold:
+                problems.append(
+                    f"open work-list entry {piece!r} is already below the "
+                    f"size threshold {threshold}"
+                )
+        for leaf in tree.iter_leaves():
+            if not getattr(leaf, "converged", False) and id(leaf) not in open_ids:
+                problems.append(
+                    f"unconverged {leaf!r} is missing from the open work-list"
+                )
+        if state.phase == CONVERGED and state.open_pieces:
+            problems.append(
+                f"phase is 'converged' with {len(state.open_pieces)} open pieces"
+            )
+    counter = state.extras.get("open_pieces")
+    if counter is not None and counter != open_count:
+        problems.append(
+            f"open-piece counter {counter} disagrees with the actual "
+            f"{open_count} above-threshold leaves"
+        )
+    active = state.extras.get("active_piece")
+    if active is not None and id(active) not in leaf_ids:
+        problems.append(f"active piece {active!r} is not a current leaf")
+    return problems
+
+
+# -------------------------------------------------- PKD creation phase
+
+def creation_state_errors(state: IndexDebugState) -> List[str]:
+    """Creation-phase breaches of the Progressive KD-Tree.
+
+    During creation the index table fills from both ends, two-way
+    pivoted on the first dimension's mean: the top region must hold only
+    ``<= pivot0`` rows, the bottom region only ``> pivot0`` rows, and
+    together they must contain exactly the copied base-table prefix.
+    """
+    if state.phase != CREATION or state.index_table is None:
+        return []
+    pivot0 = state.extras.get("pivot0")
+    if pivot0 is None:
+        return []
+    problems: List[str] = []
+    top_write = state.extras["top_write"]
+    bottom_write = state.extras["bottom_write"]
+    rows_copied = state.extras["rows_copied"]
+    n_rows = state.index_table.n_rows
+    first = state.index_table.columns[0]
+    top = first[:top_write]
+    if top.size and not (top <= pivot0).all():
+        problems.append(
+            f"creation top region [0,{top_write}) holds rows > pivot0 {pivot0}"
+        )
+    bottom = first[bottom_write + 1 :]
+    if bottom.size and not (bottom > pivot0).all():
+        problems.append(
+            f"creation bottom region [{bottom_write + 1},{n_rows}) holds "
+            f"rows <= pivot0 {pivot0}"
+        )
+    if top_write + (n_rows - 1 - bottom_write) != rows_copied:
+        problems.append(
+            f"creation cursors account for "
+            f"{top_write + (n_rows - 1 - bottom_write)} rows, "
+            f"{rows_copied} were copied"
+        )
+    copied_ids = np.sort(
+        np.concatenate(
+            [
+                state.index_table.rowids[:top_write],
+                state.index_table.rowids[bottom_write + 1 :],
+            ]
+        )
+    )
+    if not np.array_equal(
+        copied_ids, np.arange(rows_copied, dtype=np.int64)
+    ):
+        problems.append(
+            f"creation regions do not hold exactly the first {rows_copied} "
+            "base rows"
+        )
+    return problems
+
+
+# --------------------------------------------------------------------- I6
+
+def convergence_determinism_errors(index: BaseIndex) -> List[str]:
+    """Determinism breaches (invariant I6) for a converged PKD/GPKD.
+
+    Builds a fresh up-front mean-pivot KD-Tree over the same table and
+    compares leaf ranges and the preorder ``(dim, key, split)``
+    signature.  Only meaningful once ``index.converged`` is True, and
+    only *exact* on data where mean pivots are rounding-free (integer
+    values) and no piece is constant in its round-robin dimension — the
+    callers (tests, fuzzer) pick such data.
+    """
+    from .baselines.full_kdtree import AverageKDTree
+
+    if not isinstance(index, ProgressiveKDTree):
+        return []
+    if not index.converged or index.tree is None:
+        return []
+    eager = AverageKDTree(index.table, size_threshold=index.size_threshold)
+    unbounded = RangeQuery(
+        np.full(index.n_dims, -np.inf), np.full(index.n_dims, np.inf)
+    )
+    eager.query(unbounded)
+    progressive_leaves = sorted(
+        (leaf.start, leaf.end) for leaf in index.tree.iter_leaves()
+    )
+    eager_leaves = sorted(
+        (leaf.start, leaf.end) for leaf in eager.tree.iter_leaves()
+    )
+    problems: List[str] = []
+    if progressive_leaves != eager_leaves:
+        problems.append(
+            f"converged {index.name} has {len(progressive_leaves)} pieces "
+            f"that differ from the {len(eager_leaves)} mean-pivot KD-Tree "
+            "pieces"
+        )
+    elif index.tree.preorder_signature() != eager.tree.preorder_signature():
+        problems.append(
+            f"converged {index.name} pieces match the mean-pivot KD-Tree "
+            "but the split keys/dims differ"
+        )
+    return problems
+
+
+# ----------------------------------------------------------------- driver
+
+def structural_errors(index: BaseIndex) -> List[str]:
+    """Run every applicable structural checker; returns all breaches.
+
+    The per-query workhorse: tree invariants (I1/I2) when a KD-Tree is
+    materialised, alignment (I3), paused partitions (I4), convergence
+    flags (I5), the PKD creation-phase contract, and the backend's own
+    :meth:`~repro.core.index_base.BaseIndex.self_check`.  Cross-query
+    monotonicity and determinism need state or convergence and live in
+    :class:`InvariantMonitor` / :func:`convergence_determinism_errors`.
+    """
+    state = index.debug_state()
+    problems: List[str] = []
+    if state.tree is not None and state.index_table is not None:
+        problems.extend(state.tree.structural_errors(state.index_table.columns))
+        problems.extend(partition_job_errors(state))
+        problems.extend(convergence_errors(state))
+    if state.extras.get("skip_alignment") is not True:
+        problems.extend(alignment_errors(state))
+    problems.extend(creation_state_errors(state))
+    try:
+        index.self_check()
+    except Exception as error:  # noqa: BLE001 - reported, not hidden
+        problems.append(f"self-check failed: {error}")
+    return problems
+
+
+def assert_invariants(index: BaseIndex) -> None:
+    """Raise :class:`InvariantViolationError` on any structural breach."""
+    problems = structural_errors(index)
+    if problems:
+        raise InvariantViolationError(
+            getattr(index, "name", type(index).__name__), problems
+        )
+
+
+class InvariantMonitor:
+    """Per-query invariant watchdog with cross-query monotonicity checks.
+
+    Call :meth:`observe` after every query.  On top of the full
+    per-state suite (:func:`structural_errors`) it enforces the monotone
+    half of invariant I5, which no single snapshot can see:
+
+    * node counts never decrease;
+    * the converged flag of the index latches (once True, always True);
+    * converged pieces never vanish or split — the set of converged
+      ``(start, end)`` leaf ranges only grows.
+    """
+
+    def __init__(self, index: BaseIndex) -> None:
+        self.index = index
+        self.observations = 0
+        self._last_node_count = index.node_count
+        self._was_converged = False
+        self._converged_ranges: Set[Tuple[int, int]] = set()
+
+    def observe(self) -> List[str]:
+        """Run all checks; returns breaches and updates the history."""
+        problems = structural_errors(self.index)
+        node_count = self.index.node_count
+        if node_count < self._last_node_count:
+            problems.append(
+                f"node count shrank from {self._last_node_count} to "
+                f"{node_count}"
+            )
+        converged = self.index.converged
+        if self._was_converged and not converged:
+            problems.append("index reverted from converged to unconverged")
+        state = self.index.debug_state()
+        if state.tree is not None:
+            current = {
+                (leaf.start, leaf.end)
+                for leaf in state.tree.iter_leaves()
+                if getattr(leaf, "converged", False)
+            }
+            lost = self._converged_ranges - current
+            if lost:
+                sample = sorted(lost)[:3]
+                problems.append(
+                    f"{len(lost)} converged piece(s) vanished or split, "
+                    f"e.g. {sample}"
+                )
+            self._converged_ranges = current
+        self._last_node_count = node_count
+        self._was_converged = converged
+        self.observations += 1
+        return problems
+
+    def assert_ok(self) -> None:
+        """:meth:`observe`, raising on any breach."""
+        problems = self.observe()
+        if problems:
+            raise InvariantViolationError(
+                getattr(self.index, "name", type(self.index).__name__),
+                problems,
+            )

@@ -107,6 +107,13 @@ class ExplorationSession:
         query response time without performance spikes").
     size_threshold, delta, tau:
         Forwarded to the underlying indexes.
+    validate:
+        Debug mode: after *every* query, run the full structural
+        invariant suite (:mod:`repro.invariants`) on the index that
+        answered it and raise on any breach.  Off by default — the flag
+        adds per-query work proportional to the table size, so it is
+        meant for tests, fuzzing, and bug hunts, never production
+        traffic; when off, no invariant code runs at all.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class ExplorationSession:
         size_threshold: int = 1024,
         delta: float = 0.2,
         tau: Optional[float] = None,
+        validate: bool = False,
     ) -> None:
         resolved = "greedy" if technique == "auto" else technique
         if resolved not in TECHNIQUES:
@@ -126,6 +134,7 @@ class ExplorationSession:
         self.size_threshold = size_threshold
         self.delta = delta
         self.tau = tau
+        self.validate = validate
         self._tables: Dict[str, _RegisteredTable] = {}
 
     # -- registration ---------------------------------------------------------
@@ -197,6 +206,10 @@ class ExplorationSession:
         result = index.query(query)
         elapsed = time.perf_counter() - begin
         registered.queries_run += 1
+        if self.validate:
+            from .invariants import assert_invariants
+
+            assert_invariants(index)
         return SessionResult(
             row_ids=result.row_ids,
             seconds=elapsed,
@@ -237,6 +250,28 @@ class ExplorationSession:
         return dictionary.decode(values)
 
     # -- introspection ----------------------------------------------------------------
+
+    def check(self, table_name: Optional[str] = None) -> Dict[str, List[str]]:
+        """Run the structural invariant suite on every index built so far.
+
+        Returns ``{"table/col,col": [problems...]}`` with an entry per
+        column-group index (empty lists mean a clean bill of health).
+        Restricted to one table when ``table_name`` is given.  This is the
+        session-level entry point to :mod:`repro.invariants`: cheap enough
+        to call between exploration bursts, exhaustive enough to catch a
+        corrupted index before it silently mis-answers.
+        """
+        from .invariants import structural_errors
+
+        names = [table_name] if table_name is not None else self.tables
+        findings: Dict[str, List[str]] = {}
+        for name in names:
+            registered = self._lookup(name)
+            for group_key, index in registered.indexes.items():
+                findings[f"{name}/{','.join(group_key)}"] = structural_errors(
+                    index
+                )
+        return findings
 
     def stats(self, table_name: str) -> Dict[str, object]:
         """What the session has built for ``table_name`` so far."""

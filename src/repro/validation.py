@@ -89,12 +89,16 @@ def check_index(
     stop_after: Optional[int] = None,
 ) -> ValidationReport:
     """Run ``queries`` through ``index``, comparing every answer against a
-    full scan and (when the index exposes a KD-Tree) validating the tree's
-    structural invariants after every query."""
+    full scan and running the full structural invariant suite
+    (:mod:`repro.invariants`, including cross-query monotonicity) after
+    every query."""
+    from .invariants import InvariantMonitor
+
     report = ValidationReport(
         index_name=getattr(index, "name", type(index).__name__),
         n_queries=len(queries),
     )
+    monitor = InvariantMonitor(index) if check_structure else None
     for position, query in enumerate(queries):
         got = np.sort(index.query(query).row_ids)
         want = _reference(table, query)
@@ -111,18 +115,14 @@ def check_index(
             )
             if stop_after and len(report.mismatches) >= stop_after:
                 break
-        if check_structure:
-            tree = getattr(index, "tree", None)
-            index_table = getattr(index, "index_table", None)
-            if tree is not None and index_table is not None:
-                try:
-                    tree.validate(index_table.columns)
-                except Exception as error:  # noqa: BLE001 - reported, not hidden
-                    report.structural_errors.append(
-                        f"after query #{position}: {error}"
-                    )
-                    if stop_after:
-                        break
+        if monitor is not None:
+            problems = monitor.observe()
+            if problems:
+                report.structural_errors.extend(
+                    f"after query #{position}: {problem}" for problem in problems
+                )
+                if stop_after:
+                    break
     return report
 
 

@@ -1,0 +1,97 @@
+"""Mid-construction equivalence for the progressive indexes.
+
+The progressive KD-Trees answer queries while their index is anywhere
+between "nothing built" and "fully converged" — creation-phase double
+scans, paused partition jobs, half-refined pieces.  These tests pin the
+paper's master invariant at *every* intermediate state of a 50-query
+workload, across a grid of ``delta`` and ``size_threshold``, with the
+full structural invariant suite run after each query.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GreedyProgressiveKDTree, ProgressiveKDTree
+from repro.invariants import InvariantMonitor, convergence_determinism_errors
+from tests.conftest import make_queries, make_uniform_table, reference_answer
+
+N_QUERIES = 50
+
+
+def drive_checked(index, table, queries):
+    """Run the workload; answers and invariants checked after every query."""
+    monitor = InvariantMonitor(index)
+    for position, query in enumerate(queries):
+        got = np.sort(index.query(query).row_ids)
+        want = reference_answer(table, query)
+        assert np.array_equal(got, want), (
+            f"{type(index).__name__} wrong answer at query #{position} "
+            f"(phase {getattr(index, 'phase', '?')}): "
+            f"{got.size} rows, expected {want.size}"
+        )
+        monitor.assert_ok()
+
+
+@pytest.mark.parametrize("cls", [ProgressiveKDTree, GreedyProgressiveKDTree])
+@pytest.mark.parametrize("delta", [0.05, 0.25, 1.0])
+@pytest.mark.parametrize("size_threshold", [32, 256])
+def test_progressive_correct_at_every_intermediate_state(
+    cls, delta, size_threshold
+):
+    table = make_uniform_table(3_000, 2, seed=60)
+    queries = make_queries(table, N_QUERIES, width_fraction=0.15, seed=61)
+    index = cls(table, delta=delta, size_threshold=size_threshold)
+    drive_checked(index, table, queries)
+
+
+@pytest.mark.parametrize("cls", [ProgressiveKDTree, GreedyProgressiveKDTree])
+def test_progressive_correct_through_convergence(cls):
+    """The maximum delta forces the full phase walk — CREATION through
+    REFINEMENT to CONVERGED — inside the workload; the answers and the
+    structure must hold at each step and the phases must actually occur."""
+    table = make_uniform_table(2_000, 2, seed=62)
+    queries = make_queries(table, N_QUERIES, width_fraction=0.2, seed=63)
+    index = cls(table, delta=1.0, size_threshold=64)
+    monitor = InvariantMonitor(index)
+    phases_seen = set()
+    for query in queries:
+        phases_seen.add(index.phase)
+        got = np.sort(index.query(query).row_ids)
+        assert np.array_equal(got, reference_answer(table, query))
+        monitor.assert_ok()
+    assert index.converged
+    assert {"creation", "refinement"} <= {p.lower() for p in phases_seen}
+
+
+@pytest.mark.parametrize("cls", [ProgressiveKDTree, GreedyProgressiveKDTree])
+def test_converged_tree_is_workload_independent(cls):
+    """Determinism: on integer-valued data the converged progressive tree
+    equals the up-front mean-pivot KD-Tree, whatever workload drove it."""
+    rng = np.random.default_rng(64)
+    from repro import Table
+
+    table = Table.from_matrix(
+        rng.integers(0, 1_000, size=(2_000, 2)).astype(np.float64)
+    )
+    for seed in (65, 66):
+        index = cls(table, delta=1.0, size_threshold=64)
+        queries = make_queries(table, N_QUERIES, width_fraction=0.3, seed=seed)
+        for query in queries:
+            index.query(query)
+        assert index.converged
+        assert convergence_determinism_errors(index) == []
+
+
+def test_interleaved_progressive_indexes_do_not_interfere():
+    """Two indexes over the same base table refine independently; the
+    monitor (which holds per-index history) stays clean for both."""
+    table = make_uniform_table(2_000, 2, seed=67)
+    queries = make_queries(table, N_QUERIES, width_fraction=0.15, seed=68)
+    first = ProgressiveKDTree(table, delta=0.3, size_threshold=64)
+    second = GreedyProgressiveKDTree(table, delta=0.3, size_threshold=64)
+    monitors = [InvariantMonitor(first), InvariantMonitor(second)]
+    for query in queries:
+        for index, monitor in zip((first, second), monitors):
+            got = np.sort(index.query(query).row_ids)
+            assert np.array_equal(got, reference_answer(table, query))
+            monitor.assert_ok()

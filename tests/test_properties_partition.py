@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the partitioning kernels.
+
+The partition kernels are the single place where rows physically move, so
+every index bug ultimately routes through them.  Three families of
+properties:
+
+* :func:`stable_partition` — two-sidedness, stability (relative order
+  preserved within each side), and lock-step alignment of all parallel
+  arrays;
+* :class:`IncrementalPartition` — the paused-state contract after every
+  step of an *arbitrary* pause schedule, and schedule-independence: any
+  sequence of budgets yields the same split position and the same
+  per-side row multisets as a one-shot partition;
+* cross-kernel agreement — the incremental kernel lands on exactly the
+  split position the stable kernel computes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import IncrementalPartition, stable_partition
+
+
+@st.composite
+def partition_case(draw):
+    """Random parallel arrays, a sub-range, a key column, and a pivot."""
+    n_rows = draw(st.integers(min_value=0, max_value=200))
+    n_arrays = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    kind = draw(st.sampled_from(["uniform", "integer", "constant"]))
+    if kind == "uniform":
+        keys = rng.random(n_rows) * 100
+    elif kind == "integer":
+        keys = rng.integers(0, 8, size=n_rows).astype(float)
+    else:
+        keys = np.full(n_rows, 7.0)
+    arrays = [keys] + [
+        np.arange(n_rows, dtype=np.float64) * (position + 1)
+        for position in range(n_arrays - 1)
+    ]
+    start = draw(st.integers(min_value=0, max_value=n_rows))
+    end = draw(st.integers(min_value=start, max_value=n_rows))
+    if kind == "constant":
+        pivot = draw(st.sampled_from([6.0, 7.0, 8.0]))
+    elif n_rows and draw(st.booleans()):
+        pivot = float(keys[draw(st.integers(0, n_rows - 1))])
+    else:
+        pivot = draw(
+            st.floats(min_value=-10, max_value=110, allow_nan=False)
+        )
+    return arrays, start, end, 0, pivot
+
+
+def _row_tuples(arrays, start, end):
+    return {
+        tuple(float(array[row]) for array in arrays)
+        for row in range(start, end)
+    }
+
+
+@given(partition_case())
+@settings(max_examples=150, deadline=None)
+def test_stable_partition_two_sided_and_aligned(case):
+    arrays, start, end, key_index, pivot = case
+    originals = [array.copy() for array in arrays]
+    before_rows = _row_tuples(arrays, start, end)
+
+    split = stable_partition(arrays, start, end, key_index, pivot)
+
+    assert start <= split <= end
+    keys = arrays[key_index]
+    assert (keys[start:split] <= pivot).all()
+    assert (keys[split:end] > pivot).all()
+    # Rows outside the range are untouched.
+    for array, original in zip(arrays, originals):
+        assert np.array_equal(array[:start], original[:start])
+        assert np.array_equal(array[end:], original[end:])
+    # Parallel arrays moved in lock-step: the multiset of full row tuples
+    # inside the range is unchanged.
+    assert _row_tuples(arrays, start, end) == before_rows
+
+
+@given(partition_case())
+@settings(max_examples=150, deadline=None)
+def test_stable_partition_is_stable(case):
+    arrays, start, end, key_index, pivot = case
+    keys_before = arrays[key_index][start:end].copy()
+    split = stable_partition(arrays, start, end, key_index, pivot)
+    keys = arrays[key_index]
+    # Stability: each side preserves the original relative order.
+    left_expected = keys_before[keys_before <= pivot]
+    right_expected = keys_before[keys_before > pivot]
+    assert np.array_equal(keys[start:split], left_expected)
+    assert np.array_equal(keys[split:end], right_expected)
+
+
+@given(
+    partition_case(),
+    st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=60),
+)
+@settings(max_examples=150, deadline=None)
+def test_incremental_partition_pause_schedule_equivalence(case, budgets):
+    """Any pause schedule lands on the one-shot split with the same sides.
+
+    The paused-state contract (`invariant_errors`) must also hold after
+    every single `advance` call, not just at the end.
+    """
+    arrays, start, end, key_index, pivot = case
+    stable_arrays = [array.copy() for array in arrays]
+    expected_split = stable_partition(
+        stable_arrays, start, end, key_index, pivot
+    )
+
+    job = IncrementalPartition(arrays, start, end, key_index, pivot)
+    assert job.invariant_errors() == []
+    cursor = 0
+    while not job.done:
+        visited = job.advance(budgets[cursor % len(budgets)])
+        cursor += 1
+        assert job.invariant_errors() == []
+        if not job.done:
+            assert visited > 0, "advance must make forward progress"
+
+    assert job.split == expected_split
+    keys = arrays[key_index]
+    assert (keys[start : job.split] <= pivot).all()
+    assert (keys[job.split : end] > pivot).all()
+    # Same rows on each side as the stable kernel (order may differ: the
+    # incremental kernel swaps, the stable kernel preserves order).
+    for side in ((start, expected_split), (expected_split, end)):
+        got = _row_tuples(arrays, *side)
+        want = _row_tuples(stable_arrays, *side)
+        assert got == want
+
+
+@given(partition_case())
+@settings(max_examples=100, deadline=None)
+def test_incremental_run_to_completion_matches_one_shot(case):
+    arrays, start, end, key_index, pivot = case
+    reference = [array.copy() for array in arrays]
+    expected_split = stable_partition(reference, start, end, key_index, pivot)
+
+    job = IncrementalPartition(arrays, start, end, key_index, pivot)
+    job.run_to_completion()
+
+    assert job.done
+    assert job.remaining_rows == 0
+    assert job.split == expected_split
+    assert job.invariant_errors() == []
+
+
+@given(st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=50, deadline=None)
+def test_incremental_invariant_errors_flag_corruption(seed):
+    """A row smuggled into a classified region is reported, not ignored."""
+    rng = np.random.default_rng(seed)
+    keys = rng.random(64) * 100
+    job = IncrementalPartition([keys], 0, 64, 0, 50.0)
+    job.advance(10)
+    if job.lo > 0:
+        keys[0] = 99.0  # violates the classified-left contract
+        assert any("classified-left" in p for p in job.invariant_errors())

@@ -112,3 +112,61 @@ class TestSnapshotValidation:
         payload = snapshot_index(index)
         assert "column_0" in payload and "column_1" in payload
         assert payload["rowids"].shape[0] == 2_000
+
+
+class TestPartialProgressiveRoundTrip:
+    """A snapshot taken mid-refinement must reproduce the index exactly.
+
+    Regression guard: the progressive KD-Tree spends most of its life
+    between "creation done" and "converged" — half-refined pieces, paused
+    partition jobs — and a snapshot taken there must capture the tree
+    byte-for-byte (same preorder signature, same :class:`TreeSummary`)
+    and answer every query identically.
+    """
+
+    def partially_built_pkd(self):
+        from tests.conftest import make_queries, make_uniform_table
+
+        table = make_uniform_table(3_000, 2, seed=70)
+        queries = make_queries(table, 40, width_fraction=0.15, seed=71)
+        index = ProgressiveKDTree(table, delta=0.1, size_threshold=64)
+        for query in queries:
+            index.query(query)
+            if index.phase == "refinement" and index.node_count >= 3:
+                break
+        assert index.phase == "refinement" and not index.converged
+        return table, index
+
+    def test_partial_pkd_summary_and_signature_survive(self, tmp_path):
+        from repro import summarize_tree
+
+        _, index = self.partially_built_pkd()
+        path = str(tmp_path / "partial.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        assert summarize_tree(frozen.tree) == summarize_tree(index.tree)
+        assert (
+            frozen.tree.preorder_signature()
+            == index.tree.preorder_signature()
+        )
+        assert np.array_equal(frozen.index_table.rowids, index.index_table.rowids)
+
+    def test_partial_pkd_answers_survive(self, tmp_path):
+        from tests.conftest import make_queries, reference_answer
+
+        table, index = self.partially_built_pkd()
+        path = str(tmp_path / "partial.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        for query in make_queries(table, 15, width_fraction=0.25, seed=72):
+            got = np.sort(frozen.query(query).row_ids)
+            assert np.array_equal(got, reference_answer(table, query))
+
+    def test_partial_pkd_frozen_passes_invariants(self, tmp_path):
+        from repro.invariants import assert_invariants
+
+        _, index = self.partially_built_pkd()
+        path = str(tmp_path / "partial.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        assert_invariants(frozen)
