@@ -58,6 +58,10 @@ class FullKDTree(BaseIndex):
     def _build(self, stats: QueryStats) -> None:
         self._index = IndexTable.copy_of(self.table, stats)
         self._tree = KDTree(self.n_rows, self.n_dims)
+        if self.n_rows > 0:
+            self._tree.seed_root_zone(
+                self.table.minimums(), self.table.maximums()
+            )
         arrays = self._index.all_arrays
         queue: List[Piece] = [leaf for leaf in self._tree.iter_leaves()]
         while queue:

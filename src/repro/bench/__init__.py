@@ -9,6 +9,10 @@ table and figure of the paper's evaluation (Section IV).
 * :mod:`~repro.bench.report` — plain-text table/series rendering.
 * :mod:`~repro.bench.experiments` — one entry point per paper table and
   figure, at laptop scale.
+* :mod:`~repro.bench.regression` — deterministic work-unit baseline
+  (exact comparison).
+* :mod:`~repro.bench.kernel_regression` — kernel-backend perf baseline
+  (generous wall-clock comparison; ``python -m`` record/compare).
 """
 
 from .harness import INDEX_FACTORIES, WorkloadRun, make_index, run_workload

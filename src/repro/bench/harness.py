@@ -28,7 +28,7 @@ from ..core import (
     QueryStats,
     Table,
 )
-from ..core.scan import full_scan
+from .. import kernels as kernel_registry
 from ..errors import InvalidParameterError, WorkloadError
 from ..workloads.base import Workload
 
@@ -147,13 +147,20 @@ def run_workload(
     size_threshold: int = 1024,
     validate: bool = False,
     max_queries: Optional[int] = None,
+    kernels: Optional[str] = None,
     **params,
 ) -> WorkloadRun:
     """Execute ``workload`` against the named index technique.
 
     ``validate=True`` cross-checks every answer against a fresh full scan
-    (slow; meant for tests).  ``max_queries`` truncates the workload.
+    (slow; meant for tests); the cross-check always runs on the trusted
+    ``reference`` kernel backend so a kernel bug cannot cancel itself out.
+    ``max_queries`` truncates the workload.  ``kernels`` selects the
+    kernel backend for the run (process-global; ``None`` keeps the active
+    one, and an unavailable ``numba`` silently falls back to ``numpy``).
     """
+    if kernels is not None:
+        kernel_registry.use(kernels)
     queries = workload.queries
     if max_queries is not None:
         queries = queries[:max_queries]
@@ -179,7 +186,10 @@ def run_workload(
             )
         result = indexes[group].query(query)
         if validate:
-            reference = full_scan(tables[group].columns(), query, QueryStats())
+            columns = tables[group].columns()
+            reference = kernel_registry.get_backend("reference").range_scan(
+                columns, 0, int(columns[0].shape[0]), query, QueryStats()
+            )
             got = np.sort(result.row_ids)
             want = np.sort(reference)
             if not np.array_equal(got, want):

@@ -1,0 +1,328 @@
+"""Kernel-backend performance baseline: record once, compare in CI.
+
+Unlike :mod:`repro.bench.regression` (deterministic work counters,
+compared exactly), these numbers are wall-clock timings and therefore
+machine-dependent.  The baseline stores two kinds of facts and the
+comparison treats them differently:
+
+* **relative** — the fused backend's speedup over the ``reference``
+  backend on the same machine in the same run.  This ratio is portable:
+  if fusion stops paying off, it drops everywhere.  ``compare`` enforces
+  a floor on it.
+* **absolute** — elements/second per (backend, op).  Only compared with
+  a deliberately generous slowdown ratio, as a canary against order-of-
+  magnitude regressions (an accidental O(n^2), a lost vectorisation),
+  not as a precise gate.
+
+Usage::
+
+    python -m repro.bench.kernel_regression record BENCH_kernels.json
+    python -m repro.bench.kernel_regression compare BENCH_kernels.json \
+        --n 200000 --min-speedup 1.1 --slowdown 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import kernels
+from ..core.metrics import QueryStats
+from ..core.partition import IncrementalPartition
+from ..core.query import RangeQuery
+from ..workloads import make_synthetic_workload
+from .harness import run_workload
+
+__all__ = ["kernel_metrics", "record", "compare", "PerfDrift", "OPS", "GATE"]
+
+#: Micro-benchmark operations, timed per backend.  The three scan
+#: selectivities cover the backend's regimes: *selective* (~1% total)
+#: runs mostly on the candidate list where both backends are cheap and
+#: near parity; *moderate* (12.5%) and *dense* (~73%) keep the fused
+#: backend in mask mode — the shape of an early-adaptation scan over a
+#: large piece, where fusion is designed to pay off.
+OPS = (
+    "piece_scan_selective",
+    "piece_scan_moderate",
+    "piece_scan_dense",
+    "stable_partition",
+    "incremental_partition",
+)
+
+#: Per-dim width giving ~1% total selectivity over 3 uniform dims.
+_SELECTIVE_WIDTH = 0.01 ** (1.0 / 3.0)
+
+#: The (backend/op) speedup key whose floor ``compare`` enforces.
+GATE = "numpy/piece_scan_moderate"
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    begin = time.perf_counter()
+    fn()
+    return time.perf_counter() - begin
+
+
+def _op_thunks(
+    name: str, n: int, columns, arrays
+) -> Dict[str, Callable[[], object]]:
+    """One zero-argument runner per op for one backend."""
+    backend = kernels.get_backend(name)
+    selective = RangeQuery([0.3] * 3, [0.3 + _SELECTIVE_WIDTH] * 3)
+    moderate = RangeQuery([0.25] * 3, [0.75] * 3)
+    dense = RangeQuery([0.05] * 3, [0.95] * 3)
+    stats = QueryStats()
+
+    def run_incremental():
+        previous = kernels.active_name()
+        try:
+            kernels.use(name)
+            job = IncrementalPartition(
+                [a.copy() for a in arrays], 0, n, 0, 0.5
+            )
+            while not job.done:
+                job.advance(max(1, n // 50))
+        finally:
+            kernels.use(previous)
+
+    return {
+        "piece_scan_selective": lambda: backend.range_scan(
+            columns, 0, n, selective, stats
+        ),
+        "piece_scan_moderate": lambda: backend.range_scan(
+            columns, 0, n, moderate, stats
+        ),
+        "piece_scan_dense": lambda: backend.range_scan(
+            columns, 0, n, dense, stats
+        ),
+        "stable_partition": lambda: backend.stable_partition(
+            [a.copy() for a in arrays], 0, n, 0, 0.5
+        ),
+        "incremental_partition": run_incremental,
+    }
+
+
+def _time_backends(
+    backends: Sequence[str], n: int, repeats: int, rng: np.random.Generator
+) -> Dict[str, Dict[str, float]]:
+    """Best-of-``repeats`` seconds per (backend, op).
+
+    Backends are timed *interleaved within each repeat*, not one after
+    the other: wall-clock drifts monotonically on shared/thermally
+    throttled machines, and timing backend A's whole block before
+    backend B's would silently bias every A-vs-B ratio.
+    """
+    columns = [rng.random(n) for _ in range(3)]
+    arrays = [rng.random(n), rng.random(n), np.arange(n, dtype=np.int64)]
+    thunks = {
+        name: _op_thunks(name, n, columns, arrays) for name in backends
+    }
+    # Untimed warm-up round: JIT compilation (numba), scratch-buffer
+    # allocation (fused), page-faulting the inputs.
+    for name in backends:
+        for op in OPS:
+            thunks[name][op]()
+    seconds = {name: {op: float("inf") for op in OPS} for name in backends}
+    for _ in range(repeats):
+        for op in OPS:
+            for name in backends:
+                seconds[name][op] = min(
+                    seconds[name][op], _timed(thunks[name][op])
+                )
+    return seconds
+
+
+def _time_end_to_end(
+    backends: Sequence[str], n_rows: int, repeats: int
+) -> Dict[str, float]:
+    """Seconds for one PKD run over a uniform workload, per backend."""
+    workload = make_synthetic_workload("uniform", n_rows, 3, 30, 0.01, seed=42)
+
+    def run(name):
+        run_workload(
+            "PKD", workload, size_threshold=1024, delta=0.25, kernels=name
+        )
+
+    previous = kernels.active_name()
+    seconds = {name: float("inf") for name in backends}
+    try:
+        for name in backends:
+            run(name)  # warm-up
+        for _ in range(repeats):
+            for name in backends:
+                seconds[name] = min(
+                    seconds[name], _timed(lambda: run(name))
+                )
+    finally:
+        kernels.use(previous)
+    return seconds
+
+
+def kernel_metrics(
+    n: int = 1_000_000,
+    repeats: int = 3,
+    end_to_end_rows: int = 100_000,
+    backends: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Measure every available backend; returns the baseline document.
+
+    ``speedup`` entries are ``reference_seconds / backend_seconds`` from
+    the same run — >1 means the backend beats the pure-NumPy reference.
+    """
+    if backends is None:
+        backends = kernels.available_backends()
+    backends = list(dict.fromkeys(["reference", *backends]))
+    rng = np.random.default_rng(0)
+    doc: Dict[str, object] = {
+        "meta": {
+            "n": n,
+            "repeats": repeats,
+            "end_to_end_rows": end_to_end_rows,
+            "backends": backends,
+        },
+        "seconds": _time_backends(backends, n, repeats, rng),
+        "end_to_end_seconds": _time_end_to_end(
+            backends, end_to_end_rows, repeats
+        ),
+    }
+    reference = doc["seconds"]["reference"]
+    doc["speedup"] = {
+        f"{name}/{op}": reference[op] / doc["seconds"][name][op]
+        for name in backends
+        if name != "reference"
+        for op in OPS
+    }
+    return doc
+
+
+@dataclass
+class PerfDrift:
+    """Problems found when comparing a fresh run against the baseline."""
+
+    problems: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "kernel perf baseline: OK" + (
+                f" ({'; '.join(self.notes)})" if self.notes else ""
+            )
+        return "kernel perf drift — " + "; ".join(self.problems)
+
+
+def record(
+    path: str, n: int = 1_000_000, repeats: int = 3,
+    end_to_end_rows: int = 100_000,
+) -> Dict[str, object]:
+    """Measure and persist the baseline; returns the document."""
+    doc = kernel_metrics(n, repeats, end_to_end_rows)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+    return doc
+
+
+def compare(
+    path: str,
+    n: int = 200_000,
+    repeats: int = 3,
+    end_to_end_rows: int = 50_000,
+    min_speedup: float = 1.1,
+    slowdown: float = 10.0,
+) -> PerfDrift:
+    """Re-measure (typically at smaller ``n``) and diff the baseline.
+
+    Enforces (a) the fused backend still beats the reference scan by
+    ``min_speedup`` on the selective piece scan, and (b) per-op
+    throughput has not collapsed below ``baseline / slowdown`` —
+    ``slowdown`` should stay generous, CI machines differ.
+    """
+    with open(path) as handle:
+        stored = json.load(handle)
+    current = kernel_metrics(n, repeats, end_to_end_rows)
+    drift = PerfDrift()
+
+    fused = current["speedup"].get(GATE, 0.0)
+    if fused < min_speedup:
+        drift.problems.append(
+            f"fused piece scan ({GATE}) speedup {fused:.2f}x over "
+            f"reference is below the {min_speedup:.2f}x floor"
+        )
+    else:
+        drift.notes.append(f"fused piece scan {fused:.2f}x over reference")
+
+    stored_n = stored["meta"]["n"]
+    for name, ops in stored["seconds"].items():
+        if name not in current["seconds"]:
+            # Optional backends (numba) may be absent on this machine.
+            drift.notes.append(f"backend {name!r} unavailable here, skipped")
+            continue
+        for op, baseline_seconds in ops.items():
+            baseline_rate = stored_n / baseline_seconds
+            rate = n / current["seconds"][name][op]
+            if rate < baseline_rate / slowdown:
+                drift.problems.append(
+                    f"{name}/{op}: {rate:,.0f} rows/s vs baseline "
+                    f"{baseline_rate:,.0f} (>{slowdown:g}x slower)"
+                )
+    stored_rows = stored["meta"].get("end_to_end_rows", end_to_end_rows)
+    for name, baseline_seconds in stored.get("end_to_end_seconds", {}).items():
+        if name not in current["end_to_end_seconds"]:
+            continue
+        baseline_rate = stored_rows / baseline_seconds
+        rate = end_to_end_rows / current["end_to_end_seconds"][name]
+        if rate < baseline_rate / slowdown:
+            drift.problems.append(
+                f"end-to-end PKD on {name}: {rate:,.0f} rows/s vs baseline "
+                f"{baseline_rate:,.0f} (>{slowdown:g}x slower)"
+            )
+    return drift
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.kernel_regression",
+        description="Record or check the kernel-backend perf baseline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rec = sub.add_parser("record", help="measure and write the baseline")
+    rec.add_argument("path")
+    rec.add_argument("--n", type=int, default=1_000_000)
+    rec.add_argument("--repeats", type=int, default=3)
+    rec.add_argument("--end-to-end-rows", type=int, default=100_000)
+    cmp_ = sub.add_parser("compare", help="re-measure and diff the baseline")
+    cmp_.add_argument("path")
+    cmp_.add_argument("--n", type=int, default=200_000)
+    cmp_.add_argument("--repeats", type=int, default=3)
+    cmp_.add_argument("--end-to-end-rows", type=int, default=50_000)
+    cmp_.add_argument("--min-speedup", type=float, default=1.1)
+    cmp_.add_argument("--slowdown", type=float, default=10.0)
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        doc = record(args.path, args.n, args.repeats, args.end_to_end_rows)
+        for key, value in sorted(doc["speedup"].items()):
+            print(f"{key}: {value:.2f}x")
+        print(f"baseline written to {args.path}")
+        return 0
+    drift = compare(
+        args.path,
+        n=args.n,
+        repeats=args.repeats,
+        end_to_end_rows=args.end_to_end_rows,
+        min_speedup=args.min_speedup,
+        slowdown=args.slowdown,
+    )
+    print(drift)
+    return 0 if drift.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

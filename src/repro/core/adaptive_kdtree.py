@@ -85,6 +85,13 @@ class AdaptiveKDTree(BaseIndex):
     def _initialize(self, stats: QueryStats) -> None:
         self._index = IndexTable.copy_of(self.table, stats)
         self._tree = KDTree(self.n_rows, self.n_dims)
+        # Seed the root zone map from the column min/max; splits tighten
+        # it so piece scans can skip or short-circuit via the synopsis.
+        # Uncharged like the pivot statistics: metadata, not data movement.
+        if self.n_rows > 0:
+            self._tree.seed_root_zone(
+                self.table.minimums(), self.table.maximums()
+            )
         if self.tau is not None:
             scan_estimate = self.cost_model.full_scan_seconds()
             if scan_estimate > self.tau:

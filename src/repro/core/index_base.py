@@ -94,7 +94,40 @@ class IndexTable:
         self, match: PieceMatch, query: RangeQuery, stats: QueryStats
     ) -> np.ndarray:
         """Scan one piece with the residual predicates and map positions to
-        original row ids (Section III-A, "Piece Scan")."""
+        original row ids (Section III-A, "Piece Scan").
+
+        When the piece carries a zone map, two data-free shortcuts apply
+        first: if the zone box misses the query box on any dimension the
+        piece is skipped outright (``stats.pruned``), and if the zone box
+        lies fully inside the query box every row qualifies and the whole
+        rowid range is returned without scanning (``stats.contained``).
+        Both are pure-Python comparisons over the cached scalar bounds —
+        no array is touched and ``stats.scanned`` stays untouched too.
+        """
+        piece = match.piece
+        zone_lo = piece.zone_lo
+        if zone_lo is not None:
+            zone_hi = piece.zone_hi
+            lows = query.lows_f
+            highs = query.highs_f
+            contained = True
+            for dim in range(query.n_dims):
+                low = lows[dim]
+                high = highs[dim]
+                zlo = zone_lo[dim]
+                zhi = zone_hi[dim]
+                if high < zlo or low >= zhi:
+                    # (low, high] cannot intersect [zlo, zhi]: x > low fails
+                    # everywhere when low >= zhi, x <= high when high < zlo.
+                    stats.pruned += 1
+                    return np.empty(0, dtype=np.int64)
+                if contained and not (low < zlo and zhi <= high):
+                    contained = False
+            if contained:
+                stats.contained += 1
+                # Copy: the slice is a view into the reorganisable rowid
+                # column and later partitioning would corrupt it in place.
+                return self.rowids[piece.start : piece.end].copy()
         positions = range_scan(
             self.columns,
             match.piece.start,

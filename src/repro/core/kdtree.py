@@ -69,11 +69,44 @@ class KDTree:
             )
         left = Piece(piece.start, split, piece.level + 1)
         right = Piece(split, piece.end, piece.level + 1)
+        if piece.zone_lo is not None and piece.zone_hi is not None:
+            # Children inherit the zone map, tightened along the split
+            # dimension: left rows satisfy value <= key, right rows
+            # value > key (key itself stays a valid inclusive lower
+            # bound for the right side).
+            left.zone_lo = piece.zone_lo
+            left.zone_hi = tuple(
+                min(bound, key) if d == dim else bound
+                for d, bound in enumerate(piece.zone_hi)
+            )
+            right.zone_lo = tuple(
+                max(bound, key) if d == dim else bound
+                for d, bound in enumerate(piece.zone_lo)
+            )
+            right.zone_hi = piece.zone_hi
         node = KDNode(dim, key, piece.start, split, piece.end, left, right)
         self._replace(piece, node)
         self.node_count += 1
         self.leaf_count += 1
         return left, right
+
+    def seed_root_zone(
+        self, zone_lo: Sequence[float], zone_hi: Sequence[float]
+    ) -> None:
+        """Attach a zone map to an unsplit root piece.
+
+        ``zone_lo`` / ``zone_hi`` are inclusive per-dimension value bounds
+        over the whole table (typically its column minima/maxima); every
+        later :meth:`split_leaf` propagates and tightens them.  Must be
+        called before the first split; a zero-row tree is left untouched
+        (there is nothing to bound).
+        """
+        if self.n_rows == 0:
+            return
+        if not self.root.is_leaf():
+            raise IndexStateError("root zone must be seeded before any split")
+        self.root.zone_lo = tuple(float(b) for b in zone_lo)
+        self.root.zone_hi = tuple(float(b) for b in zone_hi)
 
     def _replace(self, old: AnyNode, new: AnyNode) -> None:
         parent = old.parent

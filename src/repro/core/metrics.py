@@ -47,6 +47,14 @@ class QueryStats:
         Index nodes created while answering this query.
     result_count:
         Number of qualifying rows returned.
+    pruned:
+        Leaf pieces skipped without reading any data because their zone
+        map proved the query cannot match (zone box disjoint from the
+        query box).
+    contained:
+        Leaf pieces answered without reading any data because their zone
+        map proved *every* row matches (zone box fully inside the query
+        box); the piece's whole rowid range is returned directly.
     delta_used:
         Indexing budget actually spent by progressive indexes, as a
         fraction of N (``None`` for non-progressive indexes).
@@ -64,6 +72,8 @@ class QueryStats:
     lookup_nodes: int = 0
     nodes_created: int = 0
     result_count: int = 0
+    pruned: int = 0
+    contained: int = 0
     delta_used: Optional[float] = None
     converged: bool = False
 
@@ -88,6 +98,8 @@ class QueryStats:
         self.lookup_nodes += other.lookup_nodes
         self.nodes_created += other.nodes_created
         self.result_count += other.result_count
+        self.pruned += other.pruned
+        self.contained += other.contained
 
     def __repr__(self) -> str:
         phases = ", ".join(

@@ -86,6 +86,13 @@ class Piece:
     dims_tried:
         How many dimensions have been tried and found constant while
         looking for a split of this piece (guards degenerate data).
+    zone_lo, zone_hi:
+        Optional zone map: per-dimension inclusive value bounds
+        (``zone_lo[j] <= column[j] <= zone_hi[j]`` for every row of the
+        piece) kept as tuples of Python floats.  Maintained incrementally
+        on splits; may be conservative (wider than the true min/max) but
+        never narrower.  ``None`` on both means the piece carries no
+        synopsis and scans proceed as before.
     """
 
     __slots__ = (
@@ -98,6 +105,8 @@ class Piece:
         "converged",
         "dims_tried",
         "parent",
+        "zone_lo",
+        "zone_hi",
     )
 
     def __init__(self, start: int, end: int, level: int = 0) -> None:
@@ -110,6 +119,8 @@ class Piece:
         self.converged = False
         self.dims_tried = 0
         self.parent: Optional[KDNode] = None
+        self.zone_lo: Optional[Tuple[float, ...]] = None
+        self.zone_hi: Optional[Tuple[float, ...]] = None
 
     @property
     def size(self) -> int:

@@ -13,6 +13,12 @@ Two flavours, matching the two ways the paper moves data:
 
 Both operate simultaneously on a list of parallel arrays (all dimension
 columns plus the rowid column) so rows stay aligned across the DSM table.
+
+The physical kernels live in the pluggable backend layer
+(:mod:`repro.kernels`): :func:`stable_partition` is a shim over the active
+backend, and :class:`IncrementalPartition` keeps the budget loop and the
+pointer arithmetic here (so state transitions are bit-identical across
+backends) while delegating chunk classification and row swapping.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..errors import InvalidParameterError
 
 __all__ = ["stable_partition", "IncrementalPartition"]
@@ -39,22 +46,9 @@ def stable_partition(
     mirroring the paper's adaptation example where swapped rows keep their
     relative order.  Returns the split position: rows ``[start, split)``
     have ``key <= pivot`` and rows ``[split, end)`` have ``key > pivot``.
+    Dispatches to the active kernel backend (:func:`repro.kernels.use`).
     """
-    if end <= start:
-        return start
-    mask = arrays[key_index][start:end] <= pivot
-    n_left = int(np.count_nonzero(mask))
-    split = start + n_left
-    if n_left == 0 or n_left == end - start:
-        return split  # already one-sided; nothing moves
-    inverse = ~mask
-    for array in arrays:
-        window = array[start:end]
-        left = window[mask]  # fancy indexing materialises copies,
-        right = window[inverse]  # so the writes below are safe
-        array[start:split] = left
-        array[split:end] = right
-    return split
+    return kernels.stable_partition(arrays, start, end, key_index, pivot)
 
 
 class IncrementalPartition:
@@ -116,6 +110,7 @@ class IncrementalPartition:
             return 0
         keys = self.arrays[self.key_index]
         pivot = self.pivot
+        backend = kernels.active_backend()
         used = 0
         while used < budget_rows and self.lo < self.hi:
             window = self.hi - self.lo
@@ -133,20 +128,14 @@ class IncrementalPartition:
             n_right = chunk // 2
             left_base = self.lo
             right_base = self.hi - n_right
-            misplaced_left = np.flatnonzero(
-                keys[left_base : left_base + n_left] > pivot
-            )
-            misplaced_right = np.flatnonzero(
-                keys[right_base : self.hi] <= pivot
+            misplaced_left, misplaced_right = backend.chunk_misplaced(
+                keys, left_base, n_left, right_base, self.hi, pivot
             )
             n_swaps = min(misplaced_left.size, misplaced_right.size)
             if n_swaps > 0:
                 left_rows = left_base + misplaced_left[:n_swaps]
                 right_rows = right_base + misplaced_right[-n_swaps:]
-                for array in self.arrays:
-                    held = array[left_rows].copy()
-                    array[left_rows] = array[right_rows]
-                    array[right_rows] = held
+                backend.swap_rows(self.arrays, left_rows, right_rows)
             if misplaced_left.size == n_swaps:
                 self.lo += n_left  # whole left window now classified
             else:

@@ -211,6 +211,13 @@ class ProgressiveKDTree(BaseIndex):
     def _finish_creation(self, stats: QueryStats) -> None:
         """Turn the pivoted index table into the initial one-node KD-Tree."""
         self._tree = KDTree(self.n_rows, self.n_dims)
+        # Seed the root zone map before the pivot-0 split so both initial
+        # children inherit it.  Uncharged, like the pivot itself (the
+        # paper computes both during data loading).
+        if self.n_rows > 0:
+            self._tree.seed_root_zone(
+                self.table.minimums(), self.table.maximums()
+            )
         split = self._top_write
         root = self._tree.root
         if 0 < split < self.n_rows:
@@ -288,6 +295,17 @@ class ProgressiveKDTree(BaseIndex):
             stats.scanned += piece.size  # pivot derivation pass (see module note)
             low = float(values.min())
             high = float(values.max())
+            if piece.zone_lo is not None:
+                # The pivot pass computed this dimension's true extent;
+                # tighten the zone map for free.
+                piece.zone_lo = tuple(
+                    max(bound, low) if d == dim else bound
+                    for d, bound in enumerate(piece.zone_lo)
+                )
+                piece.zone_hi = tuple(
+                    min(bound, high) if d == dim else bound
+                    for d, bound in enumerate(piece.zone_hi)
+                )
             if low < high:
                 pivot = float(values.mean())
                 if pivot >= high:

@@ -35,7 +35,15 @@ class RangeQuery:
         column group of a shifting workload).
     """
 
-    __slots__ = ("lows", "highs", "label")
+    __slots__ = (
+        "lows",
+        "highs",
+        "label",
+        "lows_f",
+        "highs_f",
+        "finite_lows",
+        "finite_highs",
+    )
 
     def __init__(
         self,
@@ -67,6 +75,14 @@ class RangeQuery:
         self.lows = lows_arr
         self.highs = highs_arr
         self.label = label
+        # Cached Python-scalar views of the bounds.  The scan kernels read
+        # per-dimension bounds on every piece of every query; pulling them
+        # out of the arrays here (once per query) avoids a float()/isfinite
+        # round-trip per piece per dimension on the hot path.
+        self.lows_f = tuple(lows_arr.tolist())
+        self.highs_f = tuple(highs_arr.tolist())
+        self.finite_lows = tuple(bool(f) for f in np.isfinite(lows_arr))
+        self.finite_highs = tuple(bool(f) for f in np.isfinite(highs_arr))
 
     @property
     def n_dims(self) -> int:
@@ -76,7 +92,7 @@ class RangeQuery:
     def bound_pairs(self) -> Iterable[Tuple[int, float, float]]:
         """Yield ``(dimension, low, high)`` triples in schema order."""
         for dim in range(self.n_dims):
-            yield dim, float(self.lows[dim]), float(self.highs[dim])
+            yield dim, self.lows_f[dim], self.highs_f[dim]
 
     def adaptation_pairs(self) -> Iterable[Tuple[int, float]]:
         """Yield the pivot insertion order used by the Adaptive KD-Tree.
@@ -88,13 +104,11 @@ class RangeQuery:
         they can never act as useful pivots.
         """
         for dim in range(self.n_dims):
-            low = float(self.lows[dim])
-            if np.isfinite(low):
-                yield dim, low
+            if self.finite_lows[dim]:
+                yield dim, self.lows_f[dim]
         for dim in range(self.n_dims):
-            high = float(self.highs[dim])
-            if np.isfinite(high):
-                yield dim, high
+            if self.finite_highs[dim]:
+                yield dim, self.highs_f[dim]
 
     def is_empty(self) -> bool:
         """True when some dimension's range ``(low, high]`` is empty."""

@@ -8,10 +8,14 @@ range selection over a column store:
 * *option 2* — scan the first column into a candidate list and re-check the
   remaining columns only for candidates ("all our scans use option (2)").
 
-Both are implemented here (option 1 exists for the ablation benchmark) as
-vectorised NumPy kernels.  All kernels account the elements they touch into
-a :class:`~repro.core.metrics.QueryStats` so higher layers get deterministic
-work counters.
+The option-2 hot loop lives in the pluggable kernel layer
+(:mod:`repro.kernels`); :func:`range_scan` and :func:`full_scan` here are
+thin shims over the active backend so the eight index implementations keep
+importing from one place.  Option 1 (:func:`full_scan_bitmap`) exists only
+for the ablation benchmark and stays a plain NumPy implementation.  All
+kernels account the elements they touch into a
+:class:`~repro.core.metrics.QueryStats` so higher layers get deterministic
+work counters — identical across kernel backends.
 """
 
 from __future__ import annotations
@@ -20,29 +24,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import kernels
+from ..kernels.reference import build_mask
 from .metrics import QueryStats
 from .query import RangeQuery
 
 __all__ = ["range_scan", "full_scan", "full_scan_bitmap", "count_matches"]
-
-
-def _build_mask(
-    values: np.ndarray, low: float, high: float, need_low: bool, need_high: bool
-) -> Optional[np.ndarray]:
-    """Boolean mask for ``low < values <= high``, honouring skip flags.
-
-    Returns ``None`` when neither bound needs checking, so callers can skip
-    the dimension entirely.
-    """
-    check_low = need_low and np.isfinite(low)
-    check_high = need_high and np.isfinite(high)
-    if check_low and check_high:
-        return (values > low) & (values <= high)
-    if check_low:
-        return values > low
-    if check_high:
-        return values <= high
-    return None
 
 
 def range_scan(
@@ -62,37 +49,11 @@ def range_scan(
     apply" them (Section III-A, *Piece Scan*).  Defaults check everything.
 
     Returns the qualifying positions as absolute indices into the columns.
+    Dispatches to the active kernel backend (:func:`repro.kernels.use`).
     """
-    n_dims = query.n_dims
-    if end <= start:
-        return np.empty(0, dtype=np.int64)
-    candidates: Optional[np.ndarray] = None
-    for dim in range(n_dims):
-        need_low = True if check_low is None else bool(check_low[dim])
-        need_high = True if check_high is None else bool(check_high[dim])
-        low = float(query.lows[dim])
-        high = float(query.highs[dim])
-        column = columns[dim]
-        if candidates is None:
-            mask = _build_mask(column[start:end], low, high, need_low, need_high)
-            if mask is None:
-                continue
-            stats.scanned += end - start
-            candidates = np.flatnonzero(mask).astype(np.int64)
-        else:
-            if candidates.size == 0:
-                return candidates
-            mask = _build_mask(
-                column[start + candidates], low, high, need_low, need_high
-            )
-            if mask is None:
-                continue
-            stats.scanned += int(candidates.size)
-            candidates = candidates[mask]
-    if candidates is None:
-        # No predicate needed checking: the whole piece qualifies.
-        candidates = np.arange(end - start, dtype=np.int64)
-    return start + candidates
+    return kernels.range_scan(
+        columns, start, end, query, stats, check_low, check_high
+    )
 
 
 def full_scan(
@@ -101,7 +62,9 @@ def full_scan(
     """Option-2 scan of entire columns; returns qualifying positions."""
     if not columns:
         return np.empty(0, dtype=np.int64)
-    return range_scan(columns, 0, int(columns[0].shape[0]), query, stats)
+    return kernels.range_scan(
+        columns, 0, int(columns[0].shape[0]), query, stats, None, None
+    )
 
 
 def full_scan_bitmap(
@@ -115,10 +78,10 @@ def full_scan_bitmap(
     n_rows = int(columns[0].shape[0])
     masks: List[np.ndarray] = []
     for dim in range(query.n_dims):
-        mask = _build_mask(
+        mask = build_mask(
             columns[dim],
-            float(query.lows[dim]),
-            float(query.highs[dim]),
+            query.lows_f[dim],
+            query.highs_f[dim],
             True,
             True,
         )
@@ -131,7 +94,7 @@ def full_scan_bitmap(
     combined = masks[0]
     for mask in masks[1:]:
         combined = combined & mask
-    return np.flatnonzero(combined).astype(np.int64)
+    return np.flatnonzero(combined)
 
 
 def count_matches(columns: Sequence[np.ndarray], query: RangeQuery) -> int:

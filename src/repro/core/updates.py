@@ -183,6 +183,13 @@ class AppendableAdaptiveKDTree(AdaptiveKDTree):
         self._index.columns = merged_columns
         self._index.rowids = merged_ids
         self._tree = KDTree(n_merged, self.n_dims)
+        if n_merged > 0:
+            # Fresh zone seed over the merged data (pending rows may lie
+            # outside the old table's min/max).
+            self._tree.seed_root_zone(
+                [float(column.min()) for column in merged_columns],
+                [float(column.max()) for column in merged_columns],
+            )
         self._open_pieces = 1 if n_merged > self.size_threshold else 0
         # Re-crack along the old pivots, skipping ones that no longer split.
         arrays = self._index.all_arrays

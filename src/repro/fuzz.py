@@ -52,8 +52,8 @@ from .core import (
     RangeQuery,
     Table,
 )
+from . import kernels
 from .core.metrics import QueryStats
-from .core.scan import full_scan
 from .invariants import InvariantMonitor, convergence_determinism_errors
 
 __all__ = [
@@ -281,7 +281,15 @@ def build_workload(case: FuzzCase) -> Tuple[Table, List[RangeQuery]]:
 # ------------------------------------------------------------------ driving
 
 def _reference(table: Table, query: RangeQuery) -> np.ndarray:
-    return np.sort(full_scan(table.columns(), query, QueryStats()))
+    # Pin the trusted reference kernel backend for the oracle: when the
+    # fuzzer runs with a fused/JIT backend active, a kernel bug must not
+    # be able to corrupt the expected answer the same way it corrupts the
+    # index's answer.
+    columns = table.columns()
+    positions = kernels.get_backend("reference").range_scan(
+        columns, 0, int(columns[0].shape[0]), query, QueryStats()
+    )
+    return np.sort(positions)
 
 
 def run_backend_case(
@@ -484,6 +492,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--size-threshold", type=int, default=64)
     parser.add_argument("--delta", type=float, default=0.25)
     parser.add_argument(
+        "--kernels",
+        default=None,
+        choices=sorted(kernels.registered_backends()),
+        help="kernel backend for the run (default: keep the active one; "
+        "an unavailable backend falls back to numpy)",
+    )
+    parser.add_argument(
         "--save-dir", default=".", help="where failure repro files go"
     )
     parser.add_argument(
@@ -491,6 +506,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
+
+    if args.kernels is not None:
+        activated = kernels.use(args.kernels)
+        if activated != args.kernels:
+            print(
+                f"fuzz: kernel backend {args.kernels!r} unavailable, "
+                f"running on {activated!r}"
+            )
 
     if args.replay is not None:
         try:

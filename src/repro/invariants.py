@@ -34,6 +34,16 @@ I6  **Determinism** — a fully converged Progressive (or Greedy
     mean-pivot KD-Tree over the same table
     (:func:`convergence_determinism_errors`; exact on integer-valued
     data, where mean pivots carry no float-summation rounding).
+I7  **Zone soundness** — every row of a zoned leaf lies inside the
+    leaf's zone box: ``zone_lo[d] <= column[d] <= zone_hi[d]`` for every
+    dimension.  Zone boxes may be conservative (wider than the true
+    min/max) but never narrower; within-piece permutation (paused
+    partitions included) cannot invalidate them.
+I8  **Zone/path consistency** — a zone box is at least as tight as the
+    path bounds (``zone_lo >= lob`` and ``zone_hi <= hib`` wherever the
+    path bound is finite), internally ordered (``zone_lo <= zone_hi``),
+    and zoning is all-or-nothing per tree: either every leaf carries a
+    zone map (the root was seeded before the first split) or none does.
 
 Backends whose structure is not a KD-Tree participate through
 :meth:`BaseIndex.self_check` (QUASII hierarchy, cracker columns).
@@ -61,6 +71,7 @@ __all__ = [
     "partition_job_errors",
     "convergence_errors",
     "creation_state_errors",
+    "zone_map_errors",
     "convergence_determinism_errors",
     "InvariantMonitor",
 ]
@@ -285,6 +296,77 @@ def creation_state_errors(state: IndexDebugState) -> List[str]:
     return problems
 
 
+# ----------------------------------------------------------------- I7 / I8
+
+def zone_map_errors(state: IndexDebugState) -> List[str]:
+    """Zone-map breaches (invariants I7 and I8).
+
+    I7: every row of a zoned leaf lies inside the leaf's zone box.
+    I8: zone boxes are internally ordered, at least as tight as the
+    finite path bounds, and zoning is all-or-nothing across the tree.
+    """
+    tree = state.tree
+    if tree is None or state.index_table is None:
+        return []
+    problems: List[str] = []
+    columns = state.index_table.columns
+    n_dims = state.index.n_dims
+    zoned = 0
+    unzoned = 0
+    for leaf, lob, hib in tree.iter_leaves_with_bounds():
+        zone_lo = getattr(leaf, "zone_lo", None)
+        zone_hi = getattr(leaf, "zone_hi", None)
+        if (zone_lo is None) != (zone_hi is None):
+            problems.append(
+                f"{leaf!r} has only one of zone_lo/zone_hi set"
+            )
+            continue
+        if zone_lo is None:
+            unzoned += 1
+            continue
+        zoned += 1
+        if len(zone_lo) != n_dims or len(zone_hi) != n_dims:
+            problems.append(
+                f"{leaf!r} zone map covers {len(zone_lo)}/{len(zone_hi)} "
+                f"dims, index has {n_dims}"
+            )
+            continue
+        for dim in range(n_dims):
+            zlo = zone_lo[dim]
+            zhi = zone_hi[dim]
+            if zlo > zhi:
+                problems.append(
+                    f"{leaf!r} zone inverted on dim {dim}: "
+                    f"lo {zlo} > hi {zhi}"
+                )
+                continue
+            if np.isfinite(lob[dim]) and zlo < lob[dim]:
+                problems.append(
+                    f"{leaf!r} zone lo {zlo} on dim {dim} is looser than "
+                    f"the path bound {lob[dim]}"
+                )
+            if np.isfinite(hib[dim]) and zhi > hib[dim]:
+                problems.append(
+                    f"{leaf!r} zone hi {zhi} on dim {dim} is looser than "
+                    f"the path bound {hib[dim]}"
+                )
+            if leaf.size > 0:
+                values = columns[dim][leaf.start : leaf.end]
+                actual_lo = float(values.min())
+                actual_hi = float(values.max())
+                if actual_lo < zlo or actual_hi > zhi:
+                    problems.append(
+                        f"{leaf!r} holds values [{actual_lo}, {actual_hi}] "
+                        f"outside its zone [{zlo}, {zhi}] on dim {dim}"
+                    )
+    if zoned and unzoned:
+        problems.append(
+            f"mixed zoning: {zoned} zoned leaves next to {unzoned} "
+            "unzoned ones (must be all-or-nothing per tree)"
+        )
+    return problems
+
+
 # --------------------------------------------------------------------- I6
 
 def convergence_determinism_errors(index: BaseIndex) -> List[str]:
@@ -336,7 +418,8 @@ def structural_errors(index: BaseIndex) -> List[str]:
 
     The per-query workhorse: tree invariants (I1/I2) when a KD-Tree is
     materialised, alignment (I3), paused partitions (I4), convergence
-    flags (I5), the PKD creation-phase contract, and the backend's own
+    flags (I5), zone maps (I7/I8), the PKD creation-phase contract, and
+    the backend's own
     :meth:`~repro.core.index_base.BaseIndex.self_check`.  Cross-query
     monotonicity and determinism need state or convergence and live in
     :class:`InvariantMonitor` / :func:`convergence_determinism_errors`.
@@ -347,6 +430,7 @@ def structural_errors(index: BaseIndex) -> List[str]:
         problems.extend(state.tree.structural_errors(state.index_table.columns))
         problems.extend(partition_job_errors(state))
         problems.extend(convergence_errors(state))
+        problems.extend(zone_map_errors(state))
     if state.extras.get("skip_alignment") is not True:
         problems.extend(alignment_errors(state))
     problems.extend(creation_state_errors(state))

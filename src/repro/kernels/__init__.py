@@ -1,0 +1,227 @@
+"""Pluggable kernel backends for the scan/partition hot loops.
+
+Every index in this package bottoms out in the same two physical
+operations — the candidate-list piece scan (Section III-A) and the
+two-way partition that moves rows during adaptation/refinement.  This
+package makes those operations pluggable: the index code calls the
+module-level dispatch functions below and a process-global registry
+decides which implementation runs.
+
+Backends
+--------
+``numpy`` (default)
+    Fused NumPy kernels: a hybrid scan that evaluates the conjunctive
+    predicate with a running full-window mask while candidate survival
+    is high and falls back to candidate-list gathering once it drops,
+    reusing scratch buffers across calls; plus a permutation-gather
+    stable partition that touches each parallel array exactly once.
+``reference``
+    The original per-dimension candidate-list kernels, kept verbatim as
+    the trusted baseline the property suites, the fuzzer oracle, and
+    the micro-benchmarks compare against.
+``numba``
+    Optional ``@njit``-compiled scalar kernels.  Registered only when
+    :mod:`numba` is importable; selecting it without numba installed
+    silently falls back to ``numpy`` (capability probing, no hard
+    dependency — install via ``pip install -e .[fast]``).
+
+Selection
+---------
+* environment: ``REPRO_KERNELS=numpy|reference|numba`` (read once at
+  import time);
+* programmatic: :func:`use`, or the ``kernels=`` option of
+  :class:`repro.session.ExplorationSession` and
+  :func:`repro.bench.harness.run_workload`.
+
+Contract
+--------
+All backends are behaviourally identical: bit-identical scan positions,
+identical :class:`~repro.core.metrics.QueryStats` work counters, the
+same stable-partition output, and the same paused-partition state
+transitions.  The property suites (``tests/test_properties_scan.py``,
+``tests/test_properties_partition.py``) and the differential fuzzer
+enforce this against the ``reference`` backend.
+
+The dispatch state is process-global and the fused backend keeps
+scratch buffers between calls, so the kernel layer (like the rest of
+this package) is not thread-safe.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .reference import KernelBackend, ReferenceBackend
+
+__all__ = [
+    "KernelBackend",
+    "DEFAULT_BACKEND",
+    "register",
+    "available_backends",
+    "registered_backends",
+    "use",
+    "active_backend",
+    "active_name",
+    "get_backend",
+    "range_scan",
+    "stable_partition",
+]
+
+#: The backend activated when nothing is requested.
+DEFAULT_BACKEND = "numpy"
+
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
+_PROBES: Dict[str, Callable[[], bool]] = {}
+_INSTANCES: Dict[str, KernelBackend] = {}
+_ACTIVE: Optional[KernelBackend] = None
+
+
+def register(
+    name: str,
+    factory: Callable[[], KernelBackend],
+    probe: Optional[Callable[[], bool]] = None,
+) -> None:
+    """Register a kernel backend under ``name``.
+
+    ``factory`` builds the backend on first use; ``probe`` (optional)
+    reports whether the backend can run in this environment without
+    importing anything heavyweight — :func:`use` falls back to the
+    default when the probe fails.
+    """
+    _FACTORIES[name] = factory
+    if probe is not None:
+        _PROBES[name] = probe
+
+
+def registered_backends() -> List[str]:
+    """Every registered backend name, available or not."""
+    return list(_FACTORIES)
+
+
+def available_backends() -> List[str]:
+    """Backend names whose capability probe passes in this environment."""
+    return [
+        name
+        for name in _FACTORIES
+        if name not in _PROBES or _PROBES[name]()
+    ]
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The (cached) backend instance for ``name``; raises when unknown
+    or unavailable.  Intended for tests and benchmarks that pin a
+    specific implementation regardless of the active dispatch."""
+    if name not in _FACTORIES:
+        raise InvalidParameterError(
+            f"unknown kernel backend {name!r}; "
+            f"registered: {sorted(_FACTORIES)}"
+        )
+    if name in _PROBES and not _PROBES[name]():
+        raise InvalidParameterError(
+            f"kernel backend {name!r} is not available in this environment"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def use(name: str) -> str:
+    """Activate the named backend; returns the name actually activated.
+
+    Unknown names raise.  A known-but-unavailable backend (``numba``
+    without numba installed) silently falls back to the default NumPy
+    backend, so scripts can request ``numba`` unconditionally.
+    """
+    global _ACTIVE
+    if name not in _FACTORIES:
+        raise InvalidParameterError(
+            f"unknown kernel backend {name!r}; "
+            f"registered: {sorted(_FACTORIES)}"
+        )
+    if name in _PROBES and not _PROBES[name]():
+        name = DEFAULT_BACKEND
+    _ACTIVE = get_backend(name)
+    return name
+
+
+def active_backend() -> KernelBackend:
+    """The backend the dispatch functions currently route to."""
+    assert _ACTIVE is not None
+    return _ACTIVE
+
+
+def active_name() -> str:
+    """Name of the active backend."""
+    return active_backend().name
+
+
+# ------------------------------------------------------------------ dispatch
+
+def range_scan(
+    columns: Sequence[np.ndarray],
+    start: int,
+    end: int,
+    query,
+    stats,
+    check_low=None,
+    check_high=None,
+) -> np.ndarray:
+    """Candidate-list (option 2) scan of rows ``[start, end)`` via the
+    active backend; see :meth:`KernelBackend.range_scan`."""
+    return _ACTIVE.range_scan(
+        columns, start, end, query, stats, check_low, check_high
+    )
+
+
+def stable_partition(
+    arrays: Sequence[np.ndarray],
+    start: int,
+    end: int,
+    key_index: int,
+    pivot: float,
+) -> int:
+    """Stable two-way partition of rows ``[start, end)`` via the active
+    backend; see :meth:`KernelBackend.stable_partition`."""
+    return _ACTIVE.stable_partition(arrays, start, end, key_index, pivot)
+
+
+# ---------------------------------------------------------------- registry
+
+def _numba_importable() -> bool:
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def _make_fused() -> KernelBackend:
+    from .fused import FusedNumpyBackend
+
+    return FusedNumpyBackend()
+
+
+def _make_numba() -> KernelBackend:
+    from .numba_backend import NumbaBackend
+
+    return NumbaBackend()
+
+
+register("numpy", _make_fused)
+register("reference", ReferenceBackend)
+register("numba", _make_numba, probe=_numba_importable)
+
+_requested = os.environ.get("REPRO_KERNELS", DEFAULT_BACKEND)
+if _requested not in _FACTORIES:
+    warnings.warn(
+        f"REPRO_KERNELS={_requested!r} is not a registered kernel backend "
+        f"({sorted(_FACTORIES)}); using {DEFAULT_BACKEND!r}",
+        stacklevel=2,
+    )
+    _requested = DEFAULT_BACKEND
+use(_requested)

@@ -1,0 +1,223 @@
+"""Optional Numba JIT kernels.
+
+Scalar ``@njit`` loops for the same four primitives: the candidate-list
+scan passes, the stable-partition permutation, and the incremental
+Hoare chunk classify/swap.  The Python-side wrappers keep all
+``QueryStats`` accounting and all pointer arithmetic identical to the
+reference backend, so the compiled kernels only replace the innermost
+array traversals — the behavioural contract (bit-identical positions,
+identical counters, identical paused-partition state transitions) is
+unchanged.
+
+This module imports :mod:`numba` at module load and must therefore only
+be imported behind the registry's capability probe
+(:func:`repro.kernels.available_backends`); ``repro.kernels.use("numba")``
+falls back to the fused NumPy backend when numba is absent.  Install it
+with ``pip install -e .[fast]``.
+
+Compilation happens lazily on first call per dtype specialisation
+(``cache=True`` persists the machine code across processes), so the
+first query after process start pays a one-off JIT cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+import numpy as np
+from numba import njit
+
+from .reference import KernelBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.metrics import QueryStats
+    from ..core.query import RangeQuery
+
+__all__ = ["NumbaBackend"]
+
+
+@njit(cache=True)
+def _first_pass(values, low, high, need_low, need_high):
+    """Relative positions in ``values`` satisfying the checked bounds."""
+    n = values.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    k = 0
+    for i in range(n):
+        v = values[i]
+        if need_low and not (v > low):
+            continue
+        if need_high and not (v <= high):
+            continue
+        out[k] = i
+        k += 1
+    return out[:k].copy()
+
+
+@njit(cache=True)
+def _refine(column, base, candidates, low, high, need_low, need_high):
+    """Filter ``candidates`` (relative to ``base``) by the checked bounds."""
+    m = candidates.shape[0]
+    out = np.empty(m, dtype=np.int64)
+    k = 0
+    for i in range(m):
+        position = candidates[i]
+        v = column[base + position]
+        if need_low and not (v > low):
+            continue
+        if need_high and not (v <= high):
+            continue
+        out[k] = position
+        k += 1
+    return out[:k].copy()
+
+
+@njit(cache=True)
+def _partition_order(keys, start, end, pivot):
+    """Stable permutation: left-side positions then right-side positions."""
+    n = end - start
+    order = np.empty(n, dtype=np.int64)
+    k = 0
+    for i in range(n):
+        if keys[start + i] <= pivot:
+            order[k] = i
+            k += 1
+    n_left = k
+    for i in range(n):
+        if keys[start + i] > pivot:
+            order[k] = i
+            k += 1
+    return order, n_left
+
+
+@njit(cache=True)
+def _apply_order(array, start, order):
+    """Rearrange ``array[start:start+len(order)]`` by the permutation."""
+    n = order.shape[0]
+    held = np.empty(n, dtype=array.dtype)
+    for i in range(n):
+        held[i] = array[start + order[i]]
+    for i in range(n):
+        array[start + i] = held[i]
+
+
+@njit(cache=True)
+def _chunk_misplaced(keys, left_base, n_left, right_base, hi, pivot):
+    """Hoare chunk classification; see KernelBackend.chunk_misplaced."""
+    misplaced_left = np.empty(n_left, dtype=np.int64)
+    a = 0
+    for i in range(n_left):
+        if keys[left_base + i] > pivot:
+            misplaced_left[a] = i
+            a += 1
+    n_right = hi - right_base
+    misplaced_right = np.empty(n_right, dtype=np.int64)
+    b = 0
+    for i in range(n_right):
+        if keys[right_base + i] <= pivot:
+            misplaced_right[b] = i
+            b += 1
+    return misplaced_left[:a].copy(), misplaced_right[:b].copy()
+
+
+@njit(cache=True)
+def _swap_rows(array, left_rows, right_rows):
+    for i in range(left_rows.shape[0]):
+        left = left_rows[i]
+        right = right_rows[i]
+        held = array[left]
+        array[left] = array[right]
+        array[right] = held
+
+
+class NumbaBackend(KernelBackend):
+    """``@njit``-compiled scalar kernels behind the reference accounting."""
+
+    name = "numba"
+
+    def range_scan(
+        self,
+        columns: Sequence[np.ndarray],
+        start: int,
+        end: int,
+        query: "RangeQuery",
+        stats: "QueryStats",
+        check_low: Optional[Sequence[bool]] = None,
+        check_high: Optional[Sequence[bool]] = None,
+    ) -> np.ndarray:
+        if end <= start:
+            return np.empty(0, dtype=np.int64)
+        lows = query.lows_f
+        highs = query.highs_f
+        finite_low = query.finite_lows
+        finite_high = query.finite_highs
+        candidates: Optional[np.ndarray] = None
+        for dim in range(query.n_dims):
+            need_low = (
+                check_low is None or bool(check_low[dim])
+            ) and finite_low[dim]
+            need_high = (
+                check_high is None or bool(check_high[dim])
+            ) and finite_high[dim]
+            if not need_low and not need_high:
+                continue
+            column = columns[dim]
+            if candidates is None:
+                stats.scanned += end - start
+                candidates = _first_pass(
+                    column[start:end], lows[dim], highs[dim],
+                    need_low, need_high,
+                )
+            else:
+                if candidates.size == 0:
+                    return candidates
+                stats.scanned += int(candidates.size)
+                candidates = _refine(
+                    column, start, candidates, lows[dim], highs[dim],
+                    need_low, need_high,
+                )
+        if candidates is None:
+            # No predicate needed checking: the whole piece qualifies.
+            candidates = np.arange(end - start, dtype=np.int64)
+        return start + candidates
+
+    def stable_partition(
+        self,
+        arrays: Sequence[np.ndarray],
+        start: int,
+        end: int,
+        key_index: int,
+        pivot: float,
+    ) -> int:
+        if end <= start:
+            return start
+        order, n_left = _partition_order(
+            arrays[key_index], start, end, float(pivot)
+        )
+        split = start + n_left
+        if n_left == 0 or n_left == end - start:
+            return split  # already one-sided; nothing moves
+        for array in arrays:
+            _apply_order(array, start, order)
+        return split
+
+    def chunk_misplaced(
+        self,
+        keys: np.ndarray,
+        left_base: int,
+        n_left: int,
+        right_base: int,
+        hi: int,
+        pivot: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return _chunk_misplaced(
+            keys, left_base, n_left, right_base, hi, float(pivot)
+        )
+
+    def swap_rows(
+        self,
+        arrays: Sequence[np.ndarray],
+        left_rows: np.ndarray,
+        right_rows: np.ndarray,
+    ) -> None:
+        for array in arrays:
+            _swap_rows(array, left_rows, right_rows)

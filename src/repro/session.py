@@ -107,6 +107,13 @@ class ExplorationSession:
         query response time without performance spikes").
     size_threshold, delta, tau:
         Forwarded to the underlying indexes.
+    kernels:
+        Kernel backend for the scan/partition hot loops (``numpy``,
+        ``reference``, or ``numba``; see :mod:`repro.kernels`).  ``None``
+        keeps whatever is active (the default, or ``REPRO_KERNELS``).
+        Requesting ``numba`` without numba installed silently falls back
+        to the fused NumPy backend.  The dispatch is process-global, so
+        the setting affects every session in the process.
     validate:
         Debug mode: after *every* query, run the full structural
         invariant suite (:mod:`repro.invariants`) on the index that
@@ -122,6 +129,7 @@ class ExplorationSession:
         size_threshold: int = 1024,
         delta: float = 0.2,
         tau: Optional[float] = None,
+        kernels: Optional[str] = None,
         validate: bool = False,
     ) -> None:
         resolved = "greedy" if technique == "auto" else technique
@@ -134,6 +142,11 @@ class ExplorationSession:
         self.size_threshold = size_threshold
         self.delta = delta
         self.tau = tau
+        if kernels is not None:
+            from . import kernels as kernel_registry
+
+            kernels = kernel_registry.use(kernels)
+        self.kernels = kernels
         self.validate = validate
         self._tables: Dict[str, _RegisteredTable] = {}
 

@@ -12,13 +12,19 @@ properties:
   sequence of budgets yields the same split position and the same
   per-side row multisets as a one-shot partition;
 * cross-kernel agreement — the incremental kernel lands on exactly the
-  split position the stable kernel computes.
+  split position the stable kernel computes;
+* cross-backend agreement — every available kernel backend
+  (:mod:`repro.kernels`) produces bit-identical partitions, and the
+  incremental partition walks through bit-identical ``(lo, hi)`` state
+  transitions regardless of which backend classifies and swaps.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import kernels
 from repro.core.partition import IncrementalPartition, stable_partition
 
 
@@ -149,6 +155,75 @@ def test_incremental_run_to_completion_matches_one_shot(case):
     assert job.remaining_rows == 0
     assert job.split == expected_split
     assert job.invariant_errors() == []
+
+
+@pytest.mark.parametrize("backend_name", kernels.available_backends())
+@given(case=partition_case())
+@settings(max_examples=100, deadline=None)
+def test_stable_partition_backends_bit_identical(backend_name, case):
+    arrays, start, end, key_index, pivot = case
+    backend = kernels.get_backend(backend_name)
+    reference = kernels.get_backend("reference")
+    got_arrays = [array.copy() for array in arrays]
+    want_arrays = [array.copy() for array in arrays]
+    got_split = backend.stable_partition(
+        got_arrays, start, end, key_index, pivot
+    )
+    want_split = reference.stable_partition(
+        want_arrays, start, end, key_index, pivot
+    )
+    assert got_split == want_split
+    for got, want in zip(got_arrays, want_arrays):
+        assert np.array_equal(got, want)
+
+
+@pytest.mark.parametrize("backend_name", kernels.available_backends())
+@given(
+    case=partition_case(),
+    budgets=st.lists(
+        st.integers(min_value=1, max_value=40), min_size=1, max_size=20
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_incremental_partition_backends_share_state_transitions(
+    backend_name, case, budgets
+):
+    """Running the same pause schedule under any backend yields the same
+    ``(lo, hi)`` pointer trajectory and the same array contents after
+    every step — the incremental job is bit-deterministic across
+    backends, so a paused index can even migrate between them."""
+    arrays, start, end, key_index, pivot = case
+    previous = kernels.active_name()
+    try:
+        kernels.use("reference")
+        want_arrays = [array.copy() for array in arrays]
+        want_job = IncrementalPartition(
+            want_arrays, start, end, key_index, pivot
+        )
+        want_trace = []
+        cursor = 0
+        while not want_job.done:
+            want_job.advance(budgets[cursor % len(budgets)])
+            want_trace.append((want_job.lo, want_job.hi))
+            cursor += 1
+
+        kernels.use(backend_name)
+        got_arrays = [array.copy() for array in arrays]
+        got_job = IncrementalPartition(
+            got_arrays, start, end, key_index, pivot
+        )
+        got_trace = []
+        cursor = 0
+        while not got_job.done:
+            got_job.advance(budgets[cursor % len(budgets)])
+            got_trace.append((got_job.lo, got_job.hi))
+            cursor += 1
+    finally:
+        kernels.use(previous)
+    assert got_trace == want_trace
+    assert got_job.split == want_job.split
+    for got, want in zip(got_arrays, want_arrays):
+        assert np.array_equal(got, want)
 
 
 @given(st.integers(min_value=0, max_value=2**16))

@@ -6,13 +6,20 @@ The three kernels — :func:`range_scan` (option 2, candidate list),
 each other and with a naive mask on the paper's half-open semantics
 ``low < x <= high``, including ±inf sides, duplicate-laden columns, and
 bounds that sit exactly on data values.
+
+Additionally, every *registered and available* kernel backend
+(:mod:`repro.kernels`) must be behaviourally indistinguishable from the
+``reference`` backend: bit-identical positions in the same order and
+identical ``QueryStats`` work counters, for arbitrary sub-windows and
+arbitrary residual-check flags.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import RangeQuery
+from repro import RangeQuery, kernels
 from repro.core.metrics import QueryStats
 from repro.core.scan import full_scan, full_scan_bitmap, range_scan
 
@@ -118,6 +125,38 @@ def test_range_scan_skip_flags_drop_only_redundant_checks(case):
         check_low=[True] * n_dims, check_high=[True] * n_dims,
     )
     assert np.array_equal(np.sort(all_on), _naive(columns, query))
+
+
+@pytest.mark.parametrize("backend_name", kernels.available_backends())
+@given(case=scan_case(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=100, deadline=None)
+def test_every_backend_is_bit_identical_to_reference(backend_name, case, seed):
+    """Same positions, same order, same counters — for any window and any
+    residual-check flag combination a KD piece scan can produce."""
+    columns, query = case
+    n_rows = int(columns[0].shape[0])
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(0, n_rows + 1))
+    end = int(rng.integers(start, n_rows + 1))
+    if rng.integers(0, 2):
+        check_low = rng.integers(0, 2, query.n_dims).astype(bool)
+        check_high = rng.integers(0, 2, query.n_dims).astype(bool)
+    else:
+        check_low = check_high = None
+    backend = kernels.get_backend(backend_name)
+    reference = kernels.get_backend("reference")
+    got_stats, want_stats = QueryStats(), QueryStats()
+    got = backend.range_scan(
+        columns, start, end, query, got_stats, check_low, check_high
+    )
+    want = reference.range_scan(
+        columns, start, end, query, want_stats, check_low, check_high
+    )
+    assert got.dtype == want.dtype
+    assert np.array_equal(got, want)
+    assert got_stats.scanned == want_stats.scanned
+    assert got_stats.copied == want_stats.copied
+    assert got_stats.swapped == want_stats.swapped
 
 
 @given(scan_case())
