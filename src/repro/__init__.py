@@ -57,6 +57,7 @@ from .baselines import (
     Quasii,
     SFCCracking,
 )
+from . import obs
 from .session import ExplorationSession, SessionResult
 from .invariants import (
     InvariantMonitor,
@@ -91,6 +92,7 @@ __all__ = [
     "encode_table",
     "ExplorationSession",
     "SessionResult",
+    "obs",
     "save_index",
     "load_index",
     "snapshot_index",

@@ -29,7 +29,9 @@ from ..core import (
     Table,
 )
 from .. import kernels as kernel_registry
+from .. import obs
 from ..errors import InvalidParameterError, WorkloadError
+from ..obs import metrics as obs_metrics
 from ..workloads.base import Workload
 
 __all__ = ["INDEX_FACTORIES", "make_index", "run_workload", "WorkloadRun"]
@@ -148,6 +150,7 @@ def run_workload(
     validate: bool = False,
     max_queries: Optional[int] = None,
     kernels: Optional[str] = None,
+    trace: Optional[str] = None,
     **params,
 ) -> WorkloadRun:
     """Execute ``workload`` against the named index technique.
@@ -158,12 +161,48 @@ def run_workload(
     ``max_queries`` truncates the workload.  ``kernels`` selects the
     kernel backend for the run (process-global; ``None`` keeps the active
     one, and an unavailable ``numba`` silently falls back to ``numpy``).
+    ``trace`` records the whole run as a JSONL trace at the given path
+    (enables :mod:`repro.obs` for the duration of the run; disabled
+    again — and the file closed — before returning).
     """
     if kernels is not None:
         kernel_registry.use(kernels)
     queries = workload.queries
     if max_queries is not None:
         queries = queries[:max_queries]
+    if trace is not None:
+        obs.enable(
+            path=trace,
+            meta={
+                "workload": workload.name,
+                "index": index_name,
+                "size_threshold": size_threshold,
+                "n_queries": len(queries),
+                "n_rows": workload.table.n_rows,
+                "n_dims": workload.table.n_columns,
+                **{k: v for k, v in params.items()
+                   if isinstance(v, (int, float, str, bool))},
+            },
+        )
+        try:
+            return _run_workload(
+                index_name, workload, queries, size_threshold, validate, **params
+            )
+        finally:
+            obs.disable()
+    return _run_workload(
+        index_name, workload, queries, size_threshold, validate, **params
+    )
+
+
+def _run_workload(
+    index_name: str,
+    workload: Workload,
+    queries,
+    size_threshold: int,
+    validate: bool,
+    **params,
+) -> WorkloadRun:
     run = WorkloadRun(workload.name, index_name)
     if workload.groups is None:
         indexes: Dict[int, BaseIndex] = {
@@ -199,4 +238,15 @@ def run_workload(
                 )
         run.stats.append(result.stats)
         run.node_counts.append(sum(ix.node_count for ix in indexes.values()))
+    if obs_metrics.ENABLED:
+        registry = obs_metrics.REGISTRY
+        labels = {"workload": workload.name, "index": index_name}
+        registry.counter("harness.runs", **labels).inc()
+        registry.counter("harness.queries", **labels).inc(run.n_queries)
+        registry.gauge("harness.nodes", **labels).set(
+            run.node_counts[-1] if run.node_counts else 0
+        )
+        converged_at = run.converged_at()
+        if converged_at is not None:
+            registry.gauge("harness.converged_at", **labels).set(converged_at)
     return run

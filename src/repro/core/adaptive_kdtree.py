@@ -182,6 +182,11 @@ class AdaptiveKDTree(BaseIndex):
         return 0 if self._tree is None else self._tree.node_count
 
     @property
+    def open_piece_count(self) -> Optional[int]:
+        """Above-threshold leaves, from the incrementally-kept counter."""
+        return self._open_pieces
+
+    @property
     def tree(self) -> Optional[KDTree]:
         return self._tree
 

@@ -10,6 +10,7 @@ the benchmark harness can treat all techniques uniformly.
 
 from __future__ import annotations
 
+import sys
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -18,6 +19,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import InvalidQueryError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .kdtree import PieceMatch
 from .metrics import QueryStats
 from .query import RangeQuery
@@ -207,12 +210,96 @@ class BaseIndex(ABC):
                 f"query has {query.n_dims} dimensions, index covers {self.n_dims}"
             )
         stats = QueryStats()
+        if obs_trace.ENABLED or obs_metrics.ENABLED:
+            # Observability slow path: spans + registry feeding.  The
+            # split keeps the common case at exactly two global loads.
+            return self._observed_query(query, stats)
         begin = time.perf_counter()
         row_ids = self._execute(query, stats)
         stats.seconds = time.perf_counter() - begin
         stats.converged = self.converged
         self.queries_executed += 1
         return QueryResult(row_ids, stats)
+
+    def _observed_query(self, query: RangeQuery, stats: QueryStats) -> QueryResult:
+        """The traced/metered twin of :meth:`query`'s hot path.
+
+        Emits one ``query`` span (when tracing) carrying the index name,
+        query number, result/convergence state, and — for tree-backed
+        indexes — the structure gauges the convergence observatory plots
+        (``node_count``, ``open_pieces``, ``max_leaf``).  Feeds the
+        metrics registry (when metering) with per-index counters and a
+        latency histogram.
+        """
+        tracer = obs_trace.TRACER if obs_trace.ENABLED else None
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "query",
+                stats=stats,
+                index=self.name,
+                query_number=self.queries_executed,
+                n_dims=self.n_dims,
+            )
+            span.__enter__()
+        begin = time.perf_counter()
+        try:
+            row_ids = self._execute(query, stats)
+        except BaseException:
+            stats.seconds = time.perf_counter() - begin
+            stats.converged = self.converged
+            if span is not None:
+                self._annotate_span(span)
+                span.__exit__(*sys.exc_info())
+            raise
+        stats.seconds = time.perf_counter() - begin
+        stats.converged = self.converged
+        if span is not None:
+            self._annotate_span(span)
+            span.attrs["result_count"] = int(row_ids.size)
+            span.__exit__()
+        if obs_metrics.ENABLED:
+            registry = obs_metrics.REGISTRY
+            name = self.name
+            registry.counter("index.queries", index=name).inc()
+            registry.counter("index.rows_returned", index=name).inc(
+                int(row_ids.size)
+            )
+            for field_name in ("scanned", "copied", "swapped", "lookup_nodes",
+                               "nodes_created"):
+                value = getattr(stats, field_name)
+                if value:
+                    registry.counter(f"index.{field_name}", index=name).inc(value)
+            if stats.pruned:
+                registry.counter("zone.pruned", index=name).inc(stats.pruned)
+            if stats.contained:
+                registry.counter("zone.contained", index=name).inc(stats.contained)
+            registry.gauge("index.converged", index=name).set(
+                1 if stats.converged else 0
+            )
+            registry.gauge("index.nodes", index=name).set(self.node_count)
+            open_pieces = self.open_piece_count
+            if open_pieces is not None:
+                registry.gauge("index.open_pieces", index=name).set(open_pieces)
+            registry.histogram("query.seconds", index=name).observe(stats.seconds)
+        self.queries_executed += 1
+        return QueryResult(row_ids, stats)
+
+    def _annotate_span(self, span) -> None:
+        """Attach convergence-observatory gauges to a ``query`` span."""
+        attrs = span.attrs
+        attrs["converged"] = self.converged
+        attrs["node_count"] = self.node_count
+        open_pieces = self.open_piece_count
+        if open_pieces is not None:
+            attrs["open_pieces"] = open_pieces
+        threshold = getattr(self, "size_threshold", None)
+        if threshold is not None:
+            attrs["size_threshold"] = threshold
+        tree = getattr(self, "tree", None)
+        if tree is not None:
+            attrs["max_leaf"] = tree.max_leaf_size()
+            attrs["leaf_count"] = tree.leaf_count
 
     @abstractmethod
     def _execute(self, query: RangeQuery, stats: QueryStats) -> np.ndarray:
@@ -227,6 +314,18 @@ class BaseIndex(ABC):
     def node_count(self) -> int:
         """Number of index nodes currently materialised (Fig. 6d)."""
         return 0
+
+    @property
+    def open_piece_count(self) -> Optional[int]:
+        """Pieces still above the convergence threshold, when tracked.
+
+        ``None`` means the backend does not maintain this gauge (full
+        scans, up-front builds) or cannot know it yet (PKD before its
+        creation phase finishes).  Cheap — backends return a counter they
+        already maintain, never a tree walk — so the observability layer
+        may read it per query.
+        """
+        return None
 
     # -- debug introspection (invariant checking; never on the hot path) ------
 

@@ -16,6 +16,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import IndexStateError
+from ..obs import trace as obs_trace
 from .metrics import QueryStats
 from .node import AnyNode, KDNode, Piece
 from .query import RangeQuery
@@ -88,6 +89,18 @@ class KDTree:
         self._replace(piece, node)
         self.node_count += 1
         self.leaf_count += 1
+        if obs_trace.ENABLED:
+            obs_trace.TRACER.event(
+                "split",
+                dim=dim,
+                pivot=key,
+                start=piece.start,
+                end=piece.end,
+                split=split,
+                left_size=left.size,
+                right_size=right.size,
+                level=piece.level,
+            )
         return left, right
 
     def seed_root_zone(

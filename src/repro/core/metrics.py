@@ -15,6 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs import trace as obs_trace
+
 __all__ = ["QueryStats", "PhaseTimer", "PHASES"]
 
 #: The four cost phases of Fig. 6c, in presentation order.
@@ -88,7 +90,14 @@ class QueryStats:
         return self.copied + self.swapped
 
     def merge(self, other: "QueryStats") -> None:
-        """Accumulate another stats record into this one (for totals)."""
+        """Accumulate another stats record into this one (for totals).
+
+        ``converged`` is carried through as a logical OR: once any merged
+        record saw the index converged, the total reports converged.
+        ``delta_used`` accumulates the progressive indexing budget; it
+        stays ``None`` only when *both* sides are ``None`` (neither side
+        was progressive), otherwise a missing side counts as 0.
+        """
         self.seconds += other.seconds
         for phase in PHASES:
             self.phase_seconds[phase] += other.phase_seconds[phase]
@@ -100,6 +109,9 @@ class QueryStats:
         self.result_count += other.result_count
         self.pruned += other.pruned
         self.contained += other.contained
+        self.converged = self.converged or other.converged
+        if self.delta_used is not None or other.delta_used is not None:
+            self.delta_used = (self.delta_used or 0.0) + (other.delta_used or 0.0)
 
     def __repr__(self) -> str:
         phases = ", ".join(
@@ -120,9 +132,21 @@ class PhaseTimer:
 
         with PhaseTimer(stats, "adaptation"):
             ...  # work attributed to the adaptation phase
+
+    Time is accumulated even when the body raises (the ``with`` protocol
+    guarantees ``__exit__`` runs), so a failed query still reports where
+    its time went.  Re-entering an already-active timer instance raises:
+    nested activations of the same instance would overwrite ``_start``
+    and silently lose the outer activation's time.  Sequential reuse of
+    one instance is fine and accumulates.
+
+    When tracing is enabled (:mod:`repro.obs.trace`), every activation
+    additionally emits a ``phase`` span carrying the work-counter deltas
+    accumulated during the phase — this is the single choke point that
+    gives every index backend its per-phase spans for free.
     """
 
-    __slots__ = ("_stats", "_phase", "_start")
+    __slots__ = ("_stats", "_phase", "_start", "_active", "_span")
 
     def __init__(self, stats: QueryStats, phase: str) -> None:
         if phase not in stats.phase_seconds:
@@ -130,10 +154,28 @@ class PhaseTimer:
         self._stats = stats
         self._phase = phase
         self._start = 0.0
+        self._active = False
+        self._span = None
 
     def __enter__(self) -> "PhaseTimer":
+        if self._active:
+            raise RuntimeError(
+                f"PhaseTimer for phase {self._phase!r} is already active; "
+                "a timer instance cannot be re-entered — create a new "
+                "PhaseTimer (or exit the active one) instead"
+            )
+        self._active = True
+        if obs_trace.ENABLED:
+            self._span = obs_trace.TRACER.span(
+                "phase", stats=self._stats, phase=self._phase
+            )
+            self._span.__enter__()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self._stats.phase_seconds[self._phase] += time.perf_counter() - self._start
+        self._active = False
+        span, self._span = self._span, None
+        if span is not None:
+            span.__exit__(*exc_info)

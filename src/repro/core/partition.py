@@ -29,6 +29,7 @@ import numpy as np
 
 from .. import kernels
 from ..errors import InvalidParameterError
+from ..obs import trace as obs_trace
 
 __all__ = ["stable_partition", "IncrementalPartition"]
 
@@ -68,7 +69,10 @@ class IncrementalPartition:
     two-way partition (tested property).
     """
 
-    __slots__ = ("arrays", "start", "end", "key_index", "pivot", "lo", "hi", "done")
+    __slots__ = (
+        "arrays", "start", "end", "key_index", "pivot", "lo", "hi", "done",
+        "_paused",
+    )
 
     def __init__(
         self,
@@ -88,6 +92,16 @@ class IncrementalPartition:
         self.lo = start
         self.hi = end
         self.done = end <= start
+        self._paused = False
+        if obs_trace.ENABLED:
+            obs_trace.TRACER.event(
+                "partition.start",
+                start=start,
+                end=end,
+                dim=key_index,
+                pivot=self.pivot,
+                rows=end - start,
+            )
 
     @property
     def split(self) -> int:
@@ -108,6 +122,10 @@ class IncrementalPartition:
         """
         if budget_rows <= 0 or self.done:
             return 0
+        if obs_trace.ENABLED and self._paused:
+            obs_trace.TRACER.event(
+                "partition.resume", lo=self.lo, hi=self.hi, budget=budget_rows
+            )
         keys = self.arrays[self.key_index]
         pivot = self.pivot
         backend = kernels.active_backend()
@@ -148,6 +166,20 @@ class IncrementalPartition:
             used += chunk
         if self.lo >= self.hi:
             self.done = True
+        if obs_trace.ENABLED:
+            if self.done:
+                obs_trace.TRACER.event(
+                    "partition.complete", split=self.lo, used=used
+                )
+            else:
+                obs_trace.TRACER.event(
+                    "partition.pause",
+                    lo=self.lo,
+                    hi=self.hi,
+                    used=used,
+                    remaining=self.hi - self.lo,
+                )
+        self._paused = not self.done
         return used
 
     def run_to_completion(self) -> int:

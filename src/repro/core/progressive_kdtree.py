@@ -474,6 +474,18 @@ class ProgressiveKDTree(BaseIndex):
         return 0 if self._tree is None else self._tree.node_count
 
     @property
+    def open_piece_count(self) -> Optional[int]:
+        """Unconverged pieces in the refinement work-list.
+
+        ``None`` while the creation phase is still copying rows — the
+        tree (and therefore the notion of an open piece) does not exist
+        yet; 0 once converged.
+        """
+        if self.phase == CREATION:
+            return None
+        return len(self._open)
+
+    @property
     def tree(self) -> Optional[KDTree]:
         return self._tree
 

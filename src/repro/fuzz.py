@@ -54,6 +54,7 @@ from .core import (
 )
 from . import kernels
 from .core.metrics import QueryStats
+from .obs import metrics as obs_metrics
 from .invariants import InvariantMonitor, convergence_determinism_errors
 
 __all__ = [
@@ -415,6 +416,16 @@ def run_fuzz(
             report.queries_run += (
                 len(workload) if position is None else position + 1
             )
+            if obs_metrics.ENABLED:
+                registry = obs_metrics.REGISTRY
+                registry.counter("fuzz.cases", backend=backend, kind=kind).inc()
+                registry.counter("fuzz.queries", backend=backend, kind=kind).inc(
+                    len(workload) if position is None else position + 1
+                )
+                if position is not None:
+                    registry.counter(
+                        "fuzz.failures", backend=backend, kind=kind
+                    ).inc()
             if position is None:
                 if verbose:
                     log(f"{backend}/{kind}: OK ({len(workload)} queries)")

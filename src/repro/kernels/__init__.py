@@ -51,12 +51,15 @@ from __future__ import annotations
 
 import importlib.util
 import os
+import time
 import warnings
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .reference import KernelBackend, ReferenceBackend
 
 __all__ = [
@@ -173,7 +176,21 @@ def range_scan(
     check_high=None,
 ) -> np.ndarray:
     """Candidate-list (option 2) scan of rows ``[start, end)`` via the
-    active backend; see :meth:`KernelBackend.range_scan`."""
+    active backend; see :meth:`KernelBackend.range_scan`.
+
+    When observability is on (:mod:`repro.obs`), each call additionally
+    emits a ``kernel`` span tagged with the active backend name and feeds
+    a per-backend latency histogram; while off, the hook is one module
+    global check (asserted <2% overhead by ``benchmarks/bench_obs.py``).
+    """
+    if obs_trace.ENABLED or obs_metrics.ENABLED:
+        return _observed_call(
+            "range_scan",
+            end - start,
+            lambda: _ACTIVE.range_scan(
+                columns, start, end, query, stats, check_low, check_high
+            ),
+        )
     return _ACTIVE.range_scan(
         columns, start, end, query, stats, check_low, check_high
     )
@@ -187,8 +204,38 @@ def stable_partition(
     pivot: float,
 ) -> int:
     """Stable two-way partition of rows ``[start, end)`` via the active
-    backend; see :meth:`KernelBackend.stable_partition`."""
+    backend; see :meth:`KernelBackend.stable_partition`.  Carries the
+    same observability hook as :func:`range_scan`."""
+    if obs_trace.ENABLED or obs_metrics.ENABLED:
+        return _observed_call(
+            "stable_partition",
+            end - start,
+            lambda: _ACTIVE.stable_partition(arrays, start, end, key_index, pivot),
+        )
     return _ACTIVE.stable_partition(arrays, start, end, key_index, pivot)
+
+
+def _observed_call(op: str, rows: int, call: Callable[[], object]):
+    """Slow-path kernel dispatch: span + latency histogram around ``call``."""
+    backend = _ACTIVE.name
+    if obs_trace.ENABLED:
+        with obs_trace.TRACER.span(
+            "kernel", op=op, backend=backend, rows=rows
+        ) as span:
+            result = call()
+        duration = span.duration
+    else:
+        begin = time.perf_counter()
+        result = call()
+        duration = time.perf_counter() - begin
+    if obs_metrics.ENABLED:
+        obs_metrics.REGISTRY.histogram(
+            f"kernel.{op}.seconds", backend=backend
+        ).observe(duration)
+        obs_metrics.REGISTRY.counter(
+            f"kernel.{op}.rows", backend=backend
+        ).inc(max(rows, 0))
+    return result
 
 
 # ---------------------------------------------------------------- registry

@@ -1,0 +1,150 @@
+"""``python -m repro.obs`` — record and inspect observability traces.
+
+Subcommands::
+
+    record       run a synthetic workload with tracing on; write JSONL
+    report       Fig. 6c per-phase breakdown + per-query trajectory
+    convergence  piece-count / max-piece-size decay toward the threshold
+    diff         compare two traces (e.g. reference vs fused kernels)
+
+Typical round trip::
+
+    python -m repro.obs record --index GPKD --rows 50000 --queries 40 \
+        --out gpkd.jsonl
+    python -m repro.obs report gpkd.jsonl
+    python -m repro.obs convergence gpkd.jsonl
+    python -m repro.obs record --index GPKD --rows 50000 --queries 40 \
+        --kernels reference --out gpkd-ref.jsonl
+    python -m repro.obs diff gpkd.jsonl gpkd-ref.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .aggregate import render_convergence, render_diff, render_report, summarize
+from .sink import read_trace
+
+__all__ = ["main"]
+
+
+def _load(path: str, parser: argparse.ArgumentParser):
+    try:
+        return summarize(read_trace(path))
+    except (OSError, ValueError) as error:
+        parser.error(f"cannot read trace {path!r}: {error}")
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from ..bench.harness import run_workload
+    from ..workloads.patterns import make_synthetic_workload
+
+    workload = make_synthetic_workload(
+        args.pattern,
+        n_rows=args.rows,
+        n_dims=args.dims,
+        n_queries=args.queries,
+        selectivity=args.selectivity,
+        seed=args.seed,
+    )
+    run = run_workload(
+        args.index,
+        workload,
+        size_threshold=args.size_threshold,
+        delta=args.delta,
+        kernels=args.kernels,
+        trace=args.out,
+    )
+    converged = run.converged_at()
+    print(
+        f"recorded {run.n_queries} {args.index} queries on {workload.name} "
+        f"-> {args.out} "
+        + (
+            f"(converged at query #{converged})"
+            if converged is not None
+            else "(not converged)"
+        )
+    )
+    print(f"inspect with: python -m repro.obs report {args.out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Record and inspect structured traces of index runs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    record = commands.add_parser(
+        "record", help="run a synthetic workload with tracing enabled"
+    )
+    record.add_argument("--index", default="GPKD", help="paper abbreviation")
+    record.add_argument("--pattern", default="uniform")
+    record.add_argument("--rows", type=int, default=50_000)
+    record.add_argument("--dims", type=int, default=2)
+    record.add_argument("--queries", type=int, default=40)
+    record.add_argument("--selectivity", type=float, default=0.01)
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--size-threshold", type=int, default=1024)
+    record.add_argument("--delta", type=float, default=0.2)
+    record.add_argument("--kernels", default=None)
+    record.add_argument("--out", required=True, help="JSONL trace path")
+
+    report = commands.add_parser(
+        "report", help="per-phase breakdown + per-query trajectory (Fig. 6c)"
+    )
+    report.add_argument("trace")
+    report.add_argument("--width", type=int, default=72)
+    report.add_argument("--height", type=int, default=16)
+    report.add_argument("--logy", action="store_true")
+
+    convergence = commands.add_parser(
+        "convergence", help="piece-count / max-piece-size decay"
+    )
+    convergence.add_argument("trace")
+    convergence.add_argument("--width", type=int, default=72)
+    convergence.add_argument("--height", type=int, default=16)
+
+    diff = commands.add_parser("diff", help="compare two traces")
+    diff.add_argument("trace_a")
+    diff.add_argument("trace_b")
+
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "report":
+        print(
+            render_report(
+                _load(args.trace, parser),
+                width=args.width,
+                height=args.height,
+                logy=args.logy,
+            )
+        )
+        return 0
+    if args.command == "convergence":
+        print(
+            render_convergence(
+                _load(args.trace, parser), width=args.width, height=args.height
+            )
+        )
+        return 0
+    if args.command == "diff":
+        print(
+            render_diff(
+                _load(args.trace_a, parser),
+                _load(args.trace_b, parser),
+                label_a=args.trace_a,
+                label_b=args.trace_b,
+            )
+        )
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,368 @@
+"""Offline trace aggregation: rebuild the paper's temporal views from JSONL.
+
+A recorded trace (see :mod:`repro.obs.sink`) contains everything needed
+to reconstruct the evaluation's per-query temporal claims without
+re-running the workload:
+
+* :func:`render_report` — the Fig. 6c per-phase cost breakdown, per
+  query and in total, plus the gross per-query trajectory (GPKD's
+  constant-time plateau is directly visible);
+* :func:`render_convergence` — piece-count / max-piece-size decay toward
+  the convergence threshold;
+* :func:`render_diff` — side-by-side comparison of two traces (e.g. the
+  reference kernels vs the fused kernels on the same workload).
+
+Charts reuse :mod:`repro.bench.asciiplot`, so reports render anywhere a
+terminal does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bench.asciiplot import line_chart
+from ..bench.report import format_table
+from ..core.metrics import PHASES
+
+__all__ = [
+    "QuerySummary",
+    "TraceSummary",
+    "summarize",
+    "render_report",
+    "render_convergence",
+    "render_diff",
+]
+
+#: Work counters totalled in reports (same set spans record).
+COUNTERS = (
+    "scanned",
+    "copied",
+    "swapped",
+    "lookup_nodes",
+    "nodes_created",
+    "pruned",
+    "contained",
+)
+
+
+@dataclass
+class QuerySummary:
+    """One reconstructed query: phase breakdown plus structure gauges."""
+
+    span_id: int
+    index: str
+    number: int
+    seconds: float
+    phases: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.attrs.get("converged"))
+
+
+@dataclass
+class TraceSummary:
+    """Everything the renderers need, reconstructed from one trace."""
+
+    meta: Dict[str, object] = field(default_factory=dict)
+    queries: List[QuerySummary] = field(default_factory=list)
+    kernels: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    events: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def indexes(self) -> List[str]:
+        return sorted({query.index for query in self.queries})
+
+    def total_seconds(self) -> float:
+        return sum(query.seconds for query in self.queries)
+
+    def phase_totals(self) -> Dict[str, float]:
+        totals = {phase: 0.0 for phase in PHASES}
+        for query in self.queries:
+            for phase, seconds in query.phases.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
+
+    def counter_totals(self) -> Dict[str, int]:
+        totals = {name: 0 for name in COUNTERS}
+        for query in self.queries:
+            for name, value in query.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def converged_at(self) -> Optional[int]:
+        for position, query in enumerate(self.queries):
+            if query.converged:
+                return position
+        return None
+
+
+def summarize(records: Sequence[Dict[str, object]]) -> TraceSummary:
+    """Reconstruct a :class:`TraceSummary` from raw trace records.
+
+    Spans are matched to their enclosing ``query`` span by walking the
+    parent chain, so extra nesting levels (``session.query`` wrappers,
+    future span kinds) do not break attribution.
+    """
+    summary = TraceSummary()
+    spans: List[Dict[str, object]] = []
+    by_id: Dict[int, Dict[str, object]] = {}
+    for record in records:
+        kind = record.get("type")
+        if kind == "meta":
+            summary.meta = dict(record.get("meta") or {})
+        elif kind == "span":
+            spans.append(record)
+            by_id[record["id"]] = record
+        elif kind == "event":
+            name = str(record.get("name"))
+            summary.events[name] = summary.events.get(name, 0) + 1
+
+    def query_ancestor(record: Dict[str, object]) -> Optional[int]:
+        seen = set()
+        current = record
+        while current is not None and current["id"] not in seen:
+            seen.add(current["id"])
+            if current.get("name") == "query":
+                return current["id"]
+            parent = current.get("parent")
+            current = by_id.get(parent) if parent is not None else None
+        return None
+
+    queries: Dict[int, QuerySummary] = {}
+    for record in spans:
+        if record.get("name") != "query":
+            continue
+        attrs = dict(record.get("attrs") or {})
+        query = QuerySummary(
+            span_id=record["id"],
+            index=str(attrs.get("index", "?")),
+            number=int(attrs.get("query_number", len(queries))),
+            seconds=float(record.get("dur", 0.0)),
+            counters=dict(record.get("counters") or {}),
+            attrs=attrs,
+        )
+        queries[query.span_id] = query
+    for record in spans:
+        name = record.get("name")
+        if name == "phase":
+            owner = query_ancestor(record)
+            if owner in queries:
+                attrs = record.get("attrs") or {}
+                phase = str(attrs.get("phase", "?"))
+                target = queries[owner].phases
+                target[phase] = target.get(phase, 0.0) + float(
+                    record.get("dur", 0.0)
+                )
+        elif name == "kernel":
+            attrs = record.get("attrs") or {}
+            key = f"{attrs.get('backend', '?')}/{attrs.get('op', '?')}"
+            entry = summary.kernels.setdefault(
+                key, {"count": 0, "seconds": 0.0, "rows": 0}
+            )
+            entry["count"] += 1
+            entry["seconds"] += float(record.get("dur", 0.0))
+            entry["rows"] += int(attrs.get("rows", 0))
+    summary.queries = sorted(queries.values(), key=lambda q: (q.number, q.span_id))
+    return summary
+
+
+def _header(summary: TraceSummary) -> List[str]:
+    meta = summary.meta
+    parts = [
+        f"queries={len(summary.queries)}",
+        f"index={','.join(summary.indexes) or '?'}",
+    ]
+    if "kernels" in meta:
+        parts.append(f"kernels={meta['kernels']}")
+    if "workload" in meta:
+        parts.append(f"workload={meta['workload']}")
+    if "timestamp" in meta:
+        parts.append(f"recorded={meta['timestamp']}")
+    converged = summary.converged_at()
+    parts.append(
+        "converged at query #%d" % converged
+        if converged is not None
+        else "not converged"
+    )
+    return ["trace: " + "  ".join(parts)]
+
+
+def render_report(
+    summary: TraceSummary,
+    width: int = 72,
+    height: int = 16,
+    logy: bool = False,
+) -> str:
+    """The Fig. 6c view: per-phase totals plus per-query trajectories."""
+    if not summary.queries:
+        return "\n".join(_header(summary) + ["(trace contains no query spans)"])
+    total = summary.total_seconds()
+    phase_totals = summary.phase_totals()
+    phase_rows = [
+        [phase, seconds, (seconds / total if total else 0.0)]
+        for phase, seconds in phase_totals.items()
+    ]
+    accounted = sum(phase_totals.values())
+    phase_rows.append(["(unattributed)", total - accounted,
+                       ((total - accounted) / total if total else 0.0)])
+    phase_rows.append(["total", total, 1.0])
+    series: List[Tuple[str, List[Optional[float]]]] = [
+        (
+            phase,
+            [query.phases.get(phase) or None for query in summary.queries],
+        )
+        for phase in PHASES
+    ]
+    series.append(("total", [query.seconds for query in summary.queries]))
+    chart = line_chart(
+        series,
+        width=width,
+        height=height,
+        logy=logy,
+        y_label="seconds per query",
+        x_label="query #",
+    )
+    counter_rows = sorted(summary.counter_totals().items())
+    sections = _header(summary)
+    sections.append(
+        format_table(
+            "Per-phase cost breakdown (Fig. 6c)",
+            ["phase", "seconds", "share"],
+            phase_rows,
+        )
+    )
+    sections.append("Per-query phase trajectory:")
+    sections.append(chart)
+    sections.append(
+        format_table(
+            "Work counters (whole trace)",
+            ["counter", "total"],
+            [[name, value] for name, value in counter_rows],
+        )
+    )
+    if summary.kernels:
+        sections.append(
+            format_table(
+                "Kernel calls by backend/op",
+                ["backend/op", "calls", "seconds", "rows"],
+                [
+                    [key, entry["count"], entry["seconds"], entry["rows"]]
+                    for key, entry in sorted(summary.kernels.items())
+                ],
+            )
+        )
+    if summary.events:
+        sections.append(
+            format_table(
+                "Events",
+                ["event", "count"],
+                [[name, count] for name, count in sorted(summary.events.items())],
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_convergence(
+    summary: TraceSummary, width: int = 72, height: int = 16
+) -> str:
+    """Piece-count / max-piece-size decay toward the size threshold."""
+    if not summary.queries:
+        return "\n".join(_header(summary) + ["(trace contains no query spans)"])
+
+    def attr_series(name: str) -> List[Optional[float]]:
+        values = []
+        for query in summary.queries:
+            value = query.attrs.get(name)
+            values.append(float(value) if value is not None else None)
+        return values
+
+    max_leaf = attr_series("max_leaf")
+    open_pieces = attr_series("open_pieces")
+    node_count = attr_series("node_count")
+    threshold = None
+    for query in summary.queries:
+        if query.attrs.get("size_threshold") is not None:
+            threshold = float(query.attrs["size_threshold"])
+    series = [
+        ("max_leaf", max_leaf),
+        ("open_pieces", open_pieces),
+        ("nodes", node_count),
+    ]
+    series = [(name, values) for name, values in series
+              if any(v is not None for v in values)]
+    sections = _header(summary)
+    if not series:
+        sections.append(
+            "(no structure gauges in this trace — the index exposes no tree)"
+        )
+        return "\n\n".join(sections)
+    chart = line_chart(
+        series,
+        width=width,
+        height=height,
+        logy=True,
+        y_label="pieces / rows",
+        x_label="query #",
+        hline=threshold,
+        hline_label="size_threshold",
+    )
+    sections.append("Convergence trajectory (log y):")
+    sections.append(chart)
+    last = summary.queries[-1]
+    sections.append(
+        format_table(
+            "Final state",
+            ["gauge", "value"],
+            [
+                ["queries", len(summary.queries)],
+                ["converged", last.converged],
+                ["node_count", last.attrs.get("node_count", "?")],
+                ["open_pieces", last.attrs.get("open_pieces", "?")],
+                ["max_leaf", last.attrs.get("max_leaf", "?")],
+                ["size_threshold", threshold if threshold is not None else "?"],
+            ],
+        )
+    )
+    return "\n\n".join(sections)
+
+
+def render_diff(
+    a: TraceSummary,
+    b: TraceSummary,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    """Compare two traces metric by metric (e.g. reference vs fused)."""
+
+    rows: List[List[object]] = []
+
+    def add(metric: str, va: float, vb: float) -> None:
+        ratio = (vb / va) if va else float("inf") if vb else 1.0
+        rows.append([metric, va, vb, vb - va, f"{ratio:.3f}x"])
+
+    add("queries", len(a.queries), len(b.queries))
+    add("total seconds", a.total_seconds(), b.total_seconds())
+    phases_a, phases_b = a.phase_totals(), b.phase_totals()
+    for phase in PHASES:
+        add(f"phase {phase} s", phases_a.get(phase, 0.0), phases_b.get(phase, 0.0))
+    counters_a, counters_b = a.counter_totals(), b.counter_totals()
+    for name in COUNTERS:
+        add(name, counters_a.get(name, 0), counters_b.get(name, 0))
+    for key in sorted(set(a.kernels) | set(b.kernels)):
+        entry_a = a.kernels.get(key, {"count": 0, "seconds": 0.0})
+        entry_b = b.kernels.get(key, {"count": 0, "seconds": 0.0})
+        add(f"kernel {key} calls", entry_a["count"], entry_b["count"])
+        add(f"kernel {key} s", entry_a["seconds"], entry_b["seconds"])
+    header = [
+        f"A: {label_a} — " + _header(a)[0],
+        f"B: {label_b} — " + _header(b)[0],
+    ]
+    return "\n".join(header) + "\n\n" + format_table(
+        "Trace diff (B vs A)",
+        ["metric", label_a, label_b, "delta", "ratio"],
+        rows,
+    )

@@ -1,0 +1,249 @@
+"""Named metrics: counters, gauges, histograms with snapshot/diff semantics.
+
+A process-global :class:`MetricsRegistry` (:data:`REGISTRY`) collects
+operational metrics from every layer — queries served per index, rows
+scanned, zone-map prune/containment counts, per-backend kernel latency
+histograms, fuzzer case/failure tallies.  Like tracing
+(:mod:`repro.obs.trace`), feeding is gated behind a module-global
+``ENABLED`` flag so the disabled cost is one global load per call site::
+
+    from ..obs import metrics as obs_metrics
+    ...
+    if obs_metrics.ENABLED:
+        obs_metrics.REGISTRY.counter("index.queries", index=self.name).inc()
+
+Metrics are identified by a name plus optional labels; the registry key
+is rendered Prometheus-style (``index.queries{index=AKD}``).  Snapshots
+are plain JSON-able dicts; :func:`diff` subtracts two snapshots so a
+caller can meter exactly one window of work::
+
+    before = REGISTRY.snapshot()
+    ...work...
+    delta = diff(before, REGISTRY.snapshot())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "ENABLED",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "diff",
+    "enable",
+    "disable",
+]
+
+#: Fast-path flag: call sites skip all metric work while this is False.
+#: Read as ``obs_metrics.ENABLED`` — a ``from``-import would go stale.
+ENABLED: bool = False
+
+#: Histogram bucket upper bounds (seconds): decades from 1µs to 10s.
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("key", "value")
+    kind = "counter"
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.key!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.key!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("key", "value")
+    kind = "gauge"
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.value: Optional[float] = None
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.key!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    Buckets are cumulative-style upper bounds (``le``); observations
+    above the last bound land in the ``+inf`` overflow bucket.
+    """
+
+    __slots__ = ("key", "bounds", "buckets", "count", "total", "minimum", "maximum")
+    kind = "histogram"
+
+    def __init__(self, key: str, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.key = key
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[position] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": {
+                ("+inf" if position == len(self.bounds) else repr(bound)): n
+                for position, (bound, n) in enumerate(
+                    zip(self.bounds + (float("inf"),), self.buckets)
+                )
+                if n
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.key!r}, n={self.count}, sum={self.total:.6f})"
+
+
+def _key(name: str, labels: Dict[str, object]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Keyed store of counters/gauges/histograms.
+
+    Accessors create on first use and return the same instance after —
+    call sites never need registration boilerplate.  Requesting an
+    existing key as a different metric kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, object], **init):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(key, **init)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise InvalidParameterError(
+                f"metric {key!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of every metric (JSON-able)."""
+        return {
+            key: metric.snapshot() for key, metric in sorted(self._metrics.items())
+        }
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+def diff(before: Dict[str, object], after: Dict[str, object]) -> Dict[str, object]:
+    """Subtract snapshot ``before`` from ``after``.
+
+    Counters and histogram count/sum fields subtract; gauges report the
+    ``after`` value; keys absent from ``before`` count from zero.  Keys
+    whose delta is zero/None are dropped, so the result reads as "what
+    happened in this window".
+    """
+    delta: Dict[str, object] = {}
+    for key, value in after.items():
+        prior = before.get(key)
+        if isinstance(value, dict):  # histogram snapshot
+            prior = prior if isinstance(prior, dict) else {}
+            entry = {
+                field: value.get(field, 0) - prior.get(field, 0)
+                for field in ("count", "sum")
+            }
+            if entry["count"]:
+                delta[key] = entry
+        elif isinstance(value, (int, float)) and isinstance(prior, (int, float)):
+            if value != prior:
+                delta[key] = value - prior
+        elif value is not None and value != prior:
+            delta[key] = value
+    return delta
+
+
+#: The process-global registry every instrumented layer feeds.
+REGISTRY = MetricsRegistry()
+
+
+def enable() -> None:
+    """Start feeding :data:`REGISTRY` from instrumented call sites."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Stop feeding the registry (collected values are kept)."""
+    global ENABLED
+    ENABLED = False

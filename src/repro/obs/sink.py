@@ -1,0 +1,91 @@
+"""Trace sinks and the JSONL trace-file format.
+
+A sink is anything with ``write(record: dict)`` (and optionally
+``close()``).  Two implementations cover the needs of this package:
+
+* :class:`ListSink` — in-memory, for tests and the in-process aggregator;
+* :class:`JsonlSink` — one JSON object per line, the durable export
+  format the ``python -m repro.obs`` subcommands consume.
+
+A trace file starts with a ``{"type": "meta", ...}`` record (run
+metadata: timestamp, argv, kernel backend, workload parameters) followed
+by ``span`` and ``event`` records in completion order.  Spans reference
+their parent by id, so the tree is reconstructible offline
+(:mod:`repro.obs.aggregate`).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, List, Optional
+
+__all__ = ["ListSink", "JsonlSink", "read_trace"]
+
+
+class ListSink:
+    """Collects records in memory (``sink.records``)."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def write(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:  # symmetry with JsonlSink
+        pass
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"ListSink({len(self.records)} records)"
+
+
+class JsonlSink:
+    """Appends one compact JSON object per line to ``path``."""
+
+    __slots__ = ("path", "_handle")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[io.TextIOWrapper] = open(path, "w")
+
+    def write(self, record: Dict[str, object]) -> None:
+        handle = self._handle
+        if handle is None:
+            return  # closed sink: drop silently (tracer may outlive it)
+        json.dump(record, handle, separators=(",", ":"), default=str)
+        handle.write("\n")
+
+    def close(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._handle is None else "open"
+        return f"JsonlSink({self.path!r}, {state})"
+
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Load a JSONL trace file back into a list of records.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number, so a truncated trace fails loudly.
+    """
+    records: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: not valid JSONL ({error})"
+                ) from None
+    return records

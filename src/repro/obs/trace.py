@@ -1,0 +1,249 @@
+"""Structured tracing: process-global tracer, nestable spans, instant events.
+
+The observability contract of this package is *always-on-capable*: every
+hot path carries a trace hook, but a disabled tracer must cost nothing
+measurable.  The fast path is therefore a single module-global check::
+
+    from ..obs import trace as obs_trace
+    ...
+    if obs_trace.ENABLED:
+        ...  # slow path: build spans, snapshot counters
+
+``ENABLED`` is a plain module attribute that is ``False`` unless a tracer
+is installed, so the disabled branch compiles to one global load plus a
+conditional jump — unmeasurable next to even the smallest kernel call
+(asserted by ``benchmarks/bench_obs.py``).
+
+Span taxonomy (see DESIGN.md "Observability"):
+
+``query``
+    One per :meth:`BaseIndex.query`, carrying the index name, query
+    number, result count, convergence flag, and structure gauges
+    (``node_count``, ``open_pieces``, ``max_leaf``).
+``phase``
+    One per :class:`~repro.core.metrics.PhaseTimer` activation, nested
+    under its query span; ``attrs.phase`` is one of the four Fig. 6c
+    phases.  Work-counter deltas accumulated during the phase ride along
+    in ``counters``.
+``kernel``
+    One per kernel dispatch (:mod:`repro.kernels`), tagged with the
+    active backend name, the operation, and the row window.
+``session.query``
+    One per :meth:`ExplorationSession.query`, wrapping the index query.
+
+Instant events: ``split`` (pivot choices from
+:meth:`~repro.core.kdtree.KDTree.split_leaf`), ``partition.start`` /
+``partition.pause`` / ``partition.resume`` / ``partition.complete``
+(the pausable :class:`~repro.core.partition.IncrementalPartition`).
+
+Like the rest of this package, the tracer is process-global and not
+thread-safe.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "ENABLED",
+    "TRACER",
+    "Span",
+    "Tracer",
+    "install",
+    "uninstall",
+]
+
+#: Fast-path flag: ``True`` exactly while a tracer is installed.  Hot
+#: call sites read this as ``obs_trace.ENABLED`` — never ``from``-import
+#: it, the copy would go stale.
+ENABLED: bool = False
+
+#: The installed tracer (``None`` when tracing is off).
+TRACER: Optional["Tracer"] = None
+
+#: QueryStats work counters whose per-span deltas spans record.
+COUNTER_FIELDS = (
+    "scanned",
+    "copied",
+    "swapped",
+    "lookup_nodes",
+    "nodes_created",
+    "pruned",
+    "contained",
+)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars (and other ``.item()`` carriers) to plain
+    Python so sink records stay JSON-serialisable."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+class Span:
+    """One timed, nestable unit of work.
+
+    Use as a context manager (via :meth:`Tracer.span`).  On exit the span
+    emits a single record to the tracer's sink::
+
+        {"type": "span", "name": ..., "id": 7, "parent": 3,
+         "ts": 0.00123, "dur": 0.00045,
+         "attrs": {...}, "counters": {"scanned": 512, ...}}
+
+    ``ts`` is seconds since the tracer was created; ``counters`` holds the
+    :class:`~repro.core.metrics.QueryStats` work-counter deltas
+    accumulated while the span was open (only when the span was given a
+    ``stats`` object, and only non-zero deltas).
+    """
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "_stats",
+        "_before",
+        "t_start",
+        "duration",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any], stats) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._stats = stats
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self._before: Optional[tuple] = None
+        self.t_start = 0.0
+        self.duration: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        tracer._next_id += 1
+        self.span_id = tracer._next_id
+        stack = tracer._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        stats = self._stats
+        if stats is not None:
+            self._before = tuple(
+                getattr(stats, field) for field in COUNTER_FIELDS
+            )
+        self.t_start = tracer._now()
+        return self
+
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> bool:
+        tracer = self._tracer
+        self.duration = tracer._now() - self.t_start
+        stack = tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # unwinding out of order (shouldn't happen; stay robust)
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        record: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "ts": round(self.t_start, 9),
+            "dur": round(self.duration, 9),
+        }
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = {
+                key: _jsonable(value) for key, value in self.attrs.items()
+            }
+        if self._before is not None:
+            stats = self._stats
+            deltas = {}
+            for field, before in zip(COUNTER_FIELDS, self._before):
+                delta = getattr(stats, field) - before
+                if delta:
+                    deltas[field] = delta
+            if deltas:
+                record["counters"] = deltas
+        tracer.sink.write(record)
+        return False
+
+
+class Tracer:
+    """Emits spans and events to a sink (anything with ``write(dict)``).
+
+    The first record written is a ``meta`` record carrying run metadata,
+    so every trace file is self-describing.
+    """
+
+    __slots__ = ("sink", "meta", "_stack", "_next_id", "_origin")
+
+    def __init__(self, sink, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.sink = sink
+        self.meta = dict(meta or {})
+        self._stack: List[Span] = []
+        self._next_id = 0
+        self._origin = time.perf_counter()
+        sink.write({"type": "meta", "version": 1, "meta": self.meta})
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def span(self, name: str, stats=None, **attrs: Any) -> Span:
+        """A new span; use as ``with tracer.span("query", index="AKD"):``.
+
+        ``stats`` (a :class:`~repro.core.metrics.QueryStats`) opts into
+        work-counter delta recording.
+        """
+        return Span(self, name, attrs, stats)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Emit an instant (zero-duration) event under the current span."""
+        stack = self._stack
+        self.sink.write(
+            {
+                "type": "event",
+                "name": name,
+                "parent": stack[-1].span_id if stack else None,
+                "ts": round(self._now(), 9),
+                "attrs": {key: _jsonable(value) for key, value in attrs.items()},
+            }
+        )
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def __repr__(self) -> str:
+        return f"Tracer(sink={self.sink!r}, depth={len(self._stack)})"
+
+
+def install(tracer: Tracer) -> None:
+    """Make ``tracer`` the process-global tracer and flip the fast path on."""
+    global TRACER, ENABLED
+    TRACER = tracer
+    ENABLED = True
+
+
+def uninstall() -> Optional[Tracer]:
+    """Disable tracing; returns the tracer that was installed (if any).
+
+    The tracer's sink is *not* closed — the caller that opened it owns it
+    (see :func:`repro.obs.disable`, which does close sinks it opened).
+    """
+    global TRACER, ENABLED
+    tracer, TRACER = TRACER, None
+    ENABLED = False
+    return tracer

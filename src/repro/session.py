@@ -42,6 +42,8 @@ from .core import (
 from .core.dictionary import EncodedTable, encode_table
 from .core.inspect import summarize_tree
 from .errors import InvalidParameterError, InvalidQueryError, InvalidTableError
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
 
 __all__ = ["ExplorationSession", "SessionResult"]
 
@@ -215,9 +217,24 @@ class ExplorationSession:
             projected = registered.encoded.table.project(positions)
             index = TECHNIQUES[self.technique](projected, self)
             registered.indexes[group_key] = index
-        begin = time.perf_counter()
-        result = index.query(query)
-        elapsed = time.perf_counter() - begin
+        if obs_trace.ENABLED:
+            with obs_trace.TRACER.span(
+                "session.query",
+                table=table_name,
+                columns=",".join(group_key),
+                technique=self.technique,
+            ):
+                begin = time.perf_counter()
+                result = index.query(query)
+                elapsed = time.perf_counter() - begin
+        else:
+            begin = time.perf_counter()
+            result = index.query(query)
+            elapsed = time.perf_counter() - begin
+        if obs_metrics.ENABLED:
+            obs_metrics.REGISTRY.counter(
+                "session.queries", table=table_name
+            ).inc()
         registered.queries_run += 1
         if self.validate:
             from .invariants import assert_invariants

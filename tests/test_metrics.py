@@ -39,6 +39,34 @@ class TestQueryStats:
         stats = QueryStats(scanned=42)
         assert "scanned=42" in repr(stats)
 
+    def test_merge_carries_converged(self):
+        first = QueryStats()
+        second = QueryStats(converged=True)
+        first.merge(second)
+        assert first.converged is True
+        # OR semantics: merging a non-converged record never clears it.
+        first.merge(QueryStats())
+        assert first.converged is True
+
+    def test_merge_accumulates_delta_used(self):
+        first = QueryStats(delta_used=0.2)
+        first.merge(QueryStats(delta_used=0.1))
+        assert first.delta_used == pytest.approx(0.3)
+
+    def test_merge_delta_used_one_sided(self):
+        # A missing side counts as 0 once either side is progressive.
+        first = QueryStats(delta_used=None)
+        first.merge(QueryStats(delta_used=0.4))
+        assert first.delta_used == pytest.approx(0.4)
+        second = QueryStats(delta_used=0.4)
+        second.merge(QueryStats(delta_used=None))
+        assert second.delta_used == pytest.approx(0.4)
+
+    def test_merge_delta_used_stays_none_for_non_progressive(self):
+        first = QueryStats()
+        first.merge(QueryStats())
+        assert first.delta_used is None
+
 
 class TestPhaseTimer:
     def test_accumulates_into_phase(self):
@@ -65,3 +93,31 @@ class TestPhaseTimer:
             with PhaseTimer(stats, "scan"):
                 raise RuntimeError("boom")
         assert stats.phase_seconds["scan"] >= 0.0
+
+    def test_time_accumulates_when_body_raises(self):
+        stats = QueryStats()
+        with pytest.raises(ValueError):
+            with PhaseTimer(stats, "adaptation"):
+                time.sleep(0.002)
+                raise ValueError("boom")
+        assert stats.phase_seconds["adaptation"] >= 0.002
+
+    def test_reentrant_use_raises(self):
+        stats = QueryStats()
+        timer = PhaseTimer(stats, "scan")
+        with timer:
+            with pytest.raises(RuntimeError, match="already active"):
+                timer.__enter__()
+        # The failed re-entry must not have corrupted the timer: a fresh
+        # sequential activation of the same instance still works.
+        with timer:
+            pass
+
+    def test_sequential_reuse_accumulates(self):
+        stats = QueryStats()
+        timer = PhaseTimer(stats, "scan")
+        with timer:
+            time.sleep(0.001)
+        with timer:
+            time.sleep(0.001)
+        assert stats.phase_seconds["scan"] >= 0.002

@@ -1,0 +1,147 @@
+"""``python -m repro.obs`` — the record/report/convergence/diff round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.core.metrics import PHASES
+from repro.obs.__main__ import main
+from repro.obs.aggregate import summarize
+from repro.obs.sink import read_trace
+
+
+@pytest.fixture(autouse=True)
+def obs_off():
+    obs.disable()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.REGISTRY.reset()
+
+
+@pytest.fixture(scope="module")
+def gpkd_trace(tmp_path_factory):
+    """A small recorded GPKD run, shared across the module's tests."""
+    path = tmp_path_factory.mktemp("traces") / "gpkd.jsonl"
+    code = main([
+        "record", "--index", "GPKD", "--rows", "4000", "--queries", "12",
+        "--size-threshold", "128", "--seed", "5", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestRecord:
+    def test_trace_is_self_describing(self, gpkd_trace):
+        records = read_trace(gpkd_trace)
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert meta["meta"]["index"] == "GPKD"
+        assert meta["meta"]["size_threshold"] == 128
+        assert "repro_version" in meta["meta"]
+        assert "kernels" in meta["meta"]
+
+    def test_one_query_span_per_query(self, gpkd_trace):
+        summary = summarize(read_trace(gpkd_trace))
+        assert len(summary.queries) == 12
+        assert summary.indexes == ["GPKD"]
+        # Query numbers are the workload positions, in order.
+        assert [q.number for q in summary.queries] == list(range(12))
+
+    def test_record_prints_round_trip_hint(self, gpkd_trace, capsys):
+        code = main(["report", str(gpkd_trace)])
+        assert code == 0
+
+
+class TestReport:
+    def test_report_shows_four_phase_breakdown(self, gpkd_trace, capsys):
+        assert main(["report", str(gpkd_trace)]) == 0
+        out = capsys.readouterr().out
+        for phase in PHASES:
+            assert phase in out
+        assert "Fig. 6c" in out
+        assert "Work counters" in out
+        assert "seconds per query" in out
+
+    def test_report_phase_seconds_attributed(self, gpkd_trace):
+        summary = summarize(read_trace(gpkd_trace))
+        totals = summary.phase_totals()
+        # GPKD spends real time adapting and scanning on every run.
+        assert totals["adaptation"] > 0.0
+        assert totals["scan"] > 0.0
+        # Attributed phase time never exceeds gross query time.
+        assert sum(totals.values()) <= summary.total_seconds() * 1.01
+
+    def test_report_width_height_flags(self, gpkd_trace, capsys):
+        assert main(["report", str(gpkd_trace), "--width", "40",
+                     "--height", "8", "--logy"]) == 0
+        assert "seconds per query" in capsys.readouterr().out
+
+
+class TestConvergence:
+    def test_convergence_view(self, gpkd_trace, capsys):
+        assert main(["convergence", str(gpkd_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Convergence trajectory" in out
+        assert "size_threshold" in out
+        assert "max_leaf" in out
+
+    def test_structure_gauges_decay(self, gpkd_trace):
+        summary = summarize(read_trace(gpkd_trace))
+        max_leaves = [q.attrs.get("max_leaf") for q in summary.queries]
+        # No tree gauges while GPKD is still in its creation phase; once
+        # the tree exists they are present on every later query.
+        tail = [v for v in max_leaves if v is not None]
+        assert tail, "no max_leaf gauges recorded at all"
+        first = max_leaves.index(tail[0])
+        assert all(v is not None for v in max_leaves[first:])
+        # Refinement never grows the largest piece.
+        assert tail == sorted(tail, reverse=True)
+        assert summary.queries[-1].attrs["size_threshold"] == 128
+
+
+class TestDiff:
+    def test_diff_two_traces(self, gpkd_trace, tmp_path, capsys):
+        from repro import kernels
+
+        other = tmp_path / "akd.jsonl"
+        previous = kernels.active_name()
+        try:
+            assert main([
+                "record", "--index", "AKD", "--rows", "4000", "--queries",
+                "12", "--size-threshold", "128", "--seed", "5", "--kernels",
+                "reference", "--out", str(other),
+            ]) == 0
+        finally:
+            kernels.use(previous)
+        capsys.readouterr()
+        assert main(["diff", str(gpkd_trace), str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace diff" in out
+        assert "phase adaptation s" in out
+        # Same workload on both sides: the identical query count shows
+        # up as an exact 1.000x ratio row.
+        assert "1.000x" in out
+
+    def test_diff_missing_file_errors(self, gpkd_trace, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["diff", str(gpkd_trace), str(tmp_path / "missing.jsonl")])
+
+
+class TestBadInput:
+    def test_report_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "nope.jsonl")])
+
+    def test_report_corrupt_jsonl(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(SystemExit):
+            main(["report", str(path)])
+
+    def test_empty_trace_renders_gracefully(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["report", str(path)]) == 0
+        assert "no query spans" in capsys.readouterr().out
