@@ -91,7 +91,7 @@ class FullKDTree(BaseIndex):
         with PhaseTimer(stats, "index_search"):
             matches = self._tree.search(query, stats)
         with PhaseTimer(stats, "scan"):
-            parts = [self._index.scan_piece(match, query, stats) for match in matches]
+            parts = self._index.scan_pieces(matches, query, stats)
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)

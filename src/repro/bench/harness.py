@@ -150,6 +150,7 @@ def run_workload(
     validate: bool = False,
     max_queries: Optional[int] = None,
     kernels: Optional[str] = None,
+    parallel: Optional[int] = None,
     trace: Optional[str] = None,
     **params,
 ) -> WorkloadRun:
@@ -161,12 +162,19 @@ def run_workload(
     ``max_queries`` truncates the workload.  ``kernels`` selects the
     kernel backend for the run (process-global; ``None`` keeps the active
     one, and an unavailable ``numba`` silently falls back to ``numpy``).
+    ``parallel`` sets the morsel-executor worker count for the run
+    (process-global like the kernel selection; ``1`` forces serial,
+    ``None`` keeps the active count — see :mod:`repro.parallel`).
     ``trace`` records the whole run as a JSONL trace at the given path
     (enables :mod:`repro.obs` for the duration of the run; disabled
     again — and the file closed — before returning).
     """
     if kernels is not None:
         kernel_registry.use(kernels)
+    if parallel is not None:
+        from ..parallel import config as parallel_config
+
+        parallel_config.set_workers(parallel)
     queries = workload.queries
     if max_queries is not None:
         queries = queries[:max_queries]

@@ -14,17 +14,28 @@ comparison treats them differently:
   magnitude regressions (an accidental O(n^2), a lost vectorisation),
   not as a precise gate.
 
+The ``record-parallel`` / ``compare-parallel`` pair does the same for
+the morsel executor (:mod:`repro.parallel`): wall time of the same scan
+under 1/2/4/8 workers.  Its portable facts are (a) ``parallel=1`` stays
+within a small overhead of the pre-existing serial path and (b) fanning
+out never costs more than a bounded overhead over serial even on a
+single core; the absolute speedups are recorded for the README but only
+gated when the machine actually has cores to scale on.
+
 Usage::
 
     python -m repro.bench.kernel_regression record BENCH_kernels.json
     python -m repro.bench.kernel_regression compare BENCH_kernels.json \
         --n 200000 --min-speedup 1.1 --slowdown 10
+    python -m repro.bench.kernel_regression record-parallel BENCH_parallel.json
+    python -m repro.bench.kernel_regression compare-parallel BENCH_parallel.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -39,7 +50,18 @@ from ..core.query import RangeQuery
 from ..workloads import make_synthetic_workload
 from .harness import run_workload
 
-__all__ = ["kernel_metrics", "record", "compare", "PerfDrift", "OPS", "GATE"]
+__all__ = [
+    "kernel_metrics",
+    "parallel_metrics",
+    "record",
+    "compare",
+    "record_parallel",
+    "compare_parallel",
+    "PerfDrift",
+    "OPS",
+    "GATE",
+    "PARALLEL_WORKERS",
+]
 
 #: Micro-benchmark operations, timed per backend.  The three scan
 #: selectivities cover the backend's regimes: *selective* (~1% total)
@@ -200,6 +222,57 @@ def kernel_metrics(
     return doc
 
 
+#: Worker counts the parallel baseline sweeps (1 == the serial path).
+PARALLEL_WORKERS = (1, 2, 4, 8)
+
+
+def parallel_metrics(
+    n: int = 4_000_000,
+    repeats: int = 3,
+    workers: Sequence[int] = PARALLEL_WORKERS,
+) -> Dict[str, object]:
+    """Wall time of one moderate-selectivity full scan per worker count.
+
+    The scan goes through :func:`repro.core.scan.full_scan`, i.e. the
+    exact code path queries take, so ``workers=1`` times the serial
+    fall-through (one extra integer comparison) and ``workers>1`` times
+    the real morsel fan-out including submit/merge overhead.
+    """
+    from ..core.scan import full_scan
+    from ..parallel import config as parallel_config
+
+    rng = np.random.default_rng(0)
+    columns = [rng.random(n) for _ in range(3)]
+    moderate = RangeQuery([0.25] * 3, [0.75] * 3)
+
+    def run() -> None:
+        full_scan(columns, moderate, QueryStats())
+
+    previous = parallel_config.get_workers()
+    seconds: Dict[str, float] = {}
+    try:
+        for count in workers:
+            parallel_config.set_workers(count)
+            run()  # warm-up: pool creation, page faults
+            seconds[str(count)] = min(_timed(run) for _ in range(repeats))
+    finally:
+        parallel_config.set_workers(previous)
+        parallel_config.shutdown_pool()
+    serial = seconds[str(workers[0])]
+    return {
+        "meta": {
+            "n": n,
+            "repeats": repeats,
+            "workers": list(workers),
+            "cpu_count": os.cpu_count(),
+        },
+        "scan_seconds": seconds,
+        "speedup": {
+            count: serial / elapsed for count, elapsed in seconds.items()
+        },
+    }
+
+
 @dataclass
 class PerfDrift:
     """Problems found when comparing a fresh run against the baseline."""
@@ -287,6 +360,72 @@ def compare(
     return drift
 
 
+def record_parallel(
+    path: str, n: int = 4_000_000, repeats: int = 3
+) -> Dict[str, object]:
+    """Measure and persist the parallel-scan baseline."""
+    doc = parallel_metrics(n, repeats)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+    return doc
+
+
+def compare_parallel(
+    path: str,
+    n: int = 1_000_000,
+    repeats: int = 3,
+    overhead: float = 1.5,
+    slowdown: float = 10.0,
+    min_speedup: float = 2.0,
+) -> PerfDrift:
+    """Re-measure the worker sweep and check the portable claims.
+
+    Always enforced: the serial (``workers=1``) throughput has not
+    collapsed vs the baseline by more than ``slowdown``, and no worker
+    count in the current run is more than ``overhead`` times slower than
+    serial (fan-out overhead stays bounded even when the machine cannot
+    actually scale).  The ``min_speedup`` floor for 4 workers is only
+    enforced when this machine has >= 4 CPUs — a single-core CI runner
+    cannot show scan scaling, only overhead.
+    """
+    with open(path) as handle:
+        stored = json.load(handle)
+    current = parallel_metrics(n, repeats)
+    drift = PerfDrift()
+
+    stored_n = stored["meta"]["n"]
+    baseline_serial = stored["scan_seconds"]["1"]
+    serial = current["scan_seconds"]["1"]
+    if n / serial < (stored_n / baseline_serial) / slowdown:
+        drift.problems.append(
+            f"serial scan: {n / serial:,.0f} rows/s vs baseline "
+            f"{stored_n / baseline_serial:,.0f} (>{slowdown:g}x slower)"
+        )
+    for count, elapsed in current["scan_seconds"].items():
+        if elapsed > serial * overhead:
+            drift.problems.append(
+                f"{count} workers: {elapsed:.3f}s is more than "
+                f"{overhead:g}x the serial {serial:.3f}s — fan-out "
+                f"overhead regressed"
+            )
+    cpus = os.cpu_count() or 1
+    speedup4 = current["speedup"].get("4", 0.0)
+    if cpus >= 4:
+        if speedup4 < min_speedup:
+            drift.problems.append(
+                f"4-worker scan speedup {speedup4:.2f}x on a {cpus}-CPU "
+                f"machine is below the {min_speedup:.2f}x floor"
+            )
+        else:
+            drift.notes.append(f"4-worker scan {speedup4:.2f}x over serial")
+    else:
+        drift.notes.append(
+            f"only {cpus} CPU(s) here; scaling floor skipped, "
+            f"4-worker overhead {1 / speedup4 if speedup4 else 0:.2f}x"
+        )
+    return drift
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.kernel_regression",
@@ -305,6 +444,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     cmp_.add_argument("--end-to-end-rows", type=int, default=50_000)
     cmp_.add_argument("--min-speedup", type=float, default=1.1)
     cmp_.add_argument("--slowdown", type=float, default=10.0)
+    rec_par = sub.add_parser(
+        "record-parallel", help="measure and write the worker-sweep baseline"
+    )
+    rec_par.add_argument("path")
+    rec_par.add_argument("--n", type=int, default=4_000_000)
+    rec_par.add_argument("--repeats", type=int, default=3)
+    cmp_par = sub.add_parser(
+        "compare-parallel", help="re-measure and diff the worker sweep"
+    )
+    cmp_par.add_argument("path")
+    cmp_par.add_argument("--n", type=int, default=1_000_000)
+    cmp_par.add_argument("--repeats", type=int, default=3)
+    cmp_par.add_argument("--overhead", type=float, default=1.5)
+    cmp_par.add_argument("--slowdown", type=float, default=10.0)
+    cmp_par.add_argument("--min-speedup", type=float, default=2.0)
     args = parser.parse_args(argv)
     if args.command == "record":
         doc = record(args.path, args.n, args.repeats, args.end_to_end_rows)
@@ -312,6 +466,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{key}: {value:.2f}x")
         print(f"baseline written to {args.path}")
         return 0
+    if args.command == "record-parallel":
+        doc = record_parallel(args.path, args.n, args.repeats)
+        for count, value in sorted(doc["speedup"].items(), key=lambda kv: int(kv[0])):
+            print(f"{count} workers: {value:.2f}x over serial")
+        print(f"baseline written to {args.path}")
+        return 0
+    if args.command == "compare-parallel":
+        drift = compare_parallel(
+            args.path,
+            n=args.n,
+            repeats=args.repeats,
+            overhead=args.overhead,
+            slowdown=args.slowdown,
+            min_speedup=args.min_speedup,
+        )
+        print(drift)
+        return 0 if drift.ok else 1
     drift = compare(
         args.path,
         n=args.n,

@@ -12,7 +12,12 @@ until the budget is consumed.
 Time here is *model time*: work counters priced by the machine profile
 (:meth:`CostModel.seconds_of`).  That makes the greedy invariant — gross
 model cost constant per query — exact and testable; wall-clock follows it
-up to interpreter noise.
+up to interpreter noise.  It also makes the greedy controller oblivious
+to *how* its budget is spent physically: with parallel workers
+configured (:mod:`repro.parallel`) the inherited refinement step fans
+the same row budget out across disjoint pieces and the scans run as
+morsels, while every budget decision here stays driven by the same
+deterministic model-time ledger.
 
 Interactivity threshold (paper Section III-C): with a threshold ``tau``,
 

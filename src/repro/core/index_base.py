@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import kernels
 from ..errors import InvalidQueryError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -142,6 +143,20 @@ class IndexTable:
         )
         return self.rowids[positions]
 
+    def scan_pieces(
+        self, matches: List[PieceMatch], query: RangeQuery, stats: QueryStats
+    ) -> List[np.ndarray]:
+        """Scan a whole candidate-piece list; one rowid array per match.
+
+        The batch twin of :meth:`scan_piece` — and the parallel entry
+        point: with workers configured (:mod:`repro.parallel`) the list
+        is chunked across the shared pool, with results and stats merged
+        in match order so the output is identical to the serial loop.
+        """
+        from ..parallel import executor as parallel_executor
+
+        return parallel_executor.scan_pieces(self, matches, query, stats)
+
 
 @dataclass
 class IndexDebugState:
@@ -215,7 +230,12 @@ class BaseIndex(ABC):
             # split keeps the common case at exactly two global loads.
             return self._observed_query(query, stats)
         begin = time.perf_counter()
-        row_ids = self._execute(query, stats)
+        # Snapshot the kernel backend for the whole query: a concurrent
+        # kernels.use() (or a fuzzer backend sweep on another thread) can
+        # then never mix backends mid-query, and pool workers know which
+        # backend to instantiate for their morsels.
+        with kernels.pinned():
+            row_ids = self._execute(query, stats)
         stats.seconds = time.perf_counter() - begin
         stats.converged = self.converged
         self.queries_executed += 1
@@ -244,7 +264,8 @@ class BaseIndex(ABC):
             span.__enter__()
         begin = time.perf_counter()
         try:
-            row_ids = self._execute(query, stats)
+            with kernels.pinned():  # same per-query snapshot as query()
+                row_ids = self._execute(query, stats)
         except BaseException:
             stats.seconds = time.perf_counter() - begin
             stats.converged = self.converged

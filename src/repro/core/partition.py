@@ -128,7 +128,10 @@ class IncrementalPartition:
             )
         keys = self.arrays[self.key_index]
         pivot = self.pivot
-        backend = kernels.active_backend()
+        # current_backend honours the per-thread pin, so a refinement
+        # morsel running on a pool worker advances on that worker's own
+        # backend instance (scratch buffers are not shareable).
+        backend = kernels.current_backend()
         used = 0
         while used < budget_rows and self.lo < self.hi:
             window = self.hi - self.lo

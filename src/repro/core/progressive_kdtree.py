@@ -36,10 +36,11 @@ from .cost_model import CostModel, MachineProfile
 from .index_base import BaseIndex, IndexDebugState, IndexTable
 from .kdtree import KDTree
 from .metrics import PhaseTimer, QueryStats
+from ..parallel import config as parallel_config
+from ..parallel import executor as parallel_executor
 from .node import Piece
 from .partition import IncrementalPartition
 from .query import RangeQuery
-from .scan import range_scan
 from .table import Table
 
 __all__ = ["ProgressiveKDTree"]
@@ -248,7 +249,7 @@ class ProgressiveKDTree(BaseIndex):
         if self._top_write > 0 and query.lows[0] < pivot:
             top_high = check_high.copy()
             top_high[0] = pivot > query.highs[0]  # piece implies x0 <= pivot
-            positions = range_scan(
+            positions = parallel_executor.scan_range(
                 self._index.columns,
                 0,
                 self._top_write,
@@ -261,7 +262,7 @@ class ProgressiveKDTree(BaseIndex):
         if self._bottom_write < self.n_rows - 1 and query.highs[0] > pivot:
             bottom_low = check_low.copy()
             bottom_low[0] = pivot < query.lows[0]  # piece implies x0 > pivot
-            positions = range_scan(
+            positions = parallel_executor.scan_range(
                 self._index.columns,
                 self._bottom_write + 1,
                 self.n_rows,
@@ -272,7 +273,7 @@ class ProgressiveKDTree(BaseIndex):
             )
             parts.append(self._index.rowids[positions])
         if self._rows_copied < self.n_rows:
-            positions = range_scan(
+            positions = parallel_executor.scan_range(
                 self.table.columns(), self._rows_copied, self.n_rows, query, stats
             )
             parts.append(positions.astype(np.int64))
@@ -329,7 +330,18 @@ class ProgressiveKDTree(BaseIndex):
         converted to its row-visit equivalent and charged against the
         budget, so the per-query gross cost stays bounded by the budget
         regardless of how many pieces get scheduled.
+
+        With parallel workers configured (:mod:`repro.parallel`) and more
+        than one open piece, the budget fans out across disjoint pieces
+        per round instead (:meth:`_refine_step_parallel`); ``workers ==
+        1`` always takes the serial loop below, unchanged.
         """
+        if (
+            parallel_config.get_workers() > 1
+            and len(self._open) > 1
+            and not parallel_config.in_worker()
+        ):
+            return self._refine_step_parallel(budget_rows, query, stats)
         model = self.cost_model
         row_seconds = model.refinement_row_seconds()
         used_total = 0
@@ -417,11 +429,117 @@ class ProgressiveKDTree(BaseIndex):
         self._active = chosen
         return chosen
 
+    def _pick_pieces(
+        self, query: RangeQuery, stats: QueryStats, limit: int
+    ) -> List[Piece]:
+        """Up to ``limit`` disjoint pieces to refine this round, each with
+        a scheduled partition job.
+
+        Deterministic generalisation of :meth:`_pick_piece`'s priority:
+        pieces with an in-progress job first (finish before starting new
+        ones, ordered by start), then pieces the query needs (largest
+        first, start as tie-break), then the remaining open pieces
+        likewise.  Scheduling work (pivot derivation, job creation) is
+        charged to ``stats`` exactly as the serial path charges it;
+        unsplittable pieces are dropped from the open set on the spot.
+        """
+        chosen: List[Piece] = []
+        seen = set()
+
+        def consider(piece: Piece) -> bool:
+            """Schedule ``piece`` if possible; True once ``limit`` is hit."""
+            if id(piece) in seen or piece.converged:
+                return False
+            seen.add(id(piece))
+            if piece.job is None:
+                if piece.split_dim is None and not self._choose_split(
+                    piece, stats
+                ):
+                    self._drop_open(piece)
+                    return False
+                piece.job = IncrementalPartition(
+                    self._index.all_arrays,
+                    piece.start,
+                    piece.end,
+                    piece.split_dim,
+                    piece.pivot,
+                )
+            chosen.append(piece)
+            return len(chosen) >= limit
+
+        in_progress = [piece for piece in self._open if piece.job is not None]
+        for piece in sorted(in_progress, key=lambda piece: piece.start):
+            if consider(piece):
+                return chosen
+        open_ids = {id(piece) for piece in self._open}
+        needed = [
+            match.piece
+            for match in self._tree.search(query, stats)
+            if id(match.piece) in open_ids
+        ]
+        for piece in sorted(needed, key=lambda p: (-p.size, p.start)):
+            if consider(piece):
+                return chosen
+        for piece in sorted(self._open, key=lambda p: (-p.size, p.start)):
+            if consider(piece):
+                return chosen
+        return chosen
+
+    def _refine_step_parallel(
+        self, budget_rows: int, query: RangeQuery, stats: QueryStats
+    ) -> int:
+        """Round-based parallel refinement: split the budget over up to
+        ``workers`` disjoint pieces per round and advance their partition
+        jobs concurrently (:func:`repro.parallel.executor.advance_jobs`).
+
+        Budget accounting stays centralised and deterministic: grants are
+        computed here (equal shares, remainder to the first piece), each
+        job's ``advance`` is internally deterministic for a given grant,
+        and completions are applied in piece order after the round — so
+        for a fixed worker count the resulting tree is reproducible.
+        Pieces are disjoint leaf ranges, which is what makes concurrent
+        in-place partitioning of the shared index arrays safe.
+        """
+        model = self.cost_model
+        row_seconds = model.refinement_row_seconds()
+        workers = parallel_config.get_workers()
+        used_total = 0
+        while budget_rows > 0 and self._open:
+            before = model.seconds_of(stats)
+            ready = self._pick_pieces(query, stats, workers)
+            budget_rows -= int((model.seconds_of(stats) - before) / row_seconds)
+            if budget_rows <= 0:
+                break
+            if not ready:
+                continue  # everything picked proved unsplittable; re-pick
+            share = budget_rows // len(ready)
+            if share <= 0:
+                # Budget smaller than the fan-out: grant it all to the
+                # first piece so the round always makes progress.
+                pairs = [(ready[0], budget_rows)]
+            else:
+                remainder = budget_rows - share * len(ready)
+                pairs = [
+                    (piece, share + (remainder if position == 0 else 0))
+                    for position, piece in enumerate(ready)
+                ]
+            used_each = parallel_executor.advance_jobs(pairs)
+            for (piece, _), used in zip(pairs, used_each):
+                stats.swapped += used * (self.n_dims + 1)
+                used_total += used
+                budget_rows -= used
+            for piece, _ in pairs:
+                if piece.job is not None and piece.job.done:
+                    self._complete_piece(piece, stats)
+        if not self._open:
+            self.phase = CONVERGED
+        return used_total
+
     def _refined_scan(self, query: RangeQuery, stats: QueryStats) -> np.ndarray:
         scanned_before = stats.scanned
         nodes_before = stats.lookup_nodes
         matches = self._tree.search(query, stats)
-        parts = [self._index.scan_piece(match, query, stats) for match in matches]
+        parts = self._index.scan_pieces(matches, query, stats)
         self._record_scan_cost(stats, scanned_before, nodes_before)
         if not parts:
             return np.empty(0, dtype=np.int64)

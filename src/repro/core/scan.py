@@ -59,10 +59,18 @@ def range_scan(
 def full_scan(
     columns: Sequence[np.ndarray], query: RangeQuery, stats: QueryStats
 ) -> np.ndarray:
-    """Option-2 scan of entire columns; returns qualifying positions."""
+    """Option-2 scan of entire columns; returns qualifying positions.
+
+    Routed through the morsel executor (:mod:`repro.parallel`): with
+    parallel workers configured the window is split into row morsels
+    across the shared pool; serial configurations fall through to one
+    kernel call with identical results and stats either way.
+    """
     if not columns:
         return np.empty(0, dtype=np.int64)
-    return kernels.range_scan(
+    from ..parallel import executor as parallel_executor
+
+    return parallel_executor.scan_range(
         columns, 0, int(columns[0].shape[0]), query, stats, None, None
     )
 

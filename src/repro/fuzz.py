@@ -19,6 +19,12 @@ single-valued column (unsplittable dimensions).  Query generation mixes
 in ±inf half-open sides, bounds equal to existing data values (the
 off-by-one surface), and empty ranges.
 
+``--kernels`` pins a kernel backend for the whole sweep; ``--parallel N``
+runs it under the morsel executor with ``N`` workers (fan-out thresholds
+lowered so the tiny tables actually split), checking that answers,
+invariants — including the I9 ownership protocol — and converged
+structures survive multi-threaded execution.
+
 Every run is reproducible from its seed.  On failure the fuzzer shrinks
 the workload with a delta-debugging pass, saves a JSON repro file, and
 prints the exact replay command::
@@ -510,6 +516,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "an unavailable backend falls back to numpy)",
     )
     parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="morsel-executor worker count for the run (default: keep the "
+        "active count; thresholds are lowered so the tiny fuzz tables "
+        "actually exercise the parallel paths)",
+    )
+    parser.add_argument(
         "--save-dir", default=".", help="where failure repro files go"
     )
     parser.add_argument(
@@ -525,6 +540,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"fuzz: kernel backend {args.kernels!r} unavailable, "
                 f"running on {activated!r}"
             )
+
+    if args.parallel is not None:
+        from .parallel import config as parallel_config
+
+        parallel_config.set_workers(args.parallel)
+        # Fuzz tables are deliberately tiny; without lowering the
+        # fan-out thresholds every scan would fall through to the serial
+        # path and the sweep would not exercise the morsel executor.
+        parallel_config.MORSEL_ROWS = 256
+        parallel_config.MIN_PARALLEL_ROWS = 256
 
     if args.replay is not None:
         try:

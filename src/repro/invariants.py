@@ -44,6 +44,12 @@ I8  **Zone/path consistency** — a zone box is at least as tight as the
     path bound is finite), internally ordered (``zone_lo <= zone_hi``),
     and zoning is all-or-nothing per tree: either every leaf carries a
     zone map (the root was seeded before the first split) or none does.
+I9  **Refinement ownership** — while refinement work is fanned out
+    (:mod:`repro.parallel`), no piece is ever owned by two workers: the
+    ownership registry's sticky violation log stays empty, no piece of
+    this index is still claimed when the index is observed at rest, and
+    a background refiner attached to the index has quiesced (is between
+    slices) whenever invariants are checked.
 
 Backends whose structure is not a KD-Tree participate through
 :meth:`BaseIndex.self_check` (QUASII hierarchy, cracker columns).
@@ -72,6 +78,7 @@ __all__ = [
     "convergence_errors",
     "creation_state_errors",
     "zone_map_errors",
+    "ownership_errors",
     "convergence_determinism_errors",
     "InvariantMonitor",
 ]
@@ -367,6 +374,44 @@ def zone_map_errors(state: IndexDebugState) -> List[str]:
     return problems
 
 
+# --------------------------------------------------------------------- I9
+
+def ownership_errors(index: BaseIndex, state: IndexDebugState) -> List[str]:
+    """Refinement-ownership breaches (invariant I9).
+
+    Three checks against the parallel layer's ownership registry
+    (:mod:`repro.parallel.config`):
+
+    * the *sticky* violation log is empty — a double claim or a
+      mismatched release anywhere since the last reset is a breach even
+      if ownership has since been handed back;
+    * no leaf of this index's tree is still claimed — the checkers only
+      run on an index at rest, so a lingering claim means a worker
+      leaked ownership (a missed ``release_piece`` on some code path);
+    * an attached background refiner has quiesced (callers hold its
+      pause lock around the check, making this a guarantee).
+    """
+    from .parallel import config as parallel_config
+
+    problems: List[str] = list(parallel_config.ownership_violations())
+    held = parallel_config.owned_pieces()
+    if held and state.tree is not None:
+        leaf_ids = {id(leaf) for leaf in state.tree.iter_leaves()}
+        for owner, piece in held:
+            if id(piece) in leaf_ids:
+                problems.append(
+                    f"piece [{piece.start}, {piece.end}) of this index is "
+                    f"still owned by {owner!r} while the index is at rest"
+                )
+    refiner = getattr(index, "_background", None)
+    if refiner is not None and not refiner.quiescent:
+        problems.append(
+            "background refiner is mid-slice during an invariant check "
+            "(quiescence handoff was skipped)"
+        )
+    return problems
+
+
 # --------------------------------------------------------------------- I6
 
 def convergence_determinism_errors(index: BaseIndex) -> List[str]:
@@ -418,14 +463,15 @@ def structural_errors(index: BaseIndex) -> List[str]:
 
     The per-query workhorse: tree invariants (I1/I2) when a KD-Tree is
     materialised, alignment (I3), paused partitions (I4), convergence
-    flags (I5), zone maps (I7/I8), the PKD creation-phase contract, and
-    the backend's own
+    flags (I5), zone maps (I7/I8), refinement ownership (I9), the PKD
+    creation-phase contract, and the backend's own
     :meth:`~repro.core.index_base.BaseIndex.self_check`.  Cross-query
     monotonicity and determinism need state or convergence and live in
     :class:`InvariantMonitor` / :func:`convergence_determinism_errors`.
     """
     state = index.debug_state()
     problems: List[str] = []
+    problems.extend(ownership_errors(index, state))
     if state.tree is not None and state.index_table is not None:
         problems.extend(state.tree.structural_errors(state.index_table.columns))
         problems.extend(partition_job_errors(state))

@@ -42,15 +42,25 @@ transitions.  The property suites (``tests/test_properties_scan.py``,
 ``tests/test_properties_partition.py``) and the differential fuzzer
 enforce this against the ``reference`` backend.
 
-The dispatch state is process-global and the fused backend keeps
-scratch buffers between calls, so the kernel layer (like the rest of
-this package) is not thread-safe.
+Threading
+---------
+The *selection* state (:func:`use`) is process-global, but dispatch no
+longer reads it per call: :meth:`BaseIndex.query` pins the active
+backend once per query (:func:`pinned`), so a mid-query :func:`use` —
+or a fuzzer backend sweep on another thread — can never mix backends
+within one query.  The pin is thread-local, which is also what lets the
+morsel executor (:mod:`repro.parallel`) run each worker thread on its
+own *instance* of the selected backend (:func:`thread_instance`): the
+fused backend reuses scratch buffers between calls and a single
+instance must therefore never be shared across concurrently-scanning
+threads.
 """
 
 from __future__ import annotations
 
 import importlib.util
 import os
+import threading
 import time
 import warnings
 from typing import Callable, Dict, List, Optional, Sequence
@@ -71,6 +81,9 @@ __all__ = [
     "use",
     "active_backend",
     "active_name",
+    "current_backend",
+    "pinned",
+    "thread_instance",
     "get_backend",
     "range_scan",
     "stable_partition",
@@ -83,6 +96,10 @@ _FACTORIES: Dict[str, Callable[[], KernelBackend]] = {}
 _PROBES: Dict[str, Callable[[], bool]] = {}
 _INSTANCES: Dict[str, KernelBackend] = {}
 _ACTIVE: Optional[KernelBackend] = None
+
+#: Thread-local dispatch override: ``pinned`` backend snapshot plus the
+#: per-thread backend instance cache (see ``thread_instance``).
+_TLS = threading.local()
 
 
 def register(
@@ -164,6 +181,69 @@ def active_name() -> str:
     return active_backend().name
 
 
+def current_backend() -> KernelBackend:
+    """The backend dispatch routes to *on this thread, right now*: the
+    thread-local pin when one is active (see :func:`pinned`), otherwise
+    the process-global active backend."""
+    backend = getattr(_TLS, "pinned", None)
+    if backend is not None:
+        return backend
+    assert _ACTIVE is not None
+    return _ACTIVE
+
+
+class pinned:
+    """Context manager pinning kernel dispatch on this thread.
+
+    ``with kernels.pinned():`` snapshots :func:`current_backend` for the
+    duration of the block; ``with kernels.pinned(backend):`` pins an
+    explicit instance (how pool workers install their thread-private
+    backend).  Pins nest — the previous pin is restored on exit — and
+    only affect the calling thread.
+    """
+
+    __slots__ = ("_backend", "_previous")
+
+    def __init__(self, backend: Optional[KernelBackend] = None) -> None:
+        self._backend = backend
+        self._previous: Optional[KernelBackend] = None
+
+    def __enter__(self) -> KernelBackend:
+        backend = self._backend
+        if backend is None:
+            backend = current_backend()
+        self._previous = getattr(_TLS, "pinned", None)
+        _TLS.pinned = backend
+        return backend
+
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> bool:
+        _TLS.pinned = self._previous
+        return False
+
+
+def thread_instance(name: str) -> KernelBackend:
+    """A backend instance private to the calling thread.
+
+    The fused backend keeps scratch buffers between calls, so the shared
+    instances of :func:`get_backend` must never run concurrently on two
+    threads.  Worker threads instead build (and cache) their own
+    instance per backend name — behaviourally identical, since scratch
+    state never affects kernel output.
+    """
+    if name not in _FACTORIES:
+        raise InvalidParameterError(
+            f"unknown kernel backend {name!r}; "
+            f"registered: {sorted(_FACTORIES)}"
+        )
+    cache = getattr(_TLS, "instances", None)
+    if cache is None:
+        cache = _TLS.instances = {}
+    backend = cache.get(name)
+    if backend is None:
+        backend = cache[name] = _FACTORIES[name]()
+    return backend
+
+
 # ------------------------------------------------------------------ dispatch
 
 def range_scan(
@@ -183,15 +263,17 @@ def range_scan(
     a per-backend latency histogram; while off, the hook is one module
     global check (asserted <2% overhead by ``benchmarks/bench_obs.py``).
     """
+    backend = getattr(_TLS, "pinned", None) or _ACTIVE
     if obs_trace.ENABLED or obs_metrics.ENABLED:
         return _observed_call(
             "range_scan",
             end - start,
-            lambda: _ACTIVE.range_scan(
+            backend,
+            lambda: backend.range_scan(
                 columns, start, end, query, stats, check_low, check_high
             ),
         )
-    return _ACTIVE.range_scan(
+    return backend.range_scan(
         columns, start, end, query, stats, check_low, check_high
     )
 
@@ -206,21 +288,25 @@ def stable_partition(
     """Stable two-way partition of rows ``[start, end)`` via the active
     backend; see :meth:`KernelBackend.stable_partition`.  Carries the
     same observability hook as :func:`range_scan`."""
+    backend = getattr(_TLS, "pinned", None) or _ACTIVE
     if obs_trace.ENABLED or obs_metrics.ENABLED:
         return _observed_call(
             "stable_partition",
             end - start,
-            lambda: _ACTIVE.stable_partition(arrays, start, end, key_index, pivot),
+            backend,
+            lambda: backend.stable_partition(arrays, start, end, key_index, pivot),
         )
-    return _ACTIVE.stable_partition(arrays, start, end, key_index, pivot)
+    return backend.stable_partition(arrays, start, end, key_index, pivot)
 
 
-def _observed_call(op: str, rows: int, call: Callable[[], object]):
+def _observed_call(
+    op: str, rows: int, backend: KernelBackend, call: Callable[[], object]
+):
     """Slow-path kernel dispatch: span + latency histogram around ``call``."""
-    backend = _ACTIVE.name
+    name = backend.name
     if obs_trace.ENABLED:
         with obs_trace.TRACER.span(
-            "kernel", op=op, backend=backend, rows=rows
+            "kernel", op=op, backend=name, rows=rows
         ) as span:
             result = call()
         duration = span.duration
@@ -230,10 +316,10 @@ def _observed_call(op: str, rows: int, call: Callable[[], object]):
         duration = time.perf_counter() - begin
     if obs_metrics.ENABLED:
         obs_metrics.REGISTRY.histogram(
-            f"kernel.{op}.seconds", backend=backend
+            f"kernel.{op}.seconds", backend=name
         ).observe(duration)
         obs_metrics.REGISTRY.counter(
-            f"kernel.{op}.rows", backend=backend
+            f"kernel.{op}.rows", backend=name
         ).inc(max(rows, 0))
     return result
 

@@ -24,6 +24,7 @@ caller can meter exactly one window of work::
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import InvalidParameterError
@@ -49,21 +50,28 @@ DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("key", "value")
+    Increments are locked: kernel dispatches on pool worker threads
+    (:mod:`repro.parallel`) feed the same counter concurrently, and an
+    unguarded ``+=`` is a read-modify-write that loses updates.
+    """
+
+    __slots__ = ("key", "value", "_lock")
     kind = "counter"
 
     def __init__(self, key: str) -> None:
         self.key = key
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         if amount < 0:
             raise InvalidParameterError(
                 f"counter {self.key!r} cannot decrease (inc({amount}))"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self):
         return self.value
@@ -99,7 +107,10 @@ class Histogram:
     above the last bound land in the ``+inf`` overflow bucket.
     """
 
-    __slots__ = ("key", "bounds", "buckets", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "key", "bounds", "buckets", "count", "total", "minimum", "maximum",
+        "_lock",
+    )
     kind = "histogram"
 
     def __init__(self, key: str, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
@@ -110,20 +121,22 @@ class Histogram:
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: Union[int, float]) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
-        for position, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.buckets[position] += 1
-                return
-        self.buckets[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+            for position, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.buckets[position] += 1
+                    return
+            self.buckets[-1] += 1
 
     @property
     def mean(self) -> Optional[float]:
@@ -160,19 +173,23 @@ class MetricsRegistry:
 
     Accessors create on first use and return the same instance after —
     call sites never need registration boilerplate.  Requesting an
-    existing key as a different metric kind raises.
+    existing key as a different metric kind raises.  Get-or-create is
+    locked so two threads asking for a new key cannot each build (and
+    partially feed) their own instance.
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._lock = threading.Lock()
 
     def _get(self, cls, name: str, labels: Dict[str, object], **init):
         key = _key(name, labels)
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = cls(key, **init)
-            self._metrics[key] = metric
-        elif not isinstance(metric, cls):
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(key, **init)
+                self._metrics[key] = metric
+        if not isinstance(metric, cls):
             raise InvalidParameterError(
                 f"metric {key!r} is a {metric.kind}, not a {cls.kind}"
             )

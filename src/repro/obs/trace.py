@@ -31,17 +31,28 @@ Span taxonomy (see DESIGN.md "Observability"):
 ``session.query``
     One per :meth:`ExplorationSession.query`, wrapping the index query.
 
+``morsel``
+    One per parallel work unit (:mod:`repro.parallel`), emitted on the
+    worker thread that ran it, parented explicitly under the span that
+    fanned out (``span(..., parent=...)``); the worker's kernel spans
+    nest under it via that thread's own stack.
+
 Instant events: ``split`` (pivot choices from
 :meth:`~repro.core.kdtree.KDTree.split_leaf`), ``partition.start`` /
 ``partition.pause`` / ``partition.resume`` / ``partition.complete``
 (the pausable :class:`~repro.core.partition.IncrementalPartition`).
 
-Like the rest of this package, the tracer is process-global and not
-thread-safe.
+Threading: the active-span stack is *thread-local*, so spans opened on a
+pool worker nest among themselves without corrupting the main thread's
+stack; span-id allocation and sink writes are serialised with one lock.
+Cross-thread nesting does not happen implicitly — a fan-out captures its
+current span id and passes it as the explicit ``parent`` of each worker
+span.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Dict, List, Optional
 
@@ -62,6 +73,9 @@ ENABLED: bool = False
 
 #: The installed tracer (``None`` when tracing is off).
 TRACER: Optional["Tracer"] = None
+
+#: Sentinel distinguishing "no parent passed" from "parent=None (root)".
+_UNSET = object()
 
 #: QueryStats work counters whose per-span deltas spans record.
 COUNTER_FIELDS = (
@@ -111,29 +125,41 @@ class Span:
         "attrs",
         "span_id",
         "parent_id",
+        "_parent_preset",
         "_stats",
         "_before",
         "t_start",
         "duration",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any], stats) -> None:
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+        stats,
+        parent_id: Optional[int] = None,
+        parent_preset: bool = False,
+    ) -> None:
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
         self._stats = stats
         self.span_id: Optional[int] = None
-        self.parent_id: Optional[int] = None
+        self.parent_id: Optional[int] = parent_id
+        self._parent_preset = parent_preset
         self._before: Optional[tuple] = None
         self.t_start = 0.0
         self.duration: Optional[float] = None
 
     def __enter__(self) -> "Span":
         tracer = self._tracer
-        tracer._next_id += 1
-        self.span_id = tracer._next_id
-        stack = tracer._stack
-        self.parent_id = stack[-1].span_id if stack else None
+        with tracer._lock:
+            tracer._next_id += 1
+            self.span_id = tracer._next_id
+        stack = tracer._thread_stack()
+        if not self._parent_preset:
+            self.parent_id = stack[-1].span_id if stack else None
         stack.append(self)
         stats = self._stats
         if stats is not None:
@@ -146,7 +172,7 @@ class Span:
     def __exit__(self, exc_type=None, exc=None, tb=None) -> bool:
         tracer = self._tracer
         self.duration = tracer._now() - self.t_start
-        stack = tracer._stack
+        stack = tracer._thread_stack()
         if stack and stack[-1] is self:
             stack.pop()
         else:  # unwinding out of order (shouldn't happen; stay robust)
@@ -177,7 +203,8 @@ class Span:
                     deltas[field] = delta
             if deltas:
                 record["counters"] = deltas
-        tracer.sink.write(record)
+        with tracer._lock:
+            tracer.sink.write(record)
         return False
 
 
@@ -188,46 +215,61 @@ class Tracer:
     so every trace file is self-describing.
     """
 
-    __slots__ = ("sink", "meta", "_stack", "_next_id", "_origin")
+    __slots__ = ("sink", "meta", "_local", "_lock", "_next_id", "_origin")
 
     def __init__(self, sink, meta: Optional[Dict[str, Any]] = None) -> None:
         self.sink = sink
         self.meta = dict(meta or {})
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 0
         self._origin = time.perf_counter()
         sink.write({"type": "meta", "version": 1, "meta": self.meta})
 
+    def _thread_stack(self) -> List[Span]:
+        """The calling thread's own active-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def _now(self) -> float:
         return time.perf_counter() - self._origin
 
-    def span(self, name: str, stats=None, **attrs: Any) -> Span:
+    def span(self, name: str, stats=None, parent=_UNSET, **attrs: Any) -> Span:
         """A new span; use as ``with tracer.span("query", index="AKD"):``.
 
         ``stats`` (a :class:`~repro.core.metrics.QueryStats`) opts into
-        work-counter delta recording.
+        work-counter delta recording.  ``parent`` overrides the implicit
+        enclosing-span parent — pass the span id captured before a
+        fan-out so worker-thread spans nest under the dispatching span
+        rather than becoming roots (``parent=None`` forces a root).
         """
-        return Span(self, name, attrs, stats)
+        if parent is _UNSET:
+            return Span(self, name, attrs, stats)
+        return Span(self, name, attrs, stats, parent_id=parent, parent_preset=True)
 
     def event(self, name: str, **attrs: Any) -> None:
-        """Emit an instant (zero-duration) event under the current span."""
-        stack = self._stack
-        self.sink.write(
-            {
-                "type": "event",
-                "name": name,
-                "parent": stack[-1].span_id if stack else None,
-                "ts": round(self._now(), 9),
-                "attrs": {key: _jsonable(value) for key, value in attrs.items()},
-            }
-        )
+        """Emit an instant (zero-duration) event under the calling
+        thread's current span."""
+        stack = self._thread_stack()
+        record = {
+            "type": "event",
+            "name": name,
+            "parent": stack[-1].span_id if stack else None,
+            "ts": round(self._now(), 9),
+            "attrs": {key: _jsonable(value) for key, value in attrs.items()},
+        }
+        with self._lock:
+            self.sink.write(record)
 
     @property
     def current_span(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._thread_stack()
+        return stack[-1] if stack else None
 
     def __repr__(self) -> str:
-        return f"Tracer(sink={self.sink!r}, depth={len(self._stack)})"
+        return f"Tracer(sink={self.sink!r}, depth={len(self._thread_stack())})"
 
 
 def install(tracer: Tracer) -> None:

@@ -1,0 +1,231 @@
+"""Configuration and shared state of the parallel execution layer.
+
+Worker-count selection flows exactly like kernel-backend selection
+(:mod:`repro.kernels`):
+
+* environment: ``REPRO_PARALLEL=<n>`` (or ``auto`` for the machine's
+  core count), read once at import time;
+* programmatic: :func:`set_workers`, or the ``parallel=`` option of
+  :class:`repro.session.ExplorationSession`,
+  :func:`repro.bench.harness.run_workload`, and ``python -m repro.fuzz
+  --parallel``.
+
+``workers == 1`` (the default) compiles down to the pre-existing serial
+code paths: the executor helpers fall through to a direct kernel call
+before touching the pool, so serial runs pay one integer comparison.
+
+The module also hosts two pieces of cross-cutting state:
+
+* the lazily-created shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  every fan-out uses (NumPy releases the GIL inside the kernel hot loops,
+  so OS threads give real scan parallelism without pickling columns);
+* the piece-ownership registry behind invariant I9 — while refinement
+  jobs (or the background refiner) advance pieces concurrently, each
+  piece must have exactly one owner.  Double claims are recorded
+  *stickily* so the invariant checker sees a race even though ownership
+  itself is transient.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "MORSEL_ROWS",
+    "MIN_PARALLEL_ROWS",
+    "set_workers",
+    "get_workers",
+    "pool",
+    "shutdown_pool",
+    "in_worker",
+    "claim_piece",
+    "release_piece",
+    "owned_pieces",
+    "ownership_violations",
+    "reset_ownership_log",
+]
+
+#: Rows per full-scan morsel.  Large enough that submit/merge overhead
+#: (~tens of µs per task) is well under 1% of the ~ms-scale scan of one
+#: morsel, small enough that a 1e7-row table yields ~76 morsels — plenty
+#: of units for load balancing across 8 workers.
+MORSEL_ROWS = 1 << 17
+
+#: Below this many total rows a fan-out is not attempted at all: the
+#: pool dispatch would cost a visible fraction of the scan itself.
+#: Module attribute on purpose — the fuzzer and the bit-identity tests
+#: lower it to exercise the parallel paths on deliberately tiny tables.
+MIN_PARALLEL_ROWS = 1 << 16
+
+_LOCK = threading.RLock()
+_WORKERS = 1
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_WORKERS = 0
+
+_TLS = threading.local()
+
+
+def set_workers(n: int) -> int:
+    """Set the process-global worker count; returns the count applied.
+
+    ``n`` must be a positive integer.  ``1`` restores pure serial
+    execution (the shared pool, if any, is left alone until replaced).
+    Like :func:`repro.kernels.use`, the setting is process-global.
+    """
+    try:
+        n = int(n)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(
+            f"parallel worker count must be an integer, got {n!r}"
+        ) from None
+    if n < 1:
+        raise InvalidParameterError(
+            f"parallel worker count must be >= 1, got {n}"
+        )
+    global _WORKERS
+    with _LOCK:
+        _WORKERS = n
+    return n
+
+
+def get_workers() -> int:
+    """The process-global worker count (1 = serial)."""
+    return _WORKERS
+
+
+def pool() -> ThreadPoolExecutor:
+    """The shared worker pool, created lazily and re-created on resize.
+
+    The pool is sized to the current :func:`get_workers`; a stale pool
+    from a previous size is shut down (waiting for in-flight tasks —
+    fan-outs always join their futures, so this never blocks long).
+    """
+    global _POOL, _POOL_WORKERS
+    with _LOCK:
+        workers = _WORKERS
+        if _POOL is None or _POOL_WORKERS != workers:
+            if _POOL is not None:
+                _POOL.shutdown(wait=True)
+            _POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-parallel"
+            )
+            _POOL_WORKERS = workers
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests; a later fan-out recreates it)."""
+    global _POOL, _POOL_WORKERS
+    with _LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+def in_worker() -> bool:
+    """True on a pool worker thread (fan-outs must not nest: a worker
+    submitting to the same bounded pool it runs on can deadlock)."""
+    return getattr(_TLS, "in_worker", False)
+
+
+def enter_worker() -> None:
+    _TLS.in_worker = True
+
+
+def exit_worker() -> None:
+    _TLS.in_worker = False
+
+
+# ----------------------------------------------------- piece ownership (I9)
+
+#: id(piece) -> (owner label, piece object).  Held only while a worker is
+#: actively advancing the piece's partition job.
+_OWNERS: Dict[int, Tuple[str, object]] = {}
+
+#: Sticky log of ownership protocol breaches (double claims, releases by
+#: a non-owner).  Never cleared implicitly: a transient race must stay
+#: visible to the next invariant check.
+_VIOLATIONS: List[str] = []
+
+
+def claim_piece(piece: object, owner: str) -> None:
+    """Claim exclusive refinement ownership of ``piece`` for ``owner``."""
+    with _LOCK:
+        held = _OWNERS.get(id(piece))
+        if held is not None:
+            _VIOLATIONS.append(
+                f"piece [{getattr(piece, 'start', '?')}, "
+                f"{getattr(piece, 'end', '?')}) claimed by {owner!r} while "
+                f"owned by {held[0]!r}"
+            )
+            return
+        _OWNERS[id(piece)] = (owner, piece)
+
+
+def release_piece(piece: object, owner: str) -> None:
+    """Release ownership of ``piece``; must match the claiming owner."""
+    with _LOCK:
+        held = _OWNERS.pop(id(piece), None)
+        if held is None:
+            _VIOLATIONS.append(
+                f"piece [{getattr(piece, 'start', '?')}, "
+                f"{getattr(piece, 'end', '?')}) released by {owner!r} but "
+                f"was not owned"
+            )
+        elif held[0] != owner:
+            _VIOLATIONS.append(
+                f"piece [{getattr(piece, 'start', '?')}, "
+                f"{getattr(piece, 'end', '?')}) released by {owner!r} but "
+                f"owned by {held[0]!r}"
+            )
+
+
+def owned_pieces() -> List[Tuple[str, object]]:
+    """Snapshot of currently-owned pieces as ``(owner, piece)`` pairs."""
+    with _LOCK:
+        return list(_OWNERS.values())
+
+
+def ownership_violations() -> List[str]:
+    """Sticky record of every ownership-protocol breach observed."""
+    with _LOCK:
+        return list(_VIOLATIONS)
+
+
+def reset_ownership_log() -> None:
+    """Clear the sticky violation log and any stale claims (tests)."""
+    with _LOCK:
+        _VIOLATIONS.clear()
+        _OWNERS.clear()
+
+
+# --------------------------------------------------------------- env setup
+
+def _workers_from_env() -> int:
+    requested = os.environ.get("REPRO_PARALLEL")
+    if requested is None or requested == "":
+        return 1
+    if requested.strip().lower() == "auto":
+        return max(1, os.cpu_count() or 1)
+    try:
+        value = int(requested)
+        if value < 1:
+            raise ValueError
+    except ValueError:
+        warnings.warn(
+            f"REPRO_PARALLEL={requested!r} is not a positive integer or "
+            f"'auto'; running serial",
+            stacklevel=2,
+        )
+        return 1
+    return value
+
+
+set_workers(_workers_from_env())

@@ -1,0 +1,354 @@
+"""Morsel-driven fan-out of scans and refinement over the shared pool.
+
+Three entry points, mirroring the three kinds of physical work the
+indexes perform:
+
+:func:`scan_range`
+    One contiguous row range (a full scan, or a creation-phase region
+    scan) split into fixed-size morsels of :data:`~.config.MORSEL_ROWS`
+    rows each.
+:func:`scan_pieces`
+    A per-query leaf/candidate list (:class:`~repro.core.kdtree.PieceMatch`
+    objects) split into contiguous, size-balanced chunks of whole
+    pieces.  Pieces are never split internally: by the time piece scans
+    dominate, the tree has refined the data into many below-threshold
+    pieces and whole-piece chunking already yields far more work units
+    than workers.
+:func:`advance_jobs`
+    Disjoint, already-scheduled :class:`~repro.core.partition.
+    IncrementalPartition` jobs advanced concurrently, each under an
+    exclusive piece-ownership claim (invariant I9).
+
+Determinism
+-----------
+Every fan-out is bit-identical to the serial path it replaces:
+
+* *results* — each morsel/chunk produces the same positions the serial
+  kernel would produce for that sub-range (row membership is a pointwise
+  predicate), each part is ascending, and parts are concatenated in
+  submission order, which is range order — so the concatenation equals
+  the serial output array element for element;
+* *stats* — workers accumulate into private ``QueryStats`` records that
+  are merged into the caller's in submission order.  All merged fields
+  are additive counters whose per-range charges do not depend on how the
+  range was chunked (the fused backend's hybrid-scan accounting charges
+  the full window for the first checked dimension and the pre-check
+  candidate count for each later one — both additive over sub-ranges),
+  so the totals match the serial numbers exactly;
+* *timing-free* — no merged field derives from wall clock; worker
+  ``seconds`` stay zero and the caller's own timer covers the fan-out.
+
+Workers pin a thread-private instance of the caller's kernel backend
+(snapshotted once per fan-out — the per-query pin of
+:meth:`BaseIndex.query` makes that snapshot stable), because the fused
+backend's scratch buffers must not be shared across threads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import kernels
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from . import config
+
+__all__ = ["scan_range", "scan_pieces", "advance_jobs"]
+
+
+def _morsel_ranges(start: int, end: int, morsel_rows: int) -> List[Tuple[int, int]]:
+    """Split ``[start, end)`` into consecutive ``morsel_rows``-sized ranges."""
+    return [
+        (position, min(position + morsel_rows, end))
+        for position in range(start, end, morsel_rows)
+    ]
+
+
+def _parent_span_id() -> Optional[int]:
+    """The dispatching thread's current span id (worker spans parent
+    under it explicitly; implicit nesting cannot cross threads)."""
+    if obs_trace.ENABLED:
+        span = obs_trace.TRACER.current_span
+        if span is not None:
+            return span.span_id
+    return None
+
+
+def _note_fanout(op: str, tasks: int, workers: int) -> None:
+    if obs_metrics.ENABLED:
+        registry = obs_metrics.REGISTRY
+        registry.counter("parallel.fanouts", op=op).inc()
+        registry.counter("parallel.tasks", op=op).inc(tasks)
+        registry.gauge("parallel.workers").set(workers)
+        # Pool utilisation: tasks per worker this fan-out — < 1 means
+        # idle workers, >> 1 means good load-balancing slack.
+        registry.histogram("parallel.tasks_per_worker", op=op).observe(
+            tasks / workers
+        )
+
+
+def _concat(parts: Sequence[np.ndarray]) -> np.ndarray:
+    filled = [part for part in parts if part.size]
+    if not filled:
+        return np.empty(0, dtype=np.int64)
+    if len(filled) == 1:
+        return filled[0]
+    return np.concatenate(filled)
+
+
+# ------------------------------------------------------------- range scans
+
+def scan_range(
+    columns: Sequence[np.ndarray],
+    start: int,
+    end: int,
+    query,
+    stats,
+    check_low=None,
+    check_high=None,
+) -> np.ndarray:
+    """Morsel-parallel option-2 scan of rows ``[start, end)``.
+
+    Falls through to one serial kernel call unless parallelism is on,
+    the window is worth splitting, and we are not already on a worker.
+    """
+    window = end - start
+    workers = config.get_workers()
+    if (
+        workers <= 1
+        or window <= config.MORSEL_ROWS
+        or window < config.MIN_PARALLEL_ROWS
+        or config.in_worker()
+    ):
+        return kernels.range_scan(
+            columns, start, end, query, stats, check_low, check_high
+        )
+    ranges = _morsel_ranges(start, end, config.MORSEL_ROWS)
+    backend_name = kernels.current_backend().name
+    parent = _parent_span_id()
+    _note_fanout("scan", len(ranges), workers)
+    futures = [
+        config.pool().submit(
+            _scan_range_task,
+            backend_name,
+            parent,
+            columns,
+            morsel_start,
+            morsel_end,
+            query,
+            check_low,
+            check_high,
+            type(stats),
+        )
+        for morsel_start, morsel_end in ranges
+    ]
+    parts: List[np.ndarray] = []
+    for future in futures:
+        positions, worker_stats = future.result()
+        stats.merge(worker_stats)
+        parts.append(positions)
+    return _concat(parts)
+
+
+def _scan_range_task(
+    backend_name: str,
+    parent: Optional[int],
+    columns,
+    start: int,
+    end: int,
+    query,
+    check_low,
+    check_high,
+    stats_cls,
+):
+    config.enter_worker()
+    try:
+        worker_stats = stats_cls()
+        backend = kernels.thread_instance(backend_name)
+        with kernels.pinned(backend):
+            if obs_trace.ENABLED:
+                with obs_trace.TRACER.span(
+                    "morsel",
+                    stats=worker_stats,
+                    parent=parent,
+                    op="scan",
+                    start=start,
+                    rows=end - start,
+                ):
+                    positions = kernels.range_scan(
+                        columns, start, end, query, worker_stats,
+                        check_low, check_high,
+                    )
+            else:
+                positions = kernels.range_scan(
+                    columns, start, end, query, worker_stats,
+                    check_low, check_high,
+                )
+        return positions, worker_stats
+    finally:
+        config.exit_worker()
+
+
+# ------------------------------------------------------------- piece scans
+
+def scan_pieces(index_table, matches, query, stats) -> List[np.ndarray]:
+    """Scan a candidate-piece list across the pool.
+
+    Returns one rowid array per match, in match order — exactly the list
+    the serial ``[scan_piece(m) for m in matches]`` loop builds, with
+    identical stats totals (zone-map prune/containment shortcuts run
+    inside :meth:`~repro.core.index_base.IndexTable.scan_piece` on the
+    worker and merge back as additive counters).
+    """
+    workers = config.get_workers()
+    if workers <= 1 or len(matches) < 2 or config.in_worker():
+        return [index_table.scan_piece(match, query, stats) for match in matches]
+    total_rows = 0
+    for match in matches:
+        total_rows += match.piece.size
+    if total_rows < config.MIN_PARALLEL_ROWS:
+        return [index_table.scan_piece(match, query, stats) for match in matches]
+    chunks = _chunk_matches(matches, total_rows, workers)
+    if len(chunks) < 2:
+        return [index_table.scan_piece(match, query, stats) for match in matches]
+    backend_name = kernels.current_backend().name
+    parent = _parent_span_id()
+    _note_fanout("piece_scan", len(chunks), workers)
+    futures = [
+        config.pool().submit(
+            _scan_pieces_task,
+            backend_name,
+            parent,
+            index_table,
+            chunk,
+            query,
+            type(stats),
+        )
+        for chunk in chunks
+    ]
+    parts: List[np.ndarray] = []
+    for future in futures:
+        chunk_parts, worker_stats = future.result()
+        stats.merge(worker_stats)
+        parts.extend(chunk_parts)
+    return parts
+
+
+def _chunk_matches(matches, total_rows: int, workers: int) -> List[list]:
+    """Contiguous size-balanced chunks of whole matches.
+
+    Targets ~4 chunks per worker so one slow chunk (a zone-contained
+    run next to a dense one) cannot serialise the tail, while keeping
+    per-chunk row volume high enough to amortise dispatch.  Determinism
+    does not depend on the chunking — only merge order matters, and that
+    is fixed — so this is pure scheduling policy.
+    """
+    target = max(1, total_rows // (workers * 4))
+    chunks: List[list] = []
+    current: list = []
+    current_rows = 0
+    for match in matches:
+        current.append(match)
+        current_rows += match.piece.size
+        if current_rows >= target:
+            chunks.append(current)
+            current = []
+            current_rows = 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _scan_pieces_task(
+    backend_name: str,
+    parent: Optional[int],
+    index_table,
+    chunk,
+    query,
+    stats_cls,
+):
+    config.enter_worker()
+    try:
+        worker_stats = stats_cls()
+        backend = kernels.thread_instance(backend_name)
+        with kernels.pinned(backend):
+            if obs_trace.ENABLED:
+                rows = sum(match.piece.size for match in chunk)
+                with obs_trace.TRACER.span(
+                    "morsel",
+                    stats=worker_stats,
+                    parent=parent,
+                    op="piece_scan",
+                    pieces=len(chunk),
+                    rows=rows,
+                ):
+                    parts = [
+                        index_table.scan_piece(match, query, worker_stats)
+                        for match in chunk
+                    ]
+            else:
+                parts = [
+                    index_table.scan_piece(match, query, worker_stats)
+                    for match in chunk
+                ]
+        return parts, worker_stats
+    finally:
+        config.exit_worker()
+
+
+# ----------------------------------------------------- refinement advances
+
+def advance_jobs(pairs: Sequence[Tuple[object, int]]) -> List[int]:
+    """Advance ``(piece, grant_rows)`` partition jobs, possibly in parallel.
+
+    Every piece must carry a scheduled ``piece.job`` and the pieces must
+    be disjoint leaf ranges (they are: KD-Tree leaves tile ``[0, N)``).
+    Each worker claims exclusive ownership of its piece for the duration
+    of the advance — invariant I9's checkable protocol.  Returns rows
+    actually visited per pair, in pair order.
+    """
+    if not pairs:
+        return []
+    if len(pairs) == 1 or config.get_workers() <= 1 or config.in_worker():
+        return [piece.job.advance(grant) for piece, grant in pairs]
+    backend_name = kernels.current_backend().name
+    parent = _parent_span_id()
+    _note_fanout("refine", len(pairs), config.get_workers())
+    futures = []
+    for position, (piece, grant) in enumerate(pairs):
+        owner = f"refine-worker-{position}"
+        config.claim_piece(piece, owner)
+        futures.append(
+            config.pool().submit(
+                _advance_task, backend_name, parent, piece, grant, owner
+            )
+        )
+    return [future.result() for future in futures]
+
+
+def _advance_task(
+    backend_name: str,
+    parent: Optional[int],
+    piece,
+    grant: int,
+    owner: str,
+) -> int:
+    config.enter_worker()
+    try:
+        backend = kernels.thread_instance(backend_name)
+        with kernels.pinned(backend):
+            if obs_trace.ENABLED:
+                with obs_trace.TRACER.span(
+                    "morsel",
+                    parent=parent,
+                    op="refine",
+                    start=piece.start,
+                    rows=min(grant, piece.job.remaining_rows),
+                ):
+                    return piece.job.advance(grant)
+            return piece.job.advance(grant)
+    finally:
+        config.release_piece(piece, owner)
+        config.exit_worker()

@@ -26,6 +26,7 @@ Example::
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -123,6 +124,20 @@ class ExplorationSession:
         adds per-query work proportional to the table size, so it is
         meant for tests, fuzzing, and bug hunts, never production
         traffic; when off, no invariant code runs at all.
+    parallel:
+        Worker count for the morsel-driven execution layer
+        (:mod:`repro.parallel`): scans split into morsels and refinement
+        fans out across disjoint pieces on a shared thread pool.  ``1``
+        compiles to the serial path; ``None`` keeps whatever is active
+        (the default, or ``REPRO_PARALLEL``).  Like the kernel
+        selection, the setting is process-global.
+    background_refine:
+        Opt-in background maintenance: progressive indexes built by this
+        session get a :class:`~repro.parallel.background.
+        BackgroundRefiner` that keeps refining during think time between
+        queries, quiescing before every query and invariant check.  Call
+        :meth:`close` (or use the session as a context manager) to stop
+        the workers.
     """
 
     def __init__(
@@ -133,6 +148,8 @@ class ExplorationSession:
         tau: Optional[float] = None,
         kernels: Optional[str] = None,
         validate: bool = False,
+        parallel: Optional[int] = None,
+        background_refine: bool = False,
     ) -> None:
         resolved = "greedy" if technique == "auto" else technique
         if resolved not in TECHNIQUES:
@@ -150,6 +167,13 @@ class ExplorationSession:
             kernels = kernel_registry.use(kernels)
         self.kernels = kernels
         self.validate = validate
+        if parallel is not None:
+            from .parallel import config as parallel_config
+
+            parallel = parallel_config.set_workers(parallel)
+        self.parallel = parallel
+        self.background_refine = background_refine
+        self._refiners: List[object] = []
         self._tables: Dict[str, _RegisteredTable] = {}
 
     # -- registration ---------------------------------------------------------
@@ -217,29 +241,42 @@ class ExplorationSession:
             projected = registered.encoded.table.project(positions)
             index = TECHNIQUES[self.technique](projected, self)
             registered.indexes[group_key] = index
-        if obs_trace.ENABLED:
-            with obs_trace.TRACER.span(
-                "session.query",
-                table=table_name,
-                columns=",".join(group_key),
-                technique=self.technique,
-            ):
+            if self.background_refine and isinstance(index, ProgressiveKDTree):
+                from .parallel.background import BackgroundRefiner
+
+                index._background = BackgroundRefiner(index)
+                self._refiners.append(index._background)
+        refiner = getattr(index, "_background", None)
+        # Quiesce the background refiner for the duration of the query
+        # (and of the validation pass): the lock is the ownership handoff
+        # of invariant I9.
+        quiesce = refiner.paused() if refiner is not None else nullcontext()
+        with quiesce:
+            if obs_trace.ENABLED:
+                with obs_trace.TRACER.span(
+                    "session.query",
+                    table=table_name,
+                    columns=",".join(group_key),
+                    technique=self.technique,
+                ):
+                    begin = time.perf_counter()
+                    result = index.query(query)
+                    elapsed = time.perf_counter() - begin
+            else:
                 begin = time.perf_counter()
                 result = index.query(query)
                 elapsed = time.perf_counter() - begin
-        else:
-            begin = time.perf_counter()
-            result = index.query(query)
-            elapsed = time.perf_counter() - begin
+            if self.validate:
+                from .invariants import assert_invariants
+
+                assert_invariants(index)
+        if refiner is not None:
+            refiner.poke()  # think time starts now — keep refining
         if obs_metrics.ENABLED:
             obs_metrics.REGISTRY.counter(
                 "session.queries", table=table_name
             ).inc()
         registered.queries_run += 1
-        if self.validate:
-            from .invariants import assert_invariants
-
-            assert_invariants(index)
         return SessionResult(
             row_ids=result.row_ids,
             seconds=elapsed,
@@ -298,9 +335,14 @@ class ExplorationSession:
         for name in names:
             registered = self._lookup(name)
             for group_key, index in registered.indexes.items():
-                findings[f"{name}/{','.join(group_key)}"] = structural_errors(
-                    index
+                refiner = getattr(index, "_background", None)
+                quiesce = (
+                    refiner.paused() if refiner is not None else nullcontext()
                 )
+                with quiesce:
+                    findings[f"{name}/{','.join(group_key)}"] = (
+                        structural_errors(index)
+                    )
         return findings
 
     def stats(self, table_name: str) -> Dict[str, object]:
@@ -323,6 +365,22 @@ class ExplorationSession:
             "queries_run": registered.queries_run,
             "column_groups": groups,
         }
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop any background refiners.  Idempotent; the session remains
+        queryable afterwards (maintenance just no longer runs between
+        queries)."""
+        while self._refiners:
+            self._refiners.pop().close()
+
+    def __enter__(self) -> "ExplorationSession":
+        return self
+
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> bool:
+        self.close()
+        return False
 
     def __repr__(self) -> str:
         return (
