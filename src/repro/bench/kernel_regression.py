@@ -38,6 +38,7 @@ import json
 import os
 import sys
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -260,6 +261,10 @@ def parallel_metrics(
         parallel_config.shutdown_pool()
     serial = seconds[str(workers[0])]
     return {
+        # cpu_count rides at top level, not buried in meta: every number
+        # below is meaningless without knowing how many cores produced it
+        # (an 8-worker "speedup" on one core is pure overhead).
+        "cpu_count": os.cpu_count(),
         "meta": {
             "n": n,
             "repeats": repeats,
@@ -393,6 +398,19 @@ def compare_parallel(
     current = parallel_metrics(n, repeats)
     drift = PerfDrift()
 
+    # Core-count provenance: absolute parallel numbers only transfer
+    # between machines with the same core count.  A mismatch is a
+    # warning, never a gate — the portable claims below still hold.
+    stored_cpus = stored.get("cpu_count", stored["meta"].get("cpu_count"))
+    current_cpus = os.cpu_count()
+    if stored_cpus is not None and stored_cpus != current_cpus:
+        note = (
+            f"baseline recorded on {stored_cpus} CPU(s), this machine has "
+            f"{current_cpus}; absolute speedups are not comparable"
+        )
+        warnings.warn(note, stacklevel=2)
+        drift.notes.append(note)
+
     stored_n = stored["meta"]["n"]
     baseline_serial = stored["scan_seconds"]["1"]
     serial = current["scan_seconds"]["1"]
@@ -468,6 +486,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "record-parallel":
         doc = record_parallel(args.path, args.n, args.repeats)
+        print(f"cpu_count: {doc['cpu_count']} (provenance for every "
+              f"number below)")
         for count, value in sorted(doc["speedup"].items(), key=lambda kv: int(kv[0])):
             print(f"{count} workers: {value:.2f}x over serial")
         print(f"baseline written to {args.path}")

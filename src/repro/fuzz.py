@@ -65,6 +65,7 @@ from .invariants import InvariantMonitor, convergence_determinism_errors
 
 __all__ = [
     "BACKENDS",
+    "SESSION_TECHNIQUES",
     "WORKLOAD_KINDS",
     "FuzzCase",
     "FuzzFailure",
@@ -74,6 +75,7 @@ __all__ = [
     "run_backend_case",
     "minimize_queries",
     "run_fuzz",
+    "run_session_fuzz",
     "replay",
     "main",
 ]
@@ -460,6 +462,112 @@ def run_fuzz(
     return report
 
 
+#: Techniques the multi-session mode cycles through, one per session.
+SESSION_TECHNIQUES = ("greedy", "progressive", "adaptive", "quasii")
+
+
+def run_session_fuzz(
+    seed: int = 0,
+    sessions: int = 4,
+    steps: int = 120,
+    rows: int = 2000,
+    dims: int = 3,
+    size_threshold: int = 64,
+    delta: float = 0.25,
+    log: Callable[[str], None] = print,
+) -> List[str]:
+    """Interleave queries from N sessions over one shared table.
+
+    The multi-session analogue of the differential sweep (the in-process
+    little sibling of the ``repro.serve`` soak): every session registers
+    the *same* column arrays, each runs a different indexing technique
+    (cycling :data:`SESSION_TECHNIQUES`), and a seeded scheduler
+    interleaves their queries step by step.  After every step the issuing
+    session's answer is checked against the reference oracle and its
+    indexes against I1-I9; every ~10 steps (and at the end) *every*
+    session gets the full invariant sweep, so one session's index work
+    corrupting another's state cannot go unnoticed.
+
+    Returns the list of problems found (empty = clean run).
+    """
+    from .session import ExplorationSession
+
+    rng = np.random.default_rng([seed, 0x5E55])
+    matrix = rng.random((rows, dims)) * 100.0
+    shared_columns = {f"c{d}": matrix[:, d].copy() for d in range(dims)}
+    names = sorted(shared_columns)
+
+    fleet: List[ExplorationSession] = []
+    for position in range(sessions):
+        session = ExplorationSession(
+            technique=SESSION_TECHNIQUES[position % len(SESSION_TECHNIQUES)],
+            size_threshold=size_threshold,
+            delta=delta,
+        )
+        session.register("shared", shared_columns)
+        fleet.append(session)
+
+    reference = kernels.get_backend("reference")
+    problems: List[str] = []
+
+    def sweep(step: int, members: Sequence[int]) -> None:
+        for position in members:
+            findings = fleet[position].check()
+            for label, label_problems in findings.items():
+                problems.extend(
+                    f"step {step}: session {position} "
+                    f"({fleet[position].technique}) {label}: {problem}"
+                    for problem in label_problems
+                )
+
+    for step in range(steps):
+        position = int(rng.integers(0, sessions))
+        session = fleet[position]
+        n_constrained = int(rng.integers(1, dims + 1))
+        chosen = sorted(
+            rng.choice(dims, size=n_constrained, replace=False).tolist()
+        )
+        bounds = {
+            names[d]: _random_bounds(rng, shared_columns[names[d]])
+            for d in chosen
+        }
+        try:
+            got = np.sort(session.query("shared", **bounds).row_ids)
+        except Exception as error:  # noqa: BLE001 - the fuzzer reports it
+            problems.append(
+                f"step {step}: session {position} ({session.technique}) "
+                f"raised {type(error).__name__}: {error}"
+            )
+            break
+        group = sorted(bounds)
+        columns = [shared_columns[name] for name in group]
+        query = RangeQuery(
+            [bounds[name][0] for name in group],
+            [bounds[name][1] for name in group],
+        )
+        want = np.sort(
+            reference.range_scan(columns, 0, rows, query, QueryStats())
+        )
+        if not np.array_equal(got, want):
+            problems.append(
+                f"step {step}: session {position} ({session.technique}) "
+                f"answer mismatch: got {got.size} rows, expected {want.size} "
+                f"for columns {group}"
+            )
+        sweep(step, [position])
+        if step % 10 == 9:
+            sweep(step, range(sessions))
+        if problems:
+            break
+    if not problems:
+        sweep(steps, range(sessions))
+    for session in fleet:
+        session.close()
+    for problem in problems[:10]:
+        log(f"fuzz --sessions: {problem}")
+    return problems
+
+
 def replay(path: str, log: Callable[[str], None] = print) -> bool:
     """Re-run a saved failure file; returns True when it still fails."""
     with open(path) as handle:
@@ -525,6 +633,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "actually exercise the parallel paths)",
     )
     parser.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="multi-session mode: interleave queries from N concurrent "
+        "sessions (one technique each) over one shared table, checking "
+        "answers and invariants after every step",
+    )
+    parser.add_argument(
         "--save-dir", default=".", help="where failure repro files go"
     )
     parser.add_argument(
@@ -556,6 +673,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1 if replay(args.replay) else 0
         except (OSError, ValueError, KeyError) as error:
             parser.error(f"cannot replay {args.replay!r}: {error}")
+
+    if args.sessions is not None:
+        problems = run_session_fuzz(
+            seed=args.seed,
+            sessions=args.sessions,
+            steps=args.queries,
+            rows=args.rows,
+            dims=args.dims if args.dims is not None else 3,
+            size_threshold=args.size_threshold,
+            delta=args.delta,
+        )
+        status = "OK" if not problems else f"{len(problems)} PROBLEM(S)"
+        print(
+            f"fuzz --sessions {args.sessions}: {status} — "
+            f"{args.queries} interleaved steps (seed {args.seed})"
+        )
+        return 0 if not problems else 1
 
     backends = (
         None if args.backends == "all" else args.backends.split(",")

@@ -1,0 +1,101 @@
+"""``python -m repro.serve`` — run a standalone index server.
+
+Binds the asyncio request layer, optionally pre-registers deterministic
+tables, and serves until a client sends the ``shutdown`` op or the
+process receives SIGINT.  Drive it with ``python -m repro.serve.loadgen
+--host 127.0.0.1 --port <port>`` or any newline-JSON client.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from .admission import AdmissionCaps
+from .protocol import TableSpec
+from .server import IndexServer
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Multi-session adaptive-index server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7781)
+    parser.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="pre-register a deterministic table "
+        "(name:kind:rows:dims[:seed]); repeatable",
+    )
+    parser.add_argument(
+        "--technique",
+        default="greedy",
+        help="default indexing technique for new sessions",
+    )
+    parser.add_argument("--size-threshold", type=int, default=1024)
+    parser.add_argument("--delta", type=float, default=0.2)
+    parser.add_argument("--max-sessions", type=int, default=64)
+    parser.add_argument("--max-sessions-per-tenant", type=int, default=8)
+    parser.add_argument("--max-inflight", type=int, default=64)
+    parser.add_argument("--max-inflight-per-tenant", type=int, default=8)
+    parser.add_argument(
+        "--trace", default=None, help="record an obs JSONL trace to this path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        from .. import obs
+
+        obs.enable(path=args.trace, meta={"source": "repro.serve"})
+
+    server = IndexServer(
+        technique=args.technique,
+        size_threshold=args.size_threshold,
+        delta=args.delta,
+        caps=AdmissionCaps(
+            max_sessions=args.max_sessions,
+            max_sessions_per_tenant=args.max_sessions_per_tenant,
+            max_inflight=args.max_inflight,
+            max_inflight_per_tenant=args.max_inflight_per_tenant,
+        ),
+    )
+    for raw in args.table:
+        spec = TableSpec.parse(raw)
+        info = server.register_table(spec.name, spec=spec)
+        print(
+            f"serve: registered table {spec.name!r} "
+            f"({info['rows']} rows, columns {info['columns']})"
+        )
+
+    async def run() -> None:
+        task = asyncio.ensure_future(server.serve(args.host, args.port))
+        while not hasattr(server, "bound_address"):
+            if task.done():
+                break
+            await asyncio.sleep(0.001)
+        if hasattr(server, "bound_address"):
+            host, port = server.bound_address
+            print(f"serve: listening on {host}:{port} (op 'shutdown' to stop)")
+        await task
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("serve: interrupted; shutting down")
+        server.close()
+    finally:
+        if args.trace is not None:
+            from .. import obs
+
+            obs.disable()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

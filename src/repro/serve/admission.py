@@ -1,0 +1,135 @@
+"""Admission control: the server's overload valve.
+
+Every cap is per tenant or global, and every rejection is *polite*: the
+client gets a structured error with ``retry: true`` so a well-behaved
+load generator backs off instead of hammering.  Caps default to values
+generous enough for tests and the soak suite; the server CLI exposes all
+of them.
+
+Rejections are counted per (tenant, reason) — the soak report surfaces
+them, because a server that silently sheds load "passes" every latency
+check while failing its users.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from ..errors import ReproError
+
+__all__ = ["AdmissionError", "AdmissionControl", "AdmissionCaps"]
+
+
+class AdmissionError(ReproError):
+    """A request was rejected by admission control (safe to retry)."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"{reason}: {detail}")
+
+
+@dataclass(frozen=True)
+class AdmissionCaps:
+    """The server's load limits."""
+
+    max_sessions: int = 64
+    max_sessions_per_tenant: int = 8
+    max_inflight: int = 64
+    max_inflight_per_tenant: int = 8
+
+
+class AdmissionControl:
+    """Thread-safe session and in-flight-query accounting against caps."""
+
+    def __init__(self, caps: AdmissionCaps = AdmissionCaps()) -> None:
+        self.caps = caps
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, int] = {}
+        self._inflight: Dict[str, int] = {}
+        self._inflight_total = 0
+        self._rejections: Dict[str, int] = {}
+
+    # -------------------------------------------------------------- sessions
+
+    def admit_session(self, tenant: str) -> None:
+        """Count one new session for ``tenant`` or reject."""
+        with self._lock:
+            total = sum(self._sessions.values())
+            if total >= self.caps.max_sessions:
+                self._reject(tenant, "sessions")
+                raise AdmissionError(
+                    "admission",
+                    f"server at max_sessions={self.caps.max_sessions}",
+                )
+            if self._sessions.get(tenant, 0) >= self.caps.max_sessions_per_tenant:
+                self._reject(tenant, "tenant_sessions")
+                raise AdmissionError(
+                    "admission",
+                    f"tenant {tenant!r} at max_sessions_per_tenant="
+                    f"{self.caps.max_sessions_per_tenant}",
+                )
+            self._sessions[tenant] = self._sessions.get(tenant, 0) + 1
+
+    def release_session(self, tenant: str) -> None:
+        with self._lock:
+            remaining = self._sessions.get(tenant, 0) - 1
+            if remaining > 0:
+                self._sessions[tenant] = remaining
+            else:
+                self._sessions.pop(tenant, None)
+
+    # -------------------------------------------------------------- queries
+
+    @contextmanager
+    def inflight(self, tenant: str) -> Iterator[None]:
+        """Hold one in-flight query slot for ``tenant`` (or reject)."""
+        with self._lock:
+            if self._inflight_total >= self.caps.max_inflight:
+                self._reject(tenant, "inflight")
+                raise AdmissionError(
+                    "admission",
+                    f"server at max_inflight={self.caps.max_inflight}",
+                )
+            if self._inflight.get(tenant, 0) >= self.caps.max_inflight_per_tenant:
+                self._reject(tenant, "tenant_inflight")
+                raise AdmissionError(
+                    "admission",
+                    f"tenant {tenant!r} at max_inflight_per_tenant="
+                    f"{self.caps.max_inflight_per_tenant}",
+                )
+            self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+            self._inflight_total += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight_total -= 1
+                remaining = self._inflight.get(tenant, 0) - 1
+                if remaining > 0:
+                    self._inflight[tenant] = remaining
+                else:
+                    self._inflight.pop(tenant, None)
+
+    # ---------------------------------------------------------- introspection
+
+    def _reject(self, tenant: str, reason: str) -> None:
+        key = f"{tenant}/{reason}"
+        self._rejections[key] = self._rejections.get(key, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "caps": {
+                    "max_sessions": self.caps.max_sessions,
+                    "max_sessions_per_tenant": self.caps.max_sessions_per_tenant,
+                    "max_inflight": self.caps.max_inflight,
+                    "max_inflight_per_tenant": self.caps.max_inflight_per_tenant,
+                },
+                "sessions": dict(self._sessions),
+                "inflight": dict(self._inflight),
+                "rejections": dict(self._rejections),
+            }

@@ -1,0 +1,128 @@
+"""Blocking client for the index server.
+
+A deliberately small, dependency-free socket client: one TCP connection,
+one request in flight at a time, newline-delimited JSON frames.  The
+load generator runs one of these per simulated client thread — many
+concurrent *connections* against the asyncio server, each individually
+synchronous, which is exactly what a fleet of exploring users looks
+like.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Optional, Tuple
+
+from ..errors import ReproError
+from .protocol import TableSpec, decode_frame, encode_frame
+
+__all__ = ["ServeClient", "ServeClientError", "AdmissionRejected"]
+
+
+class ServeClientError(ReproError):
+    """The server answered with a non-retryable error."""
+
+    def __init__(self, error: str, detail: str) -> None:
+        self.error = error
+        self.detail = detail
+        super().__init__(f"{error}: {detail}")
+
+
+class AdmissionRejected(ServeClientError):
+    """The server shed this request (``retry: true``); back off and retry."""
+
+
+class ServeClient:
+    """One synchronous connection to an :class:`~repro.serve.server.IndexServer`."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------ transport
+
+    def request(self, op: str, **fields: object) -> Dict[str, object]:
+        """Send one request; returns the payload or raises."""
+        self._next_id += 1
+        payload = {"op": op, "id": self._next_id, **fields}
+        self._sock.sendall(encode_frame(payload))
+        line = self._file.readline()
+        if not line:
+            raise ServeClientError(
+                "connection", "server closed the connection"
+            )
+        response = decode_frame(line)
+        if response.get("ok"):
+            return response
+        error = str(response.get("error", "unknown"))
+        detail = str(response.get("detail", ""))
+        if response.get("retry"):
+            raise AdmissionRejected(error, detail)
+        raise ServeClientError(error, detail)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> bool:
+        self.close()
+        return False
+
+    # ---------------------------------------------------------- convenience
+
+    def hello(self) -> Dict[str, object]:
+        return self.request("hello")
+
+    def register_spec(self, spec: TableSpec) -> Dict[str, object]:
+        return self.request("register", name=spec.name, spec=spec.to_payload())
+
+    def register_columns(
+        self, name: str, columns: Dict[str, list]
+    ) -> Dict[str, object]:
+        return self.request("register", name=name, columns=columns)
+
+    def open_session(self, tenant: str, **params: object) -> str:
+        return str(self.request("open_session", tenant=tenant, **params)["session"])
+
+    def close_session(self, session: str) -> None:
+        self.request("close_session", session=session)
+
+    def query(
+        self,
+        session: str,
+        table: str,
+        bounds: Dict[str, Tuple[float, float]],
+        mode: str = "adaptive",
+        return_ids: bool = False,
+    ) -> Dict[str, object]:
+        return self.request(
+            "query",
+            session=session,
+            table=table,
+            bounds={column: list(pair) for column, pair in bounds.items()},
+            mode=mode,
+            return_ids=return_ids,
+        )
+
+    def check(self, table: Optional[str] = None) -> Dict[str, object]:
+        fields = {} if table is None else {"table": table}
+        return self.request("check", **fields)
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("stats")
+
+    def shutdown(self) -> None:
+        self.request("shutdown")
+
+    def __repr__(self) -> str:
+        return f"ServeClient({self.host}:{self.port})"

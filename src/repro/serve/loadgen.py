@@ -1,0 +1,539 @@
+"""Deterministic many-client traffic generator and soak driver.
+
+``python -m repro.serve.loadgen`` drives N concurrent clients against an
+index server — spawned in-process (``--spawn``, the default) or already
+running (``--host/--port``) — for a bounded duration and/or per-client
+query count, and verifies *everything*:
+
+* every answer's ``(count, checksum)`` is cross-checked against a serial
+  oracle scan run client-side on the pinned ``reference`` kernel backend
+  over an identical locally-rebuilt copy of the table (the registration
+  travels as a deterministic :class:`~repro.serve.protocol.TableSpec`,
+  so both ends hold bit-identical data);
+* at every checkpoint (and once at the end) the server runs the full
+  I1–I9 invariant sweep over every live index;
+* admission rejections are treated as backpressure (bounded backoff and
+  retry), never as pass/fail noise — but they are counted and reported.
+
+Client mixes are seeded: client *i* plays pattern ``mix[i % len(mix)]``
+with seed ``seed + i``, so the traffic is reproducible run-to-run while
+still covering the paper's exploration regimes (zoom / sequential /
+random / skewed).  The run's outcome is a verdict-style
+``STRESS_TEST_REPORT.md`` (see :mod:`.report`) and a non-zero exit code
+on any mismatch, violation, or client error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import kernels
+from ..core.metrics import QueryStats
+from ..core.query import RangeQuery
+from ..core.table import Table
+from ..workloads.patterns import (
+    sequential_queries,
+    skewed_queries,
+    uniform_queries,
+    zoom_queries,
+)
+from .client import AdmissionRejected, ServeClient, ServeClientError
+from .protocol import TableSpec, answer_checksum
+from .report import (
+    CheckpointOutcome,
+    ClientOutcome,
+    SoakReport,
+    render_report,
+)
+
+__all__ = [
+    "PATTERNS",
+    "SoakConfig",
+    "Oracle",
+    "client_bounds",
+    "run_soak",
+    "main",
+]
+
+#: pattern name -> generator(table, n_queries, selectivity, seed).
+PATTERNS: Dict[str, Callable[..., List[RangeQuery]]] = {
+    "random": uniform_queries,
+    "zoom": zoom_queries,
+    "sequential": sequential_queries,
+    "skewed": skewed_queries,
+}
+
+#: Base backoff after an admission rejection; doubles per consecutive
+#: rejection of the same query, capped.
+BACKOFF_SECONDS = 0.005
+BACKOFF_MAX_SECONDS = 0.1
+
+
+@dataclass
+class SoakConfig:
+    """Everything one soak run derives from (all seeded, all reported)."""
+
+    clients: int = 8
+    seconds: float = 60.0
+    queries_per_client: int = 0  # 0 = bounded by the deadline only
+    spec: TableSpec = TableSpec("soak", "uniform", 40_000, 3, seed=7)
+    mix: Tuple[str, ...] = ("zoom", "sequential", "random", "skewed")
+    selectivity: float = 0.01
+    snapshot_fraction: float = 0.25
+    checkpoint_seconds: float = 10.0
+    seed: int = 0
+    technique: str = "greedy"
+    size_threshold: int = 1024
+    delta: float = 0.2
+    host: Optional[str] = None  # None = spawn in-process
+    port: int = 0
+    trace_path: Optional[str] = None
+    command: str = "PYTHONPATH=src python -m repro.serve.loadgen"
+
+    def as_report_config(self) -> Dict[str, object]:
+        return {
+            "clients": self.clients,
+            "seconds": self.seconds,
+            "queries_per_client": self.queries_per_client or "unbounded",
+            "table": (
+                f"{self.spec.name}:{self.spec.kind}:{self.spec.n_rows}:"
+                f"{self.spec.n_dims}:{self.spec.seed}"
+            ),
+            "mix": ",".join(self.mix),
+            "selectivity": self.selectivity,
+            "snapshot_fraction": self.snapshot_fraction,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "seed": self.seed,
+            "technique": self.technique,
+            "size_threshold": self.size_threshold,
+            "delta": self.delta,
+            "server": "spawned in-process" if self.host is None else (
+                f"{self.host}:{self.port}"
+            ),
+            "command": self.command,
+        }
+
+
+class Oracle:
+    """Client-side serial ground truth over the rebuilt table.
+
+    The scan is pinned to the frozen ``reference`` kernel backend — the
+    same trust anchor the fuzzer uses — so a bug in the fused/JIT
+    kernels cannot corrupt expected answers the same way it corrupts the
+    server's.
+    """
+
+    def __init__(self, spec: TableSpec) -> None:
+        columns = spec.build_columns()
+        self.names = list(columns)
+        self.columns = [columns[name] for name in self.names]
+        self.table = Table(self.columns, names=self.names)
+        self.n_rows = int(self.columns[0].shape[0])
+        self._backend = kernels.get_backend("reference")
+
+    def answer(self, query: RangeQuery) -> Tuple[int, str]:
+        positions = self._backend.range_scan(
+            self.columns, 0, self.n_rows, query, QueryStats()
+        )
+        return int(positions.size), answer_checksum(positions)
+
+
+def client_bounds(
+    oracle: Oracle,
+    pattern: str,
+    n_queries: int,
+    selectivity: float,
+    seed: int,
+) -> List[Dict[str, Tuple[float, float]]]:
+    """Client *i*'s deterministic query list as wire-ready bounds dicts."""
+    try:
+        generator = PATTERNS[pattern]
+    except KeyError:
+        raise SystemExit(
+            f"unknown pattern {pattern!r}; options: {', '.join(sorted(PATTERNS))}"
+        ) from None
+    queries = generator(oracle.table, n_queries, selectivity, seed=seed)
+    return [
+        dict(zip(oracle.names, zip(query.lows_f, query.highs_f)))
+        for query in queries
+    ]
+
+
+def _bounds_to_query(bounds: Dict[str, Tuple[float, float]]) -> RangeQuery:
+    ordered = sorted(bounds)  # the server canonicalises groups sorted
+    return RangeQuery(
+        [bounds[name][0] for name in ordered],
+        [bounds[name][1] for name in ordered],
+    )
+
+
+def _client_loop(
+    config: SoakConfig,
+    outcome: ClientOutcome,
+    oracle: Oracle,
+    host: str,
+    port: int,
+    deadline: float,
+    stop: threading.Event,
+) -> None:
+    """One simulated client: replay the seeded mix until told to stop."""
+    rng = np.random.default_rng([config.seed, outcome.client_id, 0xC11E])
+    script = client_bounds(
+        oracle,
+        outcome.pattern,
+        n_queries=max(64, config.queries_per_client or 64),
+        selectivity=config.selectivity,
+        seed=config.seed + outcome.client_id,
+    )
+    try:
+        client = ServeClient(host, port)
+    except OSError as error:
+        outcome.errors.append(f"connect failed: {error}")
+        return
+    try:
+        session = client.open_session(
+            outcome.tenant, technique=config.technique
+        )
+        outcome.session_id = session
+        position = 0
+        while not stop.is_set():
+            if time.monotonic() >= deadline:
+                break
+            if (
+                config.queries_per_client
+                and outcome.queries >= config.queries_per_client
+            ):
+                break
+            bounds = script[position % len(script)]
+            position += 1
+            mode = (
+                "snapshot"
+                if rng.random() < config.snapshot_fraction
+                else "adaptive"
+            )
+            backoff = BACKOFF_SECONDS
+            while True:
+                begin = time.perf_counter()
+                try:
+                    response = client.query(
+                        session, config.spec.name, bounds, mode=mode
+                    )
+                except AdmissionRejected:
+                    outcome.admission_retries += 1
+                    if stop.is_set() or time.monotonic() >= deadline:
+                        response = None
+                        break
+                    time.sleep(backoff)
+                    backoff = min(backoff * 2, BACKOFF_MAX_SECONDS)
+                    continue
+                except ServeClientError as error:
+                    outcome.errors.append(
+                        f"query #{outcome.queries} failed: {error}"
+                    )
+                    response = None
+                    break
+                outcome.latencies_ms.append(
+                    (time.perf_counter() - begin) * 1000.0
+                )
+                break
+            if response is None:
+                if outcome.errors:
+                    break  # a non-retryable failure ends this client
+                continue
+            outcome.queries += 1
+            if mode == "snapshot":
+                outcome.snapshot_queries += 1
+            want_count, want_checksum = oracle.answer(_bounds_to_query(bounds))
+            if (
+                int(response["count"]) != want_count
+                or response["checksum"] != want_checksum
+            ):
+                outcome.mismatches.append(
+                    {
+                        "query": outcome.queries - 1,
+                        "mode": mode,
+                        "bounds": {
+                            name: list(pair) for name, pair in bounds.items()
+                        },
+                        "got": (int(response["count"]), response["checksum"]),
+                        "want": (want_count, want_checksum),
+                    }
+                )
+        # The session stays open: the driver runs its final invariant
+        # checkpoint over the still-live indexes, then closes every
+        # session itself (sessions outlive connections by design).
+    except ServeClientError as error:
+        outcome.errors.append(f"session setup failed: {error}")
+    finally:
+        client.close()
+
+
+def run_soak(config: SoakConfig, log: Callable[[str], None] = print) -> SoakReport:
+    """Drive the full soak; returns the report (render/exit is the CLI's job)."""
+    handle = None
+    if config.host is None:
+        from .. import obs
+        from .admission import AdmissionCaps
+        from .server import IndexServer, ServerThread
+
+        if config.trace_path is not None:
+            obs.enable(
+                path=config.trace_path,
+                meta={"source": "serve-soak", "seed": config.seed},
+            )
+        server = IndexServer(
+            technique=config.technique,
+            size_threshold=config.size_threshold,
+            delta=config.delta,
+            caps=AdmissionCaps(
+                max_sessions=max(64, config.clients * 2),
+                max_sessions_per_tenant=8,
+                max_inflight=max(64, config.clients * 4),
+                max_inflight_per_tenant=8,
+            ),
+        )
+        handle = ServerThread(server).start()
+        host, port = handle.host, handle.port
+        log(f"loadgen: spawned in-process server on {host}:{port}")
+    else:
+        host, port = config.host, config.port
+        log(f"loadgen: using existing server at {host}:{port}")
+
+    report = SoakReport(config=config.as_report_config())
+    report.started_unix = time.time()
+    oracle = Oracle(config.spec)
+    admin = ServeClient(host, port)
+    try:
+        admin.register_spec(config.spec)
+        stop = threading.Event()
+        start = time.monotonic()
+        deadline = start + config.seconds
+        threads: List[threading.Thread] = []
+        for client_id in range(config.clients):
+            outcome = ClientOutcome(
+                client_id=client_id,
+                tenant=f"tenant-{client_id}",
+                pattern=config.mix[client_id % len(config.mix)],
+            )
+            report.clients.append(outcome)
+            thread = threading.Thread(
+                target=_client_loop,
+                args=(config, outcome, oracle, host, port, deadline, stop),
+                name=f"loadgen-client-{client_id}",
+                daemon=True,
+            )
+            threads.append(thread)
+            thread.start()
+
+        # Checkpoint cadence on the driver thread: every interval, ask
+        # the server for a full I1-I9 sweep over every live index.
+        next_checkpoint = start + config.checkpoint_seconds
+        while any(thread.is_alive() for thread in threads):
+            now = time.monotonic()
+            if now >= deadline:
+                break
+            if now >= next_checkpoint:
+                report.checkpoints.append(
+                    _checkpoint(admin, now - start, log)
+                )
+                next_checkpoint = now + config.checkpoint_seconds
+            time.sleep(0.05)
+        for thread in threads:
+            thread.join(timeout=config.seconds + 30.0)
+        report.duration_seconds = time.monotonic() - start
+        # Final checkpoint after all traffic has drained — the sessions
+        # (and their indexes) are still live, so this sweep covers the
+        # end state of every index the soak built.
+        report.checkpoints.append(
+            _checkpoint(admin, report.duration_seconds, log)
+        )
+        # Stats before teardown: closing a session unregisters its
+        # indexes from the scheduler, which would empty the per-tenant
+        # allocation ledger the report needs.
+        report.server_stats = {
+            key: value
+            for key, value in admin.stats().items()
+            if key != "id" and key != "ok"
+        }
+        for outcome in report.clients:
+            if outcome.session_id:
+                try:
+                    admin.close_session(outcome.session_id)
+                except ServeClientError:
+                    pass  # the server may already be tearing down
+        if handle is not None:
+            admin.shutdown()
+    finally:
+        admin.close()
+        if handle is not None:
+            handle.stop()
+            if config.trace_path is not None:
+                from .. import obs
+
+                obs.disable()
+    return report
+
+
+def _checkpoint(
+    admin: ServeClient, at_seconds: float, log: Callable[[str], None]
+) -> CheckpointOutcome:
+    try:
+        response = admin.check()
+    except ServeClientError as error:
+        return CheckpointOutcome(
+            at_seconds=at_seconds,
+            indexes_checked=0,
+            problems=[f"check op failed: {error}"],
+        )
+    findings = response.get("findings", {})
+    problems = [
+        f"{label}: {problem}"
+        for label, label_problems in findings.items()
+        for problem in label_problems
+    ]
+    log(
+        f"loadgen: checkpoint @ {at_seconds:.1f}s — "
+        f"{len(findings)} index(es), {len(problems)} violation(s)"
+    )
+    return CheckpointOutcome(
+        at_seconds=at_seconds,
+        indexes_checked=len(findings),
+        problems=problems,
+    )
+
+
+# ---------------------------------------------------------------------- CLI
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description=(
+            "Deterministic many-client soak: drive N clients against the "
+            "index server, cross-check every answer against a serial "
+            "oracle, sweep invariants at checkpoints, emit a verdict "
+            "report."
+        ),
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument(
+        "--seconds", type=float, default=60.0, help="soak duration"
+    )
+    parser.add_argument(
+        "--queries-per-client",
+        type=int,
+        default=0,
+        help="stop each client after this many queries (0 = deadline only)",
+    )
+    parser.add_argument(
+        "--table",
+        default="soak:uniform:40000:3:7",
+        help="table spec name:kind:rows:dims[:seed] "
+        "(kinds: uniform, skewed, duplicate)",
+    )
+    parser.add_argument(
+        "--mix",
+        default="zoom,sequential,random,skewed",
+        help=f"comma list of client patterns ({', '.join(sorted(PATTERNS))})",
+    )
+    parser.add_argument("--selectivity", type=float, default=0.01)
+    parser.add_argument(
+        "--snapshot-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of each client's queries issued as snapshot reads",
+    )
+    parser.add_argument("--checkpoint-seconds", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--technique", default="greedy")
+    parser.add_argument("--size-threshold", type=int, default=1024)
+    parser.add_argument("--delta", type=float, default=0.2)
+    parser.add_argument(
+        "--host",
+        default=None,
+        help="connect to an existing server instead of spawning one",
+    )
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--report",
+        default="STRESS_TEST_REPORT.md",
+        help="where the verdict report goes ('-' = stdout only)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        help="record an obs JSONL trace (spawned server only)",
+    )
+    args = parser.parse_args(argv)
+
+    mix = tuple(part for part in args.mix.split(",") if part)
+    for pattern in mix:
+        if pattern not in PATTERNS:
+            parser.error(
+                f"unknown pattern {pattern!r}; options: "
+                f"{', '.join(sorted(PATTERNS))}"
+            )
+    if args.host is not None and args.trace is not None:
+        print(
+            "loadgen: --trace needs a spawned server (tracing is "
+            "process-global); ignoring --trace"
+        )
+        args.trace = None
+
+    config = SoakConfig(
+        clients=args.clients,
+        seconds=args.seconds,
+        queries_per_client=args.queries_per_client,
+        spec=TableSpec.parse(args.table),
+        mix=mix,
+        selectivity=args.selectivity,
+        snapshot_fraction=args.snapshot_fraction,
+        checkpoint_seconds=args.checkpoint_seconds,
+        seed=args.seed,
+        technique=args.technique,
+        size_threshold=args.size_threshold,
+        delta=args.delta,
+        host=args.host,
+        port=args.port,
+        trace_path=args.trace,
+        command=(
+            "PYTHONPATH=src python -m repro.serve.loadgen "
+            + " ".join(
+                [
+                    f"--clients {args.clients}",
+                    f"--seconds {args.seconds:g}",
+                    f"--table {args.table}",
+                    f"--mix {args.mix}",
+                    f"--seed {args.seed}",
+                    f"--checkpoint-seconds {args.checkpoint_seconds:g}",
+                ]
+            )
+        ),
+    )
+    report = run_soak(config)
+    rendered = render_report(report)
+    if args.report and args.report != "-":
+        with open(args.report, "w") as handle:
+            handle.write(rendered)
+        print(f"loadgen: report written to {args.report}")
+    else:
+        print(rendered)
+    verdict = "PASS" if report.passed else "FAIL"
+    print(
+        f"loadgen: {verdict} — {report.total_queries} queries from "
+        f"{len(report.clients)} clients in {report.duration_seconds:.1f}s "
+        f"({report.throughput_qps:.1f} q/s), "
+        f"{report.total_mismatches} mismatches, "
+        f"{report.total_invariant_problems} invariant violations"
+    )
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Reader/writer coordination for shared indexes: the snapshot protocol.
+
+PR 4's quiescence protocol (one reentrant lock per background refiner)
+serialises *everything* touching an index — good enough for a single
+interactive session, fatal for a server: a reader would block behind any
+tenant's refinement slice.  The server generalises it two ways:
+
+* locks are **per index** — a reader of tenant A's index shares no lock
+  with the scheduler refining tenant B's index, so cross-tenant blocking
+  is impossible by construction;
+* each index's lock is a **readers-writer lock**
+  (:class:`PieceSnapshotLock`): any number of snapshot readers scan the
+  piece set concurrently, while structure-mutating work (adaptive
+  queries, refinement slices, invariant sweeps) takes the exclusive
+  side.  While a reader holds the shared side the piece set *and* the
+  piece contents are frozen — that is the "snapshot" the reader scans.
+
+The writer side is preferring: once a writer waits, new readers queue
+behind it.  Refinement slices are small (bounded rows), so the most a
+reader ever waits on its *own* index is one slice; without preference a
+steady reader stream could starve refinement forever and the index would
+never converge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["PieceSnapshotLock"]
+
+
+class PieceSnapshotLock:
+    """A writer-preferring readers-writer lock for one shared index."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------- readers
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Shared side: the piece snapshot readers scan under."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------- writers
+
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        """Exclusive side; returns False when ``timeout`` expires first.
+
+        The timeout is what keeps the refinement scheduler work-
+        conserving: rather than parking behind a long adaptive query it
+        gives up quickly and spends the slice on another tenant.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    if deadline is None:
+                        self._cond.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            return False
+                self._writer_active = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+                # A timed-out writer may have parked readers behind its
+                # preference flag — wake them so they can re-check.
+                self._cond.notify_all()
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Exclusive side: adaptive queries, refinement, invariant sweeps."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # --------------------------------------------------------- introspection
+
+    @property
+    def readers(self) -> int:
+        return self._active_readers
+
+    @property
+    def write_held(self) -> bool:
+        return self._writer_active
+
+    def __repr__(self) -> str:
+        return (
+            f"PieceSnapshotLock(readers={self._active_readers}, "
+            f"writer={self._writer_active})"
+        )

@@ -1,0 +1,281 @@
+"""Verdict-style stress-test report rendering.
+
+The soak suite's deliverable is a single committed markdown file that a
+reviewer can read top-down: verdict first, then the evidence — per-tenant
+throughput and latency percentiles, the scheduler's refinement-budget
+allocation, invariant checkpoint results, and every anomaly observed.
+The format follows the verdict-style stress reports of real soak
+harnesses: strong PASS/FAIL headline, numbers tables, reproduction
+command at the bottom.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "ClientOutcome",
+    "CheckpointOutcome",
+    "SoakReport",
+    "render_report",
+]
+
+
+@dataclass
+class ClientOutcome:
+    """Everything one simulated client observed."""
+
+    client_id: int
+    tenant: str
+    pattern: str
+    session_id: str = ""
+    queries: int = 0
+    snapshot_queries: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    mismatches: List[Dict[str, object]] = field(default_factory=list)
+    admission_retries: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+
+@dataclass
+class CheckpointOutcome:
+    """One invariant sweep taken mid-soak."""
+
+    at_seconds: float
+    indexes_checked: int
+    problems: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SoakReport:
+    """The complete outcome of one soak run."""
+
+    config: Dict[str, object]
+    clients: List[ClientOutcome] = field(default_factory=list)
+    checkpoints: List[CheckpointOutcome] = field(default_factory=list)
+    server_stats: Optional[Dict[str, object]] = None
+    duration_seconds: float = 0.0
+    started_unix: float = 0.0
+
+    # ------------------------------------------------------------- verdict
+
+    @property
+    def total_queries(self) -> int:
+        return sum(c.queries for c in self.clients)
+
+    @property
+    def total_mismatches(self) -> int:
+        return sum(len(c.mismatches) for c in self.clients)
+
+    @property
+    def total_errors(self) -> int:
+        return sum(len(c.errors) for c in self.clients)
+
+    @property
+    def total_invariant_problems(self) -> int:
+        return sum(len(cp.problems) for cp in self.checkpoints)
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.total_queries / self.duration_seconds
+
+    def all_latencies_ms(self) -> np.ndarray:
+        merged: List[float] = []
+        for client in self.clients:
+            merged.extend(client.latencies_ms)
+        return np.asarray(merged) if merged else np.asarray([float("nan")])
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.total_queries > 0
+            and self.total_mismatches == 0
+            and self.total_errors == 0
+            and self.total_invariant_problems == 0
+            and len(self.checkpoints) > 0
+        )
+
+
+def _fmt_ms(value: float) -> str:
+    return "n/a" if np.isnan(value) else f"{value:.2f}"
+
+
+def render_report(report: SoakReport) -> str:
+    """Render the committed ``STRESS_TEST_REPORT.md`` content."""
+    verdict = "PASS" if report.passed else "FAIL"
+    config = report.config
+    merged = report.all_latencies_ms()
+    lines: List[str] = []
+    out = lines.append
+
+    out("# STRESS TEST REPORT — `repro.serve` multi-session soak")
+    out("")
+    out(f"## Verdict: **{verdict}**")
+    out("")
+    if report.passed:
+        out(
+            "Every served answer matched the serial oracle bit-for-bit, "
+            "every invariant checkpoint (I1–I9) came back clean, and no "
+            "client observed a non-retryable error."
+        )
+    else:
+        reasons = []
+        if report.total_queries == 0:
+            reasons.append("no queries completed")
+        if report.total_mismatches:
+            reasons.append(f"{report.total_mismatches} answer mismatch(es)")
+        if report.total_errors:
+            reasons.append(f"{report.total_errors} client error(s)")
+        if report.total_invariant_problems:
+            reasons.append(
+                f"{report.total_invariant_problems} invariant violation(s)"
+            )
+        if not report.checkpoints:
+            reasons.append("no invariant checkpoint ran")
+        out("Failure reasons: " + "; ".join(reasons) + ".")
+    out("")
+
+    out("## Run configuration")
+    out("")
+    out("| Setting | Value |")
+    out("|---|---|")
+    for key in sorted(config):
+        out(f"| {key} | `{config[key]}` |")
+    out(
+        f"| started (UTC) | "
+        f"{time.strftime('%Y-%m-%d %H:%M:%S', time.gmtime(report.started_unix))} |"
+    )
+    out(f"| duration | {report.duration_seconds:.1f} s |")
+    out("")
+
+    out("## Headline numbers")
+    out("")
+    out("| Metric | Value |")
+    out("|---|---|")
+    out(f"| clients | {len(report.clients)} |")
+    out(f"| queries served | {report.total_queries} |")
+    out(
+        f"| snapshot reads | "
+        f"{sum(c.snapshot_queries for c in report.clients)} |"
+    )
+    out(f"| throughput | {report.throughput_qps:.1f} queries/s |")
+    out(f"| latency p50 | {_fmt_ms(float(np.percentile(merged, 50)))} ms |")
+    out(f"| latency p99 | {_fmt_ms(float(np.percentile(merged, 99)))} ms |")
+    out(f"| latency max | {_fmt_ms(float(np.max(merged)))} ms |")
+    out(f"| answer mismatches vs oracle | {report.total_mismatches} |")
+    out(f"| invariant violations | {report.total_invariant_problems} |")
+    out(f"| admission retries (backpressure) | "
+        f"{sum(c.admission_retries for c in report.clients)} |")
+    out(f"| client errors | {report.total_errors} |")
+    out("")
+
+    out("## Per-tenant traffic and latency")
+    out("")
+    out(
+        "| tenant | pattern | queries | snapshot | p50 ms | p99 ms | "
+        "mismatches | retries |"
+    )
+    out("|---|---|---|---|---|---|---|---|")
+    for client in report.clients:
+        out(
+            f"| {client.tenant} | {client.pattern} | {client.queries} | "
+            f"{client.snapshot_queries} | {_fmt_ms(client.percentile(50))} | "
+            f"{_fmt_ms(client.percentile(99))} | {len(client.mismatches)} | "
+            f"{client.admission_retries} |"
+        )
+    out("")
+
+    allocations = {}
+    if report.server_stats:
+        allocations = (
+            report.server_stats.get("scheduler", {}).get("allocations", {})
+        )
+    out("## Refinement-budget allocation per tenant")
+    out("")
+    if allocations:
+        out(
+            "Model-priced refinement seconds the central scheduler granted "
+            "each tenant (weighted fair share of think-time maintenance):"
+        )
+        out("")
+        out(
+            "| tenant | slices | rows refined | model seconds | share | "
+            "indexes (converged) |"
+        )
+        out("|---|---|---|---|---|---|")
+        for tenant in sorted(allocations):
+            bucket = allocations[tenant]
+            out(
+                f"| {tenant} | {bucket['slices']} | {bucket['rows']} | "
+                f"{bucket['model_seconds']:.4f} | "
+                f"{100.0 * bucket.get('share', 0.0):.1f}% | "
+                f"{bucket['indexes']} ({bucket['converged']}) |"
+            )
+    else:
+        out("_No scheduler allocation data (server stats unavailable)._")
+    out("")
+
+    out("## Invariant checkpoints (I1–I9)")
+    out("")
+    out("| at (s) | indexes checked | violations |")
+    out("|---|---|---|")
+    for checkpoint in report.checkpoints:
+        out(
+            f"| {checkpoint.at_seconds:.1f} | {checkpoint.indexes_checked} | "
+            f"{len(checkpoint.problems)} |"
+        )
+    out("")
+
+    anomalies: List[str] = []
+    for client in report.clients:
+        for mismatch in client.mismatches[:5]:
+            anomalies.append(f"{client.tenant}: answer mismatch {mismatch}")
+        anomalies.extend(
+            f"{client.tenant}: {error}" for error in client.errors[:5]
+        )
+    for checkpoint in report.checkpoints:
+        anomalies.extend(
+            f"checkpoint@{checkpoint.at_seconds:.1f}s: {problem}"
+            for problem in checkpoint.problems[:5]
+        )
+    out("## Anomalies")
+    out("")
+    if anomalies:
+        for anomaly in anomalies:
+            out(f"- {anomaly}")
+    else:
+        out("None observed.")
+    out("")
+
+    if report.server_stats is not None:
+        admission = report.server_stats.get("admission", {})
+        rejections = admission.get("rejections", {})
+        out("## Admission control")
+        out("")
+        if rejections:
+            out("| tenant/reason | rejections |")
+            out("|---|---|")
+            for key in sorted(rejections):
+                out(f"| {key} | {rejections[key]} |")
+        else:
+            out("No request was rejected; the server ran under its caps.")
+        out("")
+
+    out("## Reproduction")
+    out("")
+    out("```bash")
+    out(str(config.get("command", "PYTHONPATH=src python -m repro.serve.loadgen")))
+    out("```")
+    out("")
+    return "\n".join(lines)

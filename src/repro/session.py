@@ -46,7 +46,7 @@ from .errors import InvalidParameterError, InvalidQueryError, InvalidTableError
 from .obs import metrics as obs_metrics
 from .obs import trace as obs_trace
 
-__all__ = ["ExplorationSession", "SessionResult"]
+__all__ = ["ExplorationSession", "SessionResult", "resolve_group_query"]
 
 #: technique name -> factory(table, session settings).
 TECHNIQUES = {
@@ -95,6 +95,55 @@ class _RegisteredTable:
     encoded: EncodedTable
     indexes: Dict[Tuple[str, ...], BaseIndex] = field(default_factory=dict)
     queries_run: int = 0
+
+
+def resolve_group_query(
+    encoded: EncodedTable, table_name: str, bounds: Dict[str, object]
+) -> Tuple[Tuple[str, ...], List[int], RangeQuery]:
+    """Turn keyword bounds into ``(group_key, positions, RangeQuery)``.
+
+    The shared front-door parsing of this module and the serve layer
+    (:mod:`repro.serve`): validates column names and ``(low, high)``
+    pairs, canonicalises the queried column group (sorted), and encodes
+    string bounds through the table's dictionaries.
+    """
+    if not bounds:
+        raise InvalidQueryError("a query must constrain at least one column")
+    names = encoded.table.names
+    group: List[str] = []
+    lows: List[object] = []
+    highs: List[object] = []
+    for column, bound in bounds.items():
+        if column not in names:
+            raise InvalidQueryError(
+                f"table {table_name!r} has no column {column!r}"
+            )
+        try:
+            low, high = bound
+        except (TypeError, ValueError):
+            raise InvalidQueryError(
+                f"bound for {column!r} must be a (low, high) pair"
+            ) from None
+        group.append(column)
+        lows.append(low)
+        highs.append(high)
+    group_key = tuple(sorted(group))
+    order = [group.index(column) for column in group_key]
+    positions = [names.index(column) for column in group_key]
+    encoded_lows: List[float] = []
+    encoded_highs: List[float] = []
+    for position, i in zip(positions, order):
+        dictionary = encoded.dictionaries[position]
+        if dictionary is None:
+            encoded_lows.append(float(lows[i]))
+            encoded_highs.append(float(highs[i]))
+        else:
+            code_low, code_high = dictionary.translate_bounds(
+                lows[i], highs[i]
+            )
+            encoded_lows.append(code_low)
+            encoded_highs.append(code_high)
+    return group_key, positions, RangeQuery(encoded_lows, encoded_highs)
 
 
 class ExplorationSession:
@@ -207,34 +256,8 @@ class ExplorationSession:
         the incremental index for that group.
         """
         registered = self._lookup(table_name)
-        if not bounds:
-            raise InvalidQueryError("a query must constrain at least one column")
-        names = registered.encoded.table.names
-        group: List[str] = []
-        lows: List[object] = []
-        highs: List[object] = []
-        for column, bound in bounds.items():
-            if column not in names:
-                raise InvalidQueryError(
-                    f"table {table_name!r} has no column {column!r}"
-                )
-            try:
-                low, high = bound
-            except (TypeError, ValueError):
-                raise InvalidQueryError(
-                    f"bound for {column!r} must be a (low, high) pair"
-                ) from None
-            group.append(column)
-            lows.append(low)
-            highs.append(high)
-        group_key = tuple(sorted(group))
-        order = [group.index(column) for column in group_key]
-        positions = [names.index(column) for column in group_key]
-        query = self._encode_group_query(
-            registered.encoded,
-            positions,
-            [lows[i] for i in order],
-            [highs[i] for i in order],
+        group_key, positions, query = resolve_group_query(
+            registered.encoded, table_name, bounds
         )
         index = registered.indexes.get(group_key)
         if index is None:
@@ -284,22 +307,6 @@ class ExplorationSession:
             table_name=table_name,
             _session=self,
         )
-
-    def _encode_group_query(
-        self, encoded: EncodedTable, positions, lows, highs
-    ) -> RangeQuery:
-        encoded_lows: List[float] = []
-        encoded_highs: List[float] = []
-        for position, low, high in zip(positions, lows, highs):
-            dictionary = encoded.dictionaries[position]
-            if dictionary is None:
-                encoded_lows.append(float(low))
-                encoded_highs.append(float(high))
-            else:
-                code_low, code_high = dictionary.translate_bounds(low, high)
-                encoded_lows.append(code_low)
-                encoded_highs.append(code_high)
-        return RangeQuery(encoded_lows, encoded_highs)
 
     def fetch(self, table_name: str, column: str, row_ids: np.ndarray) -> np.ndarray:
         """Decoded values of ``column`` for the given original row ids."""

@@ -219,3 +219,42 @@ def test_answer_mismatch_is_reported_distinctly():
         del BACKENDS["lying"]
     assert position is not None
     assert any("answer mismatch" in p for p in problems)
+
+
+# --------------------------------------------------- multi-session fuzzing
+
+
+def test_session_fuzz_clean_run():
+    """A fleet of healthy sessions interleaved over one shared table
+    comes out with zero answer mismatches and zero invariant problems."""
+    from repro.fuzz import run_session_fuzz
+
+    problems = run_session_fuzz(
+        seed=1, sessions=4, steps=40, rows=800, dims=2,
+        size_threshold=32, log=lambda message: None,
+    )
+    assert problems == []
+
+
+def test_session_fuzz_cycles_all_techniques():
+    """With >= len(SESSION_TECHNIQUES) sessions every technique gets a
+    seat, so cross-technique interference is actually exercised."""
+    from repro.fuzz import SESSION_TECHNIQUES, run_session_fuzz
+
+    assert len(set(SESSION_TECHNIQUES)) >= 4
+    problems = run_session_fuzz(
+        seed=2, sessions=len(SESSION_TECHNIQUES), steps=25, rows=600,
+        dims=2, size_threshold=32, log=lambda message: None,
+    )
+    assert problems == []
+
+
+def test_session_fuzz_cli_exit_zero(capsys):
+    status = main(
+        [
+            "--sessions", "3", "--queries", "20", "--rows", "500",
+            "--seed", "4", "--size-threshold", "32",
+        ]
+    )
+    assert status == 0
+    assert "fuzz --sessions 3: OK" in capsys.readouterr().out
