@@ -6,10 +6,24 @@ against a hook-free call (invoking the active backend directly — the
 exact code path the dispatch layer ran before instrumentation) and
 asserts the tracing-disabled overhead stays under 2% wall-clock on the
 most hook-dense shape we have: many scans over small pieces, where the
-per-call check is amortised the least.
+per-call check is amortised the least.  That twin-based gate also
+covers the serve query hot path's disabled cost: the kernel dispatch
+is its hook-dense inner loop, and the serve layer adds only a handful
+of module-global checks per request on top.
 
-The enabled cost is also measured and reported (not asserted): tracing
-is a debugging tool and may cost whatever it costs.
+The *enabled* cost is gated separately for the serve-layer
+instrumentation (per-tenant latency histograms, lock wait/hold
+observations, convergence gauges — everything the telemetry plane
+added to ``IndexServer.execute_query`` and below).  The A/B/C
+measurement runs the server hot path with (A) metrics off, (B) metrics
+on but the serve-layer feeds suppressed — i.e. only the pre-existing
+kernel/index instruments — and (C) everything on, on a converged
+200k-row index where per-query work is smallest and per-request
+instrumentation is amortised the least.  The gate is C vs B < 5%: what
+the telemetry plane itself costs a served query.  C vs A (the whole
+metered stack, exporter mode) is reported, not asserted, like the
+tracing-enabled kernel cost — per-piece kernel histograms are a
+profiling tool with their own price.
 """
 
 import time
@@ -72,7 +86,11 @@ def measure_overhead(attempts=4, good_enough=0.015):
     keeps the per-variant minimum over alternating samples, and the
     measurement keeps the attempt with the lowest overhead ratio.  The
     loop stops early once an attempt lands comfortably under the gate.
+    The collector is paused while sampling — a GC cycle inside one
+    variant's window is pure one-sided noise at this resolution.
     """
+    import gc
+
     columns, query = _make_inputs()
     plain = _plain_dispatch(kernels.active_backend())
     obs.disable()
@@ -82,25 +100,31 @@ def measure_overhead(attempts=4, good_enough=0.015):
     run_direct()  # warm caches and code paths
     run_dispatch()
 
-    best = None
-    for _ in range(attempts):
-        direct = _time(run_direct)
-        disabled = _time(run_dispatch)
-        for _ in range(REPEATS):
-            disabled = min(disabled, _time(run_dispatch))
-            direct = min(direct, _time(run_direct))
-        if best is None or disabled / direct < best[1] / best[0]:
-            best = (direct, disabled)
-        if best[1] / best[0] - 1.0 < good_enough:
-            break
-    direct, disabled = best
-
-    obs.enable(sink=ListSink(), metrics=True)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
     try:
-        enabled = min(_time(run_dispatch) for _ in range(3))
+        best = None
+        for _ in range(attempts):
+            direct = _time(run_direct)
+            disabled = _time(run_dispatch)
+            for _ in range(REPEATS):
+                disabled = min(disabled, _time(run_dispatch))
+                direct = min(direct, _time(run_direct))
+            if best is None or disabled / direct < best[1] / best[0]:
+                best = (direct, disabled)
+            if best[1] / best[0] - 1.0 < good_enough:
+                break
+        direct, disabled = best
+
+        obs.enable(sink=ListSink(), metrics=True)
+        try:
+            enabled = min(_time(run_dispatch) for _ in range(3))
+        finally:
+            obs.disable()
+            obs.REGISTRY.reset()
     finally:
-        obs.disable()
-        obs.REGISTRY.reset()
+        if gc_was_enabled:
+            gc.enable()
     return {"direct": direct, "disabled": disabled, "enabled": enabled}
 
 
@@ -126,4 +150,156 @@ def test_disabled_overhead_under_two_percent(benchmark, results_dir):
     assert overhead < 0.02, (
         f"tracing-disabled dispatch is {overhead * 100:.2f}% slower than "
         f"the hook-free baseline (gate: <2%)"
+    )
+
+
+# ------------------------------------------------------- serve hot path
+
+SERVE_ROWS = 200_000
+SERVE_QUERIES = 120
+SERVE_REPEATS = 8
+
+
+def _serve_queries(n_dims=2):
+    rng = np.random.default_rng(11)
+    queries = []
+    for _ in range(SERVE_QUERIES):
+        lows = rng.random(n_dims) * 90.0
+        queries.append(
+            {
+                f"c{dim}": (float(lows[dim]), float(lows[dim]) + 5.0)
+                for dim in range(n_dims)
+            }
+        )
+    return queries
+
+
+class _MetricsOff:
+    """Stand-in for :mod:`repro.obs.metrics` whose feed gate is shut.
+
+    Patching a module's ``obs_metrics`` attribute to this suppresses its
+    metric feeds (every call site checks ``obs_metrics.ENABLED``) while
+    the real module-global gate stays open for everyone else — the B
+    configuration below: core instruments on, serve-layer feeds off.
+    """
+
+    ENABLED = False
+
+
+def _suppress_serve_metrics():
+    """Swap the serve layer's ``obs_metrics`` references for
+    :class:`_MetricsOff`; returns an undo callable."""
+    from repro.serve import admission, locks, scheduler, server
+
+    modules = (server, locks, scheduler, admission)
+    originals = [module.obs_metrics for module in modules]
+    for module in modules:
+        module.obs_metrics = _MetricsOff
+
+    def restore():
+        for module, original in zip(modules, originals):
+            module.obs_metrics = original
+
+    return restore
+
+
+def measure_serve_overhead(attempts=SERVE_REPEATS, good_enough=0.03):
+    """Paired A/B/C of ``execute_query``: (A) telemetry off, (B) metrics
+    on with the serve-layer feeds suppressed (only the pre-existing
+    kernel/index instruments fire), (C) everything on.
+
+    The index is driven to convergence first so every variant measures
+    a stable, smallest-work-per-query path, and the samples are
+    interleaved so any residual drift (cache state, scheduler slices)
+    lands on all sides.  Minima per side for the same one-sided-noise
+    reason as :func:`measure_overhead`, and the collector is paused
+    during sampling — a GC cycle landing inside one variant's window
+    would skew a paired ratio this tight.
+    """
+    import gc
+
+    from repro.obs import metrics as obs_metrics
+    from repro.serve.protocol import TableSpec
+    from repro.serve.server import IndexServer
+
+    obs.disable()
+    spec = TableSpec("bench", "uniform", SERVE_ROWS, 2, seed=3)
+    server = IndexServer(technique="greedy", size_threshold=1024)
+    try:
+        server.register_table(spec.name, spec=spec)
+        session = server.open_session("bench-tenant")
+        queries = _serve_queries()
+
+        def run():
+            for position, bounds in enumerate(queries):
+                mode = "snapshot" if position % 4 == 0 else "adaptive"
+                server.execute_query(session, spec.name, bounds, mode=mode)
+
+        run()  # builds the index and starts cracking
+        entry = next(iter(server._session(session).indexes.values()))
+        for _ in range(200):  # converge: adaptive queries refine per-query
+            if getattr(entry.index, "converged", False):
+                break
+            run()
+
+        disabled = core = full = float("inf")
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(attempts):
+                obs.disable()
+                disabled = min(disabled, _time(run))
+                obs_metrics.enable()
+                restore = _suppress_serve_metrics()
+                try:
+                    run()  # warm the core handle caches post-suppression
+                    core = min(core, _time(run))
+                finally:
+                    restore()
+                try:
+                    run()  # warm the serve-layer handle caches
+                    full = min(full, _time(run))
+                finally:
+                    obs_metrics.disable()
+                if full / core - 1.0 < good_enough:
+                    break
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        obs.disable()
+        obs.REGISTRY.reset()
+        server.close()
+    return {"disabled": disabled, "core": core, "full": full}
+
+
+def test_serve_enabled_overhead_under_five_percent(benchmark, results_dir):
+    seconds = benchmark.pedantic(
+        measure_serve_overhead, rounds=1, iterations=1
+    )
+    overhead = seconds["full"] / seconds["core"] - 1.0
+    stack = seconds["full"] / seconds["disabled"] - 1.0
+    text = format_table(
+        f"Serve hot-path telemetry cost ({SERVE_QUERIES} queries, "
+        f"converged {SERVE_ROWS}-row greedy index)",
+        ["variant", "seconds", "overhead"],
+        [
+            ["execute_query, telemetry disabled", seconds["disabled"], "-"],
+            ["metrics on, serve-layer feeds suppressed (core only)",
+             seconds["core"],
+             f"{(seconds['core'] / seconds['disabled'] - 1) * 100:+.2f}%"],
+            ["metrics on, everything (exporter mode)", seconds["full"],
+             f"{stack * 100:+.2f}% ({overhead * 100:+.2f}% vs core)"],
+        ],
+    )
+    emit(results_dir, "obs_serve_overhead.txt", text)
+    # The serve-layer gate: the per-tenant latency histograms, lock
+    # wait/hold observations, and convergence gauges this PR added to the
+    # serving path must together cost under 5% of a served query even at
+    # the smallest per-query work.  The full metered stack vs disabled
+    # (which also pays the PR-3 per-piece kernel histograms, a profiling
+    # tool with its own price) is reported above, not gated.
+    assert overhead < 0.05, (
+        f"serve-layer instruments make execute_query {overhead * 100:.2f}% "
+        f"slower than the core-instruments-only path (gate: <5%)"
     )

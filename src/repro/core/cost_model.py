@@ -26,6 +26,7 @@ every delta inversion) is unchanged.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
@@ -269,6 +270,53 @@ class CostModel:
             return 0
         rows = int(budget_seconds / self.refinement_row_seconds() + 1e-6)
         return min(self.n_rows, rows)
+
+    # -- convergence and interactivity estimates (telemetry plane) --------------
+
+    def interactivity_budget_seconds(
+        self, delta: float = 0.2, tau: Optional[float] = None
+    ) -> float:
+        """The gross per-query target the greedy controller holds.
+
+        This is the model's definition of "interactive" for this table:
+        ``tau`` when an explicit threshold is set, otherwise the GPKD
+        first-query target ``t_total = t_scan + t_budget(delta)`` (the
+        constant the paper's Fig. 6a holds until convergence).  The SLO
+        engine uses it as the default per-tenant latency objective.
+        """
+        if tau is not None:
+            return tau
+        return self.full_scan_seconds() + self.creation_indexing_seconds(delta)
+
+    def rows_to_converge(self, piece_sizes, size_threshold: int) -> int:
+        """Estimated refinement row visits left before every piece scans
+        under ``size_threshold``.
+
+        Refinement halves pieces: a piece of ``s`` rows is rewritten once
+        per remaining level, ``ceil(log2(s / threshold))`` times, so the
+        estimate is ``sum(s * levels(s))`` over the open pieces.  Exact
+        for perfectly median splits; an upper-ish bound otherwise.  This
+        is the "how far from converged" gauge the exporter publishes per
+        index.
+        """
+        if size_threshold < 1:
+            raise InvalidParameterError(
+                f"size_threshold must be >= 1, got {size_threshold}"
+            )
+        total = 0
+        for size in piece_sizes:
+            size = int(size)
+            if size > size_threshold:
+                levels = math.ceil(math.log2(size / size_threshold))
+                total += size * levels
+        return total
+
+    def seconds_to_converge(self, piece_sizes, size_threshold: int) -> float:
+        """Model-priced seconds of refinement left (rows x row price)."""
+        return (
+            self.rows_to_converge(piece_sizes, size_threshold)
+            * self.refinement_row_seconds()
+        )
 
     def __repr__(self) -> str:
         return (

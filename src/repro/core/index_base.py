@@ -216,6 +216,10 @@ class BaseIndex(ABC):
         self.n_rows = table.n_rows
         self.n_dims = table.n_columns
         self.queries_executed = 0
+        # (registry generation, {short key -> instrument}); see
+        # _observed_query — re-rendering ~10 registry keys per query
+        # would dominate the metered cost of a converged lookup.
+        self._metric_handles = None
 
     def query(self, query: RangeQuery) -> QueryResult:
         """Answer ``query``, doing whatever incremental indexing the
@@ -281,27 +285,58 @@ class BaseIndex(ABC):
             span.__exit__()
         if obs_metrics.ENABLED:
             registry = obs_metrics.REGISTRY
+            handles = self._metric_handles
+            if handles is None or handles[0] != registry.generation:
+                # Instruments are created lazily (a counter only exists
+                # once it has been fed) but the handles are cached, so
+                # steady state pays dict gets, not registry-key renders
+                # and registry locks.
+                handles = (registry.generation, {})
+                self._metric_handles = handles
+            cache = handles[1]
             name = self.name
-            registry.counter("index.queries", index=name).inc()
-            registry.counter("index.rows_returned", index=name).inc(
+
+            def _counter(short: str, metric_name: str):
+                metric = cache.get(short)
+                if metric is None:
+                    metric = cache[short] = registry.counter(
+                        metric_name, index=name
+                    )
+                return metric
+
+            def _gauge(short: str, metric_name: str):
+                metric = cache.get(short)
+                if metric is None:
+                    metric = cache[short] = registry.gauge(
+                        metric_name, index=name
+                    )
+                return metric
+
+            _counter("queries", "index.queries").inc()
+            _counter("rows_returned", "index.rows_returned").inc(
                 int(row_ids.size)
             )
             for field_name in ("scanned", "copied", "swapped", "lookup_nodes",
                                "nodes_created"):
                 value = getattr(stats, field_name)
                 if value:
-                    registry.counter(f"index.{field_name}", index=name).inc(value)
+                    _counter(field_name, f"index.{field_name}").inc(value)
             if stats.pruned:
-                registry.counter("zone.pruned", index=name).inc(stats.pruned)
+                _counter("pruned", "zone.pruned").inc(stats.pruned)
             if stats.contained:
-                registry.counter("zone.contained", index=name).inc(stats.contained)
-            registry.gauge("index.converged", index=name).set(
+                _counter("contained", "zone.contained").inc(stats.contained)
+            _gauge("converged", "index.converged").set(
                 1 if stats.converged else 0
             )
-            registry.gauge("index.nodes", index=name).set(self.node_count)
+            _gauge("nodes", "index.nodes").set(self.node_count)
             open_pieces = self.open_piece_count
             if open_pieces is not None:
-                registry.gauge("index.open_pieces", index=name).set(open_pieces)
+                _gauge("open_pieces", "index.open_pieces").set(open_pieces)
+            remaining = self.convergence_rows_estimate
+            if remaining is not None:
+                _gauge("rows_to_converge", "index.rows_to_converge").set(
+                    remaining
+                )
             registry.histogram("query.seconds", index=name).observe(stats.seconds)
         self.queries_executed += 1
         return QueryResult(row_ids, stats)
@@ -345,6 +380,19 @@ class BaseIndex(ABC):
         creation phase finishes).  Cheap — backends return a counter they
         already maintain, never a tree walk — so the observability layer
         may read it per query.
+        """
+        return None
+
+    @property
+    def convergence_rows_estimate(self) -> Optional[int]:
+        """Cost-model estimate of indexing row visits left to convergence.
+
+        ``None`` when the backend has no cost model or no piece-size
+        bookkeeping (full scans, up-front builds, purely workload-driven
+        refiners whose remaining work depends on future queries).  The
+        progressive backends price their open-piece work lists through
+        :meth:`CostModel.rows_to_converge`; the serve-layer exporter
+        publishes this as the per-index convergence gauge.
         """
         return None
 

@@ -604,6 +604,30 @@ class ProgressiveKDTree(BaseIndex):
         return len(self._open)
 
     @property
+    def convergence_rows_estimate(self) -> Optional[int]:
+        """Cost-model rows left to convergence (telemetry gauge).
+
+        During creation: the rows still to copy plus the model's full
+        refinement estimate for the whole table (the tree does not exist
+        yet, so the open-piece work list is the table itself).  During
+        refinement: the priced work list.  ``list(self._open)`` snapshots
+        the work list so a concurrent refinement slice (the serve-layer
+        scheduler runs on its own thread) cannot mutate it mid-walk —
+        the estimate may be one slice stale, never torn.
+        """
+        if self.phase == CONVERGED:
+            return 0
+        model = self.cost_model
+        if self.phase == CREATION:
+            remaining_copy = self.n_rows - self._rows_copied
+            return remaining_copy + model.rows_to_converge(
+                (self.n_rows,), self.size_threshold
+            )
+        return model.rows_to_converge(
+            (piece.size for piece in list(self._open)), self.size_threshold
+        )
+
+    @property
     def tree(self) -> Optional[KDTree]:
         return self._tree
 

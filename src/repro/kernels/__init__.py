@@ -63,7 +63,7 @@ import os
 import threading
 import time
 import warnings
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -299,6 +299,17 @@ def stable_partition(
     return backend.stable_partition(arrays, start, end, key_index, pivot)
 
 
+#: (op, backend name) -> (registry generation, latency histogram, row
+#: counter).  A piece scan is the hottest metered call in the process;
+#: re-rendering the registry key and taking the registry lock twice per
+#: piece would dominate a converged query's metered cost, so the handles
+#: are cached and revalidated against ``REGISTRY.generation`` (bumped on
+#: reset, when the cached instruments leave the registry).  Plain-dict
+#: races are benign: the worst case is a redundant re-fetch of the same
+#: get-or-create instrument.
+_METRIC_HANDLES: Dict[Tuple[str, str], tuple] = {}
+
+
 def _observed_call(
     op: str, rows: int, backend: KernelBackend, call: Callable[[], object]
 ):
@@ -315,12 +326,17 @@ def _observed_call(
         result = call()
         duration = time.perf_counter() - begin
     if obs_metrics.ENABLED:
-        obs_metrics.REGISTRY.histogram(
-            f"kernel.{op}.seconds", backend=name
-        ).observe(duration)
-        obs_metrics.REGISTRY.counter(
-            f"kernel.{op}.rows", backend=name
-        ).inc(max(rows, 0))
+        registry = obs_metrics.REGISTRY
+        cached = _METRIC_HANDLES.get((op, name))
+        if cached is None or cached[0] != registry.generation:
+            cached = (
+                registry.generation,
+                registry.histogram(f"kernel.{op}.seconds", backend=name),
+                registry.counter(f"kernel.{op}.rows", backend=name),
+            )
+            _METRIC_HANDLES[(op, name)] = cached
+        cached[1].observe(duration)
+        cached[2].inc(max(rows, 0))
     return result
 
 

@@ -11,8 +11,13 @@ inside:
 * **metrics** (:mod:`repro.obs.metrics`): a process-global registry of
   named counters/gauges/histograms with snapshot/diff semantics;
 * **exporters**: a JSONL trace sink (:mod:`repro.obs.sink`), an offline
-  aggregator (:mod:`repro.obs.aggregate`), and CLI subcommands
-  (``record`` / ``report`` / ``convergence`` / ``diff``).
+  aggregator (:mod:`repro.obs.aggregate`), a Prometheus-format text
+  exposition + HTTP endpoint (:mod:`repro.obs.export`), and CLI
+  subcommands (``record`` / ``report`` / ``convergence`` / ``diff`` /
+  ``top``);
+* **SLOs** (:mod:`repro.obs.slo`): per-tenant latency objectives
+  derived from the cost model's interactivity budget, compliance and
+  burn-rate accounting, and a watchdog for serve-plane pathologies.
 
 Everything is off by default and costs one module-global check per hook
 while off (asserted <2% even on the tightest kernel micro-benchmark).
@@ -51,8 +56,16 @@ from typing import Dict, Iterator, List, Optional
 
 from . import metrics as _metrics_mod
 from . import trace as _trace_mod
+from .export import (
+    MetricsExporter,
+    Scrape,
+    parse_exposition,
+    render_exposition,
+    start_exporter,
+)
 from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry, diff
 from .sink import JsonlSink, ListSink, read_trace
+from .slo import SLOConfig, SLOEngine, Watchdog
 from .trace import Span, Tracer, install, uninstall
 
 __all__ = [
@@ -67,6 +80,14 @@ __all__ = [
     "Histogram",
     "REGISTRY",
     "diff",
+    "MetricsExporter",
+    "Scrape",
+    "parse_exposition",
+    "render_exposition",
+    "start_exporter",
+    "SLOConfig",
+    "SLOEngine",
+    "Watchdog",
     "enable",
     "disable",
     "enabled",

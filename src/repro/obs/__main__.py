@@ -6,6 +6,7 @@ Subcommands::
     report       Fig. 6c per-phase breakdown + per-query trajectory
     convergence  piece-count / max-piece-size decay toward the threshold
     diff         compare two traces (e.g. reference vs fused kernels)
+    top          live dashboard over a serve metrics endpoint
 
 Typical round trip::
 
@@ -16,6 +17,10 @@ Typical round trip::
     python -m repro.obs record --index GPKD --rows 50000 --queries 40 \
         --kernels reference --out gpkd-ref.jsonl
     python -m repro.obs diff gpkd.jsonl gpkd-ref.jsonl
+
+Live serving (server started with ``--metrics-port 9464``)::
+
+    python -m repro.obs top --port 9464
 """
 
 from __future__ import annotations
@@ -111,6 +116,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     diff = commands.add_parser("diff", help="compare two traces")
     diff.add_argument("trace_a")
     diff.add_argument("trace_b")
+
+    commands.add_parser(
+        "top",
+        help="live dashboard over a serve metrics endpoint",
+        add_help=False,
+    )
+
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # `top` owns its own argparse (it is also a standalone module); hand
+    # the remaining arguments straight through.
+    if argv and argv[0] == "top":
+        from .top import main as top_main
+
+        return top_main(argv[1:])
 
     args = parser.parse_args(argv)
     if args.command == "record":

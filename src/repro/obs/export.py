@@ -1,0 +1,366 @@
+"""Prometheus-style metrics exposition: text renderer, parser, HTTP endpoint.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` already keys metrics
+Prometheus-style (``serve.queries{mode=adaptive,tenant=t0}``); this
+module closes the loop to a real scrape surface:
+
+* :func:`render_exposition` — the registry (or any compatible metric
+  map) rendered in the Prometheus text exposition format (version
+  0.0.4): ``# TYPE`` headers, sanitised ``repro_``-prefixed family
+  names, quoted labels, cumulative ``_bucket{le=...}`` histograms with
+  ``_sum``/``_count``.
+* :func:`parse_exposition` / :class:`Scrape` — the inverse, enough of a
+  parser for our own output (and any well-formed subset of the format)
+  that the ``obs top`` dashboard and tests can consume a scrape
+  structurally instead of regex-picking lines.
+* :class:`MetricsExporter` — a stdlib ``http.server`` endpoint serving
+  ``GET /metrics`` from the process-global registry, run on a daemon
+  thread.  This is what an operator points Prometheus (or
+  ``python -m repro.obs top``) at; the serve layer also exposes the same
+  text through the ``metrics`` protocol op for clients already holding a
+  connection.
+
+Everything here is read-side: rendering snapshots each metric under its
+own lock (see the registry's thread-safety contract), so a scrape racing
+live executor-thread updates observes a consistent value per metric and
+never blocks the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricsExporter",
+    "Scrape",
+    "parse_exposition",
+    "render_exposition",
+    "start_exporter",
+]
+
+#: The exposition-format content type Prometheus scrapers expect.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Every family name is prefixed so scrapes from this process are
+#: namespaced next to whatever else a Prometheus instance collects.
+PREFIX = "repro_"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _family(name: str) -> str:
+    """Registry metric name -> Prometheus family name."""
+    return PREFIX + _NAME_OK.sub("_", name.replace(".", "_"))
+
+
+def _split_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert the registry's ``name{k=v,...}`` key rendering."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, raw = key[:-1].split("{", 1)
+    labels: Dict[str, str] = {}
+    for part in raw.split(","):
+        if "=" in part:
+            label, value = part.split("=", 1)
+            labels[label] = value
+    return name, labels
+
+
+def _escape_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Dict[str, str], extra: Optional[str] = None) -> str:
+    parts = [
+        f'{_LABEL_OK.sub("_", label)}="{_escape_value(str(value))}"'
+        for label, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_exposition(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render ``registry`` (default: the process-global one) as
+    Prometheus text exposition format.
+
+    Families are emitted sorted, each with one ``# TYPE`` header; label
+    sets within a family keep the registry's canonical sorted order.
+    Unset gauges (``None``) are skipped — Prometheus has no null.
+    """
+    registry = REGISTRY if registry is None else registry
+    families: Dict[str, List[str]] = {}
+    kinds: Dict[str, str] = {}
+    for key, metric in registry.items():
+        name, labels = _split_key(key)
+        family = _family(name)
+        if isinstance(metric, Counter):
+            kinds[family] = "counter"
+            families.setdefault(family, []).append(
+                f"{family}{_render_labels(labels)} {_fmt(float(metric.snapshot()))}"
+            )
+        elif isinstance(metric, Gauge):
+            value = metric.snapshot()
+            if value is None:
+                continue
+            kinds[family] = "gauge"
+            families.setdefault(family, []).append(
+                f"{family}{_render_labels(labels)} {_fmt(float(value))}"
+            )
+        elif isinstance(metric, Histogram):
+            kinds[family] = "histogram"
+            bounds, buckets, count, total = metric.export_state()
+            lines = families.setdefault(family, [])
+            running = 0
+            for bound, in_bucket in zip(bounds, buckets):
+                running += in_bucket
+                le = 'le="%s"' % _fmt(bound)
+                lines.append(
+                    f"{family}_bucket{_render_labels(labels, le)} {running}"
+                )
+            le_inf = 'le="+Inf"'
+            lines.append(
+                f"{family}_bucket{_render_labels(labels, le_inf)} {count}"
+            )
+            lines.append(f"{family}_sum{_render_labels(labels)} {_fmt(total)}")
+            lines.append(f"{family}_count{_render_labels(labels)} {count}")
+    out: List[str] = []
+    for family in sorted(families):
+        out.append(f"# TYPE {family} {kinds[family]}")
+        out.extend(families[family])
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ------------------------------------------------------------------- parsing
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+class Scrape:
+    """One parsed exposition: ``{family: {label-tuple: value}}`` plus types.
+
+    Label keys are canonical ``(("k", "v"), ...)`` tuples sorted by label
+    name, so lookups are order-independent.  Histogram series keep their
+    ``_bucket``/``_sum``/``_count`` suffixed family names; the quantile
+    helper reassembles them.
+    """
+
+    def __init__(self) -> None:
+        self.samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+        self.types: Dict[str, str] = {}
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add(self, family: str, labels: Dict[str, str], value: float) -> None:
+        key = tuple(sorted(labels.items()))
+        self.samples.setdefault(family, {})[key] = value
+
+    # -- lookups -----------------------------------------------------------
+
+    def families(self) -> List[str]:
+        return sorted(self.samples)
+
+    def get(
+        self, family: str, default: float = 0.0, **labels: str
+    ) -> float:
+        key = tuple(sorted({k: str(v) for k, v in labels.items()}.items()))
+        return self.samples.get(family, {}).get(key, default)
+
+    def series(self, family: str) -> Dict[Tuple[Tuple[str, str], ...], float]:
+        return dict(self.samples.get(family, {}))
+
+    def label_values(self, family: str, label: str) -> List[str]:
+        """Distinct values of ``label`` across a family's series."""
+        values = set()
+        for key in self.samples.get(family, {}):
+            for name, value in key:
+                if name == label:
+                    values.add(value)
+        return sorted(values)
+
+    def histogram_quantile(
+        self, family: str, q: float, **labels: str
+    ) -> Optional[float]:
+        """Bucket-resolution quantile from cumulative ``_bucket`` series.
+
+        Returns the upper bound of the bucket containing the ``q``-th
+        observation, ``None`` when the series is absent or empty.
+        """
+        want = {k: str(v) for k, v in labels.items()}
+        buckets: List[Tuple[float, float]] = []
+        for key, value in self.samples.get(family + "_bucket", {}).items():
+            key_labels = dict(key)
+            bound = key_labels.pop("le", None)
+            if bound is None or key_labels != want:
+                continue
+            buckets.append((_parse_value(bound), value))
+        if not buckets:
+            return None
+        buckets.sort()
+        count = buckets[-1][1]
+        if count <= 0:
+            return None
+        target = q * count
+        previous_bound = 0.0
+        for bound, cumulative in buckets:
+            if cumulative >= target:
+                return bound if bound != math.inf else previous_bound
+            previous_bound = bound
+        return buckets[-1][0]
+
+    def __repr__(self) -> str:
+        return f"Scrape({len(self.samples)} families)"
+
+
+def parse_exposition(text: str) -> Scrape:
+    """Parse exposition text back into a :class:`Scrape`."""
+    scrape = Scrape()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                scrape.types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        labels = {
+            name: value.replace('\\"', '"').replace("\\n", "\n").replace(
+                "\\\\", "\\"
+            )
+            for name, value in _LABEL.findall(match.group("labels") or "")
+        }
+        scrape.add(
+            match.group("name"), labels, _parse_value(match.group("value"))
+        )
+    return scrape
+
+
+# --------------------------------------------------------------- HTTP server
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Class attribute filled per-exporter via type(); see MetricsExporter.
+    exporter: "MetricsExporter"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            try:
+                body = self.exporter.render().encode("utf-8")
+            except Exception as error:  # noqa: BLE001 - scrape must not kill
+                self.send_error(500, f"render failed: {error}")
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "try /metrics")
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr noise (scrapes arrive every second)."""
+
+
+class MetricsExporter:
+    """A ``/metrics`` HTTP endpoint on a daemon thread.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``).
+    ``extra`` is an optional callable returning additional exposition
+    text appended to every scrape — the serve layer uses it to publish
+    SLO state that lives outside the metrics registry.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+        extra: Optional[Callable[[], str]] = None,
+    ) -> None:
+        self.registry = REGISTRY if registry is None else registry
+        self.extra = extra
+        handler = type("BoundHandler", (_Handler,), {"exporter": self})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def render(self) -> str:
+        text = render_exposition(self.registry)
+        if self.extra is not None:
+            more = self.extra()
+            if more:
+                text += more if more.endswith("\n") else more + "\n"
+        return text
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsExporter":
+        return self
+
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return f"MetricsExporter({self.url})"
+
+
+def start_exporter(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    registry: Optional[MetricsRegistry] = None,
+    extra: Optional[Callable[[], str]] = None,
+) -> MetricsExporter:
+    """Start (and return) a :class:`MetricsExporter`; caller closes it."""
+    return MetricsExporter(port=port, host=host, registry=registry, extra=extra)

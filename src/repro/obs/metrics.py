@@ -25,6 +25,7 @@ caller can meter exactly one window of work::
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import InvalidParameterError
@@ -74,14 +75,21 @@ class Counter:
             self.value += amount
 
     def snapshot(self):
-        return self.value
+        with self._lock:
+            return self.value
 
     def __repr__(self) -> str:
         return f"Counter({self.key!r}, {self.value})"
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins).
+
+    Deliberately lock-free: ``set`` is a single attribute store and
+    ``snapshot`` a single load — both atomic under the interpreter, and a
+    scalar cannot tear.  Concurrent writers race, but "last write wins"
+    is the gauge contract anyway.
+    """
 
     __slots__ = ("key", "value")
     kind = "gauge"
@@ -125,6 +133,10 @@ class Histogram:
 
     def observe(self, value: Union[int, float]) -> None:
         value = float(value)
+        # bisect_left finds the first bound >= value — the same bucket
+        # the old linear ``value <= bound`` walk picked, but in C; this
+        # sits on the metered serve hot path several times per query.
+        position = bisect_left(self.bounds, value)
         with self._lock:
             self.count += 1
             self.total += value
@@ -132,30 +144,50 @@ class Histogram:
                 self.minimum = value
             if self.maximum is None or value > self.maximum:
                 self.maximum = value
-            for position, bound in enumerate(self.bounds):
-                if value <= bound:
-                    self.buckets[position] += 1
-                    return
-            self.buckets[-1] += 1
+            self.buckets[position] += 1
 
     @property
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
     def snapshot(self):
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "buckets": {
-                ("+inf" if position == len(self.bounds) else repr(bound)): n
-                for position, (bound, n) in enumerate(
-                    zip(self.bounds + (float("inf"),), self.buckets)
-                )
-                if n
-            },
-        }
+        # Under the same lock observe() holds: an unlocked read could see
+        # count already incremented but the bucket not yet bumped — a torn
+        # histogram whose bucket sum disagrees with its count.
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.minimum,
+                "max": self.maximum,
+                "buckets": {
+                    ("+inf" if position == len(self.bounds) else repr(bound)): n
+                    for position, (bound, n) in enumerate(
+                        zip(self.bounds + (float("inf"),), self.buckets)
+                    )
+                    if n
+                },
+            }
+
+    def export_state(self):
+        """Consistent raw view for exporters: ``(bounds, per-bucket
+        counts incl. zeros and overflow, count, sum)`` under the lock."""
+        with self._lock:
+            return self.bounds, list(self.buckets), self.count, self.total
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the ``q``-th observation); ``None`` while empty."""
+        with self._lock:
+            if not self.count:
+                return None
+            target = q * self.count
+            running = 0
+            for bound, n in zip(self.bounds, self.buckets):
+                running += n
+                if running >= target:
+                    return bound
+            return self.maximum
 
     def __repr__(self) -> str:
         return f"Histogram({self.key!r}, n={self.count}, sum={self.total:.6f})"
@@ -181,6 +213,11 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
         self._lock = threading.Lock()
+        #: Bumped by :meth:`reset`.  Hot call sites cache instrument
+        #: handles keyed by this so a cached Counter/Histogram from
+        #: before a reset (no longer in the registry, so invisible to
+        #: snapshots and exporters) is never fed again.
+        self.generation = 0
 
     def _get(self, cls, name: str, labels: Dict[str, object], **init):
         key = _key(name, labels)
@@ -205,19 +242,32 @@ class MetricsRegistry:
         return self._get(Histogram, name, labels)
 
     def names(self) -> List[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
+
+    def items(self) -> List[Tuple[str, Union[Counter, Gauge, Histogram]]]:
+        """Stable, sorted copy of the metric map — safe to iterate while
+        executor threads keep registering new keys."""
+        with self._lock:
+            return sorted(self._metrics.items())
 
     def snapshot(self) -> Dict[str, object]:
-        """Plain-data view of every metric (JSON-able)."""
-        return {
-            key: metric.snapshot() for key, metric in sorted(self._metrics.items())
-        }
+        """Plain-data view of every metric (JSON-able).
+
+        The key list is copied under the registry lock (a bare dict
+        iteration would raise if a concurrent thread registered a new
+        metric mid-walk), then each metric snapshots under its own lock.
+        """
+        return {key: metric.snapshot() for key, metric in self.items()}
 
     def reset(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
+            self.generation += 1
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __repr__(self) -> str:
         return f"MetricsRegistry({len(self._metrics)} metrics)"

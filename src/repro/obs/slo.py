@@ -1,0 +1,469 @@
+"""Per-tenant latency SLOs: objectives, compliance, burn rate, watchdog.
+
+The serving layer's contract with a tenant is the cost model's
+*interactivity budget* (paper Fig. 6a: the greedy controller holds the
+first-query latency constant until convergence, so the model's
+``t_total`` is the latency a tenant should ever see).  This module turns
+that number into an operational objective:
+
+* :class:`SLOEngine` — per-tenant objective (defaulting to
+  ``CostModel.interactivity_budget_seconds`` plus a serving-overhead
+  floor), lifetime and windowed compliance ratios, and the *burn rate*:
+  how many times faster than the error budget allows the tenant is
+  currently failing (1.0 = exactly on budget, >1 = burning).
+* :class:`Watchdog` — a daemon thread that periodically probes serve
+  internals (a callable supplied by the server) and raises structured
+  events for pathologies queries alone can't show: a starved tenant
+  whose refinement allocation stopped growing while others advance, a
+  refinement scheduler that stopped making progress entirely, and
+  runaway snapshot-lock waits.
+
+Event severities: ``warning`` (degraded, self-healable — e.g. a burn
+rate spike during a checkpoint sweep) and ``critical`` (stuck — CI's
+serve-soak job fails on any critical).  Events land in a bounded
+in-engine deque, on the trace (when tracing is enabled) as
+``slo.watchdog`` events, and in the exporter scrape as counters.
+
+Thread-safety: every public method takes the engine lock; ``observe``
+is called from executor threads, ``snapshot``/``exposition`` from the
+scrape path, the watchdog from its own thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from . import trace as obs_trace
+
+__all__ = ["SLOConfig", "SLOEngine", "Watchdog"]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Knobs for the SLO engine and its watchdog.
+
+    Attributes
+    ----------
+    target_ratio:
+        Fraction of requests that must meet the objective (0.99 = an
+        error budget of 1%).
+    floor_seconds:
+        Lower bound on any objective.  The cost model prices index work
+        per row; the constant per-request serving overhead (framing,
+        JSON, dispatch, queueing) sits outside it, so tiny tables would
+        otherwise get objectives no real server can meet.
+    window_seconds:
+        Sliding window for the burn rate (lifetime compliance uses all
+        observations).
+    burn_warning / burn_critical:
+        Burn-rate thresholds.  Both emit *warning* events — latency can
+        spike transiently (checkpoint sweeps, GC) and self-heal, so burn
+        alone never fails CI; the ``critical`` threshold only upgrades
+        the event's ``kind`` so dashboards can tell the tiers apart.
+    starvation_seconds:
+        A tenant with an unconverged index whose refinement allocation
+        has not grown for this long, while the scheduler ran slices for
+        others, is *starved* (critical — fair-share is broken).
+    stall_seconds:
+        Unconverged work exists but the scheduler ran no slice at all
+        for this long: *stalled* (critical — the background plane died).
+    lock_wait_critical_seconds:
+        A single snapshot-lock wait longer than this is runaway
+        (critical — writer preference or slice sizing is broken).
+    watchdog_interval_seconds:
+        Probe period of the watchdog thread.
+    max_events:
+        Bound on the retained event deque.
+    """
+
+    target_ratio: float = 0.99
+    floor_seconds: float = 0.05
+    window_seconds: float = 30.0
+    burn_warning: float = 2.0
+    burn_critical: float = 10.0
+    starvation_seconds: float = 10.0
+    stall_seconds: float = 10.0
+    lock_wait_critical_seconds: float = 1.0
+    watchdog_interval_seconds: float = 1.0
+    max_events: int = 256
+
+
+class _TenantSLO:
+    __slots__ = ("objective", "total", "good", "window")
+
+    def __init__(self, objective: float) -> None:
+        self.objective = objective
+        self.total = 0
+        self.good = 0
+        # (monotonic time, met-objective) pairs inside the sliding window.
+        self.window: Deque[Tuple[float, bool]] = deque()
+
+
+class SLOEngine:
+    """Tracks latency objectives and compliance per tenant."""
+
+    def __init__(
+        self,
+        config: Optional[SLOConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or SLOConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantSLO] = {}
+        self._events: Deque[Dict[str, Any]] = deque(
+            maxlen=self.config.max_events
+        )
+        self._event_counts: Dict[str, int] = {"warning": 0, "critical": 0}
+
+    # -- objectives --------------------------------------------------------
+
+    def set_objective(self, tenant: str, seconds: float) -> float:
+        """Install (or widen) a tenant's latency objective.
+
+        A tenant may hold several indexes with different cost models; the
+        objective is the *loosest* requested (max), floored by
+        ``floor_seconds`` — the tenant's slowest legitimate query defines
+        interactive for the session.  Returns the effective objective.
+        """
+        seconds = max(float(seconds), self.config.floor_seconds)
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                self._tenants[tenant] = _TenantSLO(seconds)
+                return seconds
+            state.objective = max(state.objective, seconds)
+            return state.objective
+
+    def objective(self, tenant: str) -> Optional[float]:
+        with self._lock:
+            state = self._tenants.get(tenant)
+            return None if state is None else state.objective
+
+    # -- observations ------------------------------------------------------
+
+    def observe(self, tenant: str, seconds: float) -> bool:
+        """Record one served request; returns whether it met the SLO."""
+        now = self._clock()
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                state = self._tenants[tenant] = _TenantSLO(
+                    self.config.floor_seconds
+                )
+            met = seconds <= state.objective
+            state.total += 1
+            if met:
+                state.good += 1
+            window = state.window
+            window.append((now, met))
+            horizon = now - self.config.window_seconds
+            while window and window[0][0] < horizon:
+                window.popleft()
+            return met
+
+    # -- events ------------------------------------------------------------
+
+    def record_event(
+        self, severity: str, kind: str, **details: Any
+    ) -> Dict[str, Any]:
+        """Append a structured watchdog event (and mirror it to the trace)."""
+        event = {
+            "ts": time.time(),
+            "severity": severity,
+            "kind": kind,
+            "details": details,
+        }
+        with self._lock:
+            self._events.append(event)
+            self._event_counts[severity] = (
+                self._event_counts.get(severity, 0) + 1
+            )
+        if obs_trace.ENABLED:
+            obs_trace.TRACER.event(
+                "slo.watchdog", severity=severity, kind=kind, **details
+            )
+        return event
+
+    def events(self, severity: Optional[str] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            if severity is None:
+                return list(self._events)
+            return [e for e in self._events if e["severity"] == severity]
+
+    def event_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._event_counts)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant SLO state: objective, totals, compliance, burn rate.
+
+        ``burn_rate`` is the windowed miss rate over the error budget:
+        1.0 means failing exactly as fast as ``target_ratio`` allows;
+        10.0 means the month's budget burns in ~3 days.  0.0 when the
+        window is empty or fully compliant.
+        """
+        now = self._clock()
+        horizon = now - self.config.window_seconds
+        budget = max(1e-12, 1.0 - self.config.target_ratio)
+        out: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            for tenant, state in sorted(self._tenants.items()):
+                window = state.window
+                while window and window[0][0] < horizon:
+                    window.popleft()
+                w_total = len(window)
+                w_good = sum(1 for _, met in window if met)
+                w_ratio = (w_good / w_total) if w_total else 1.0
+                out[tenant] = {
+                    "objective_seconds": state.objective,
+                    "total": state.total,
+                    "good": state.good,
+                    "compliance": (
+                        state.good / state.total if state.total else 1.0
+                    ),
+                    "window_total": w_total,
+                    "window_compliance": w_ratio,
+                    "burn_rate": (1.0 - w_ratio) / budget,
+                    "meeting_target": (
+                        (state.good / state.total if state.total else 1.0)
+                        >= self.config.target_ratio
+                    ),
+                }
+        return out
+
+    def exposition(self) -> str:
+        """SLO state as Prometheus text, appended to exporter scrapes.
+
+        Rendered directly (not via the metrics registry) because SLO
+        state is server-owned and must appear in scrapes even when
+        metric feeding is disabled.
+        """
+        lines: List[str] = []
+
+        def family(name: str, kind: str, rows: List[Tuple[str, str]]) -> None:
+            if not rows:
+                return
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in rows:
+                lines.append(f"{name}{labels} {value}")
+
+        snap = self.snapshot()
+        per: Dict[str, List[Tuple[str, str]]] = {
+            "repro_slo_objective_seconds": [],
+            "repro_slo_requests_total": [],
+            "repro_slo_requests_good_total": [],
+            "repro_slo_compliance_ratio": [],
+            "repro_slo_burn_rate": [],
+        }
+        for tenant, state in snap.items():
+            labels = '{tenant="%s"}' % tenant
+            per["repro_slo_objective_seconds"].append(
+                (labels, repr(state["objective_seconds"]))
+            )
+            per["repro_slo_requests_total"].append(
+                (labels, str(state["total"]))
+            )
+            per["repro_slo_requests_good_total"].append(
+                (labels, str(state["good"]))
+            )
+            per["repro_slo_compliance_ratio"].append(
+                (labels, repr(state["compliance"]))
+            )
+            per["repro_slo_burn_rate"].append(
+                (labels, repr(state["burn_rate"]))
+            )
+        family(
+            "repro_slo_objective_seconds",
+            "gauge",
+            per["repro_slo_objective_seconds"],
+        )
+        family(
+            "repro_slo_requests_total",
+            "counter",
+            per["repro_slo_requests_total"],
+        )
+        family(
+            "repro_slo_requests_good_total",
+            "counter",
+            per["repro_slo_requests_good_total"],
+        )
+        family(
+            "repro_slo_compliance_ratio",
+            "gauge",
+            per["repro_slo_compliance_ratio"],
+        )
+        family("repro_slo_burn_rate", "gauge", per["repro_slo_burn_rate"])
+        counts = self.event_counts()
+        family(
+            "repro_slo_watchdog_events_total",
+            "counter",
+            [
+                ('{severity="%s"}' % severity, str(count))
+                for severity, count in sorted(counts.items())
+            ],
+        )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class Watchdog:
+    """Background prober that turns serve internals into SLO events.
+
+    ``probe`` is supplied by the server and must return::
+
+        {"slices_run": int,              # scheduler lifetime slice count
+         "unconverged": int,             # indexes still owing refinement
+         "allocations": {tenant: float}, # scheduler model-seconds ledger
+         "max_lock_wait": float}         # worst lock wait since last probe
+
+    The watchdog only *compares successive probes* — all pathology
+    definitions are "no progress across N seconds", so it needs no
+    access to server internals beyond this snapshot.
+    """
+
+    def __init__(
+        self,
+        engine: SLOEngine,
+        probe: Callable[[], Dict[str, Any]],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.engine = engine
+        self.probe = probe
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # Progress bookkeeping between probes.
+        self._last_slices: Optional[int] = None
+        self._slices_changed_at: float = clock()
+        self._alloc_changed_at: Dict[str, float] = {}
+        self._last_alloc: Dict[str, float] = {}
+        # Pathologies report once per continuous episode, not per probe.
+        self._active: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-slo-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        interval = self.engine.config.watchdog_interval_seconds
+        while not self._stop.wait(interval):
+            try:
+                self.check()
+            except Exception as error:  # noqa: BLE001 - watchdog must survive
+                self.engine.record_event(
+                    "warning", "watchdog_probe_failed", error=repr(error)
+                )
+
+    # -- one probe cycle (public for deterministic tests) ------------------
+
+    def check(self) -> None:
+        config = self.engine.config
+        now = self._clock()
+        state = self.probe()
+        slices_run = int(state.get("slices_run", 0))
+        unconverged = int(state.get("unconverged", 0))
+        allocations: Dict[str, float] = dict(state.get("allocations", {}))
+        max_lock_wait = float(state.get("max_lock_wait", 0.0))
+
+        # Scheduler progress clock.
+        if self._last_slices is None or slices_run != self._last_slices:
+            self._slices_changed_at = now
+        scheduler_advanced = (
+            self._last_slices is not None and slices_run > self._last_slices
+        )
+        self._last_slices = slices_run
+
+        # Stalled refinement: work owed, nothing ran for stall_seconds.
+        stalled = (
+            unconverged > 0
+            and now - self._slices_changed_at >= config.stall_seconds
+        )
+        self._episode(
+            stalled,
+            "refinement_stalled",
+            "critical",
+            unconverged=unconverged,
+            idle_seconds=round(now - self._slices_changed_at, 3),
+        )
+
+        # Starved tenants: the scheduler ran, this tenant's ledger didn't
+        # move for starvation_seconds.
+        for tenant, model_seconds in allocations.items():
+            previous = self._last_alloc.get(tenant)
+            if previous is None or model_seconds != previous:
+                self._alloc_changed_at[tenant] = now
+            self._last_alloc[tenant] = model_seconds
+            starved = (
+                unconverged > 0
+                and scheduler_advanced
+                and now - self._alloc_changed_at.get(tenant, now)
+                >= config.starvation_seconds
+            )
+            self._episode(
+                starved,
+                f"tenant_starved:{tenant}",
+                "critical",
+                kind="tenant_starved",
+                tenant=tenant,
+                idle_seconds=round(
+                    now - self._alloc_changed_at.get(tenant, now), 3
+                ),
+            )
+
+        # Runaway lock wait (already over for this probe window — still an
+        # event: it means slice sizing or writer preference regressed).
+        self._episode(
+            max_lock_wait > config.lock_wait_critical_seconds,
+            "lock_wait_runaway",
+            "critical",
+            max_wait_seconds=round(max_lock_wait, 4),
+        )
+
+        # Burn-rate tiers: warnings only (transient spikes self-heal).
+        for tenant, slo in self.engine.snapshot().items():
+            burn = slo["burn_rate"]
+            if burn >= config.burn_critical:
+                kind, burning = "slo_burn_fast", True
+            elif burn >= config.burn_warning:
+                kind, burning = "slo_burn", True
+            else:
+                kind, burning = "slo_burn", False
+            self._episode(
+                burning,
+                f"slo_burn:{tenant}",
+                "warning",
+                kind=kind,
+                tenant=tenant,
+                burn_rate=round(burn, 2),
+                objective_seconds=slo["objective_seconds"],
+            )
+
+    def _episode(
+        self, firing: bool, key: str, severity: str, **details: Any
+    ) -> None:
+        """Edge-triggered event emission: one event when a pathology
+        starts, silence while it persists, re-arm when it clears."""
+        if firing and key not in self._active:
+            self._active.add(key)
+            kind = details.pop("kind", key)
+            self.engine.record_event(severity, kind, **details)
+        elif not firing:
+            self._active.discard(key)

@@ -1,0 +1,352 @@
+"""``python -m repro.obs top`` — live terminal dashboard over the exporter.
+
+Polls a ``/metrics`` endpoint (see :mod:`repro.obs.export`) and renders a
+compact ANSI view of the serving plane:
+
+* per-tenant traffic: QPS (from counter deltas between polls), p50/p99
+  latency (bucket-resolution, from the exposition histograms), the SLO
+  objective, compliance ratio, burn rate, and a state column;
+* per-index convergence: open pieces and the cost model's
+  rows-to-converge estimate, with a progress bar against the largest
+  estimate seen for that index this session;
+* the refinement scheduler's per-tenant ledger (slices, rows,
+  model-seconds) and watchdog event counts.
+
+Rendering is a pure function of two scrapes plus the elapsed time
+(:func:`render_dashboard`), so tests drive it with synthetic scrapes and
+never need a terminal or a server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .export import Scrape, parse_exposition
+
+__all__ = ["fetch_scrape", "render_dashboard", "run_top", "main"]
+
+#: Clear screen + home cursor — the whole "UI framework".
+ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_RED = "\x1b[31m"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RESET = "\x1b[0m"
+
+
+def fetch_scrape(url: str, timeout: float = 5.0) -> Scrape:
+    """One scrape of ``url`` parsed into a :class:`Scrape`."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return parse_exposition(response.read().decode("utf-8"))
+
+
+def _sum_matching(scrape: Scrape, family: str, **labels: str) -> float:
+    """Sum a family's series over all label sets matching ``labels``
+    (other labels free) — e.g. a tenant's queries across modes."""
+    want = {k: str(v) for k, v in labels.items()}
+    total = 0.0
+    for key, value in scrape.series(family).items():
+        key_labels = dict(key)
+        if all(key_labels.get(k) == v for k, v in want.items()):
+            total += value
+    return total
+
+
+def _quantile_matching(
+    scrape: Scrape, family: str, q: float, **labels: str
+) -> Optional[float]:
+    """Bucket-resolution quantile with free labels summed out (a tenant's
+    latency across ``mode`` label values)."""
+    want = {k: str(v) for k, v in labels.items()}
+    merged: Dict[float, float] = {}
+    for key, value in scrape.series(family + "_bucket").items():
+        key_labels = dict(key)
+        bound = key_labels.pop("le", None)
+        if bound is None:
+            continue
+        if not all(key_labels.get(k) == v for k, v in want.items()):
+            continue
+        parsed = math.inf if bound == "+Inf" else float(bound)
+        merged[parsed] = merged.get(parsed, 0.0) + value
+    if not merged:
+        return None
+    buckets = sorted(merged.items())
+    count = buckets[-1][1]
+    if count <= 0:
+        return None
+    target = q * count
+    previous = 0.0
+    for bound, cumulative in buckets:
+        if cumulative >= target:
+            return bound if bound != math.inf else previous
+        previous = bound
+    return buckets[-1][0]
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _tenants(scrape: Scrape) -> List[str]:
+    names = set(scrape.label_values("repro_serve_queries", "tenant"))
+    names.update(scrape.label_values("repro_slo_requests_total", "tenant"))
+    return sorted(names)
+
+
+def render_dashboard(
+    current: Scrape,
+    previous: Optional[Scrape] = None,
+    elapsed: float = 0.0,
+    color: bool = True,
+    peak_rows: Optional[Dict[str, float]] = None,
+) -> str:
+    """Render one dashboard frame from the latest (and previous) scrape.
+
+    ``peak_rows`` is mutated across frames to remember the largest
+    rows-to-converge estimate per index — the denominator of the
+    progress bar.
+    """
+
+    def paint(code: str, text: str) -> str:
+        return f"{code}{text}{_RESET}" if color else text
+
+    lines: List[str] = []
+    lines.append(
+        paint(_BOLD, "repro serve — telemetry plane")
+        + paint(_DIM, f"  (poll interval {elapsed:.1f}s)" if elapsed else "")
+    )
+    lines.append("")
+
+    # ---- tenants ---------------------------------------------------------
+    lines.append(
+        paint(
+            _BOLD,
+            f"{'TENANT':<10} {'QPS':>8} {'P50':>9} {'P99':>9} "
+            f"{'SLO':>9} {'COMPL':>7} {'BURN':>6}  STATE",
+        )
+    )
+    for tenant in _tenants(current) or ["-"]:
+        if tenant == "-":
+            lines.append(paint(_DIM, "  (no traffic yet)"))
+            break
+        total = _sum_matching(current, "repro_serve_queries", tenant=tenant)
+        if previous is not None and elapsed > 0:
+            before = _sum_matching(
+                previous, "repro_serve_queries", tenant=tenant
+            )
+            qps = max(0.0, total - before) / elapsed
+        else:
+            qps = 0.0
+        p50 = _quantile_matching(
+            current, "repro_serve_query_seconds", 0.5, tenant=tenant
+        )
+        p99 = _quantile_matching(
+            current, "repro_serve_query_seconds", 0.99, tenant=tenant
+        )
+        objective = current.get(
+            "repro_slo_objective_seconds", default=math.nan, tenant=tenant
+        )
+        compliance = current.get(
+            "repro_slo_compliance_ratio", default=math.nan, tenant=tenant
+        )
+        burn = current.get(
+            "repro_slo_burn_rate", default=math.nan, tenant=tenant
+        )
+        if compliance != compliance:  # no SLO data
+            state, code = "-", _DIM
+        elif burn == burn and burn >= 10.0:
+            state, code = "MISS", _RED
+        elif burn == burn and burn >= 2.0:
+            state, code = "BURN", _YELLOW
+        else:
+            state, code = "OK", _GREEN
+        compliance_text = (
+            "-" if compliance != compliance else f"{compliance * 100:6.2f}%"
+        )
+        burn_text = "-" if burn != burn else f"{burn:6.1f}"
+        objective_text = (
+            "-" if objective != objective else _fmt_seconds(objective)
+        )
+        lines.append(
+            f"{tenant:<10} {qps:>8.1f} {_fmt_seconds(p50):>9} "
+            f"{_fmt_seconds(p99):>9} {objective_text:>9} "
+            f"{compliance_text:>7} {burn_text:>6}  " + paint(code, state)
+        )
+    lines.append("")
+
+    # ---- convergence -----------------------------------------------------
+    rows_family = (
+        "repro_serve_rows_to_converge"
+        if "repro_serve_rows_to_converge" in current.samples
+        else "repro_index_rows_to_converge"
+    )
+    pieces_family = (
+        "repro_serve_open_pieces"
+        if "repro_serve_open_pieces" in current.samples
+        else "repro_index_open_pieces"
+    )
+    indexes = set(current.label_values(rows_family, "index"))
+    indexes.update(current.label_values(pieces_family, "index"))
+    if indexes:
+        lines.append(
+            paint(
+                _BOLD,
+                f"{'INDEX':<28} {'PIECES':>7} {'ROWS LEFT':>11}  PROGRESS",
+            )
+        )
+        peaks = peak_rows if peak_rows is not None else {}
+        for index in sorted(indexes):
+            pieces = _sum_matching(current, pieces_family, index=index)
+            remaining = _sum_matching(current, rows_family, index=index)
+            peak = max(peaks.get(index, 0.0), remaining)
+            peaks[index] = peak
+            done = 1.0 - (remaining / peak) if peak > 0 else 1.0
+            state = (
+                paint(_GREEN, "converged")
+                if remaining <= 0
+                else f"[{_bar(done)}] {done * 100:5.1f}%"
+            )
+            lines.append(
+                f"{index:<28} {pieces:>7.0f} {remaining:>11.0f}  {state}"
+            )
+        lines.append("")
+
+    # ---- scheduler ledger ------------------------------------------------
+    ledger_tenants = sorted(
+        set(current.label_values("repro_scheduler_rows", "tenant"))
+    )
+    if ledger_tenants:
+        lines.append(
+            paint(
+                _BOLD,
+                f"{'REFINE-LEDGER':<10} {'SLICES':>8} {'ROWS':>12} "
+                f"{'MODEL-SEC':>11}",
+            )
+        )
+        for tenant in ledger_tenants:
+            lines.append(
+                f"{tenant:<10} "
+                f"{current.get('repro_scheduler_slices', tenant=tenant):>8.0f} "
+                f"{current.get('repro_scheduler_rows', tenant=tenant):>12.0f} "
+                f"{current.get('repro_scheduler_model_seconds', tenant=tenant):>11.4f}"
+            )
+        lines.append("")
+
+    # ---- watchdog --------------------------------------------------------
+    warnings = current.get(
+        "repro_slo_watchdog_events_total", severity="warning"
+    )
+    criticals = current.get(
+        "repro_slo_watchdog_events_total", severity="critical"
+    )
+    code = _RED if criticals else (_YELLOW if warnings else _GREEN)
+    lines.append(
+        "watchdog: "
+        + paint(code, f"{int(criticals)} critical / {int(warnings)} warning")
+    )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    once: bool = False,
+    color: Optional[bool] = None,
+    stream=None,
+) -> int:
+    """Poll ``url`` and redraw until interrupted (or ``iterations`` polls)."""
+    stream = sys.stdout if stream is None else stream
+    if color is None:
+        color = hasattr(stream, "isatty") and stream.isatty()
+    previous: Optional[Scrape] = None
+    previous_at: Optional[float] = None
+    peaks: Dict[str, float] = {}
+    count = 0
+    try:
+        while True:
+            try:
+                current = fetch_scrape(url)
+            except (urllib.error.URLError, OSError, ValueError) as error:
+                stream.write(f"scrape of {url} failed: {error}\n")
+                return 1
+            now = time.monotonic()
+            elapsed = (now - previous_at) if previous_at is not None else 0.0
+            frame = render_dashboard(
+                current,
+                previous,
+                elapsed,
+                color=color,
+                peak_rows=peaks,
+            )
+            if not once and color:
+                stream.write(ANSI_CLEAR)
+            stream.write(frame)
+            stream.flush()
+            previous, previous_at = current, now
+            count += 1
+            if once or (iterations is not None and count >= iterations):
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs top",
+        description="Live dashboard over a repro metrics endpoint.",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="full endpoint URL (overrides --host/--port)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9464)
+    parser.add_argument("--interval", type=float, default=2.0)
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N polls (default: run until interrupted)",
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="one poll, no screen clearing"
+    )
+    parser.add_argument(
+        "--no-color", action="store_true", help="disable ANSI colours"
+    )
+    args = parser.parse_args(argv)
+    url = args.url or f"http://{args.host}:{args.port}/metrics"
+    return run_top(
+        url,
+        interval=args.interval,
+        iterations=args.iterations,
+        once=args.once,
+        color=False if args.no_color else None,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

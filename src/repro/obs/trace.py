@@ -236,6 +236,13 @@ class Tracer:
     def _now(self) -> float:
         return time.perf_counter() - self._origin
 
+    def now(self) -> float:
+        """Current trace time (seconds since the tracer was created) —
+        the time base every span's ``ts`` uses.  Public so layers that
+        measure a boundary on one thread and emit the span on another
+        (see :meth:`record_span`) can capture comparable timestamps."""
+        return self._now()
+
     def span(self, name: str, stats=None, parent=_UNSET, **attrs: Any) -> Span:
         """A new span; use as ``with tracer.span("query", index="AKD"):``.
 
@@ -248,6 +255,39 @@ class Tracer:
         if parent is _UNSET:
             return Span(self, name, attrs, stats)
         return Span(self, name, attrs, stats, parent_id=parent, parent_preset=True)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> int:
+        """Emit an already-completed span from explicit timing.
+
+        For work whose boundaries were measured across threads — e.g. the
+        server stamps :meth:`now` on the event loop when it enqueues a
+        request, and the executor thread later emits the queue-wait span
+        with that start time.  ``start`` is trace time (from
+        :meth:`now`); returns the allocated span id.
+        """
+        record: Dict[str, Any] = {
+            "type": "span",
+            "name": name,
+            "parent": parent,
+            "ts": round(start, 9),
+            "dur": round(duration, 9),
+        }
+        if attrs:
+            record["attrs"] = {
+                key: _jsonable(value) for key, value in attrs.items()
+            }
+        with self._lock:
+            self._next_id += 1
+            record["id"] = self._next_id
+            self.sink.write(record)
+        return record["id"]
 
     def event(self, name: str, **attrs: Any) -> None:
         """Emit an instant (zero-duration) event under the calling

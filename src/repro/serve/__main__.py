@@ -47,6 +47,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--trace", default=None, help="record an obs JSONL trace to this path"
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus-format /metrics on this port "
+        "(0 = ephemeral); enables metric collection",
+    )
     args = parser.parse_args(argv)
 
     if args.trace is not None:
@@ -71,6 +79,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"serve: registered table {spec.name!r} "
             f"({info['rows']} rows, columns {info['columns']})"
+        )
+
+    if args.metrics_port is not None:
+        exporter = server.start_metrics_exporter(port=args.metrics_port)
+        print(
+            f"serve: metrics at {exporter.url} "
+            f"(watch with: python -m repro.obs top --port {exporter.port})"
         )
 
     async def run() -> None:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator
 
 from ..errors import ReproError
+from ..obs import metrics as obs_metrics
 
 __all__ = ["AdmissionError", "AdmissionControl", "AdmissionCaps"]
 
@@ -119,6 +120,10 @@ class AdmissionControl:
     def _reject(self, tenant: str, reason: str) -> None:
         key = f"{tenant}/{reason}"
         self._rejections[key] = self._rejections.get(key, 0) + 1
+        if obs_metrics.ENABLED:
+            obs_metrics.REGISTRY.counter(
+                "admission.rejections", tenant=tenant, reason=reason
+            ).inc()
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:

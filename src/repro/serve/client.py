@@ -104,15 +104,24 @@ class ServeClient:
         bounds: Dict[str, Tuple[float, float]],
         mode: str = "adaptive",
         return_ids: bool = False,
+        trace: Optional[str] = None,
     ) -> Dict[str, object]:
-        return self.request(
-            "query",
-            session=session,
-            table=table,
-            bounds={column: list(pair) for column, pair in bounds.items()},
-            mode=mode,
-            return_ids=return_ids,
-        )
+        """Run one range query.  ``trace`` is an optional client-chosen
+        request id; with server-side tracing on, the request's whole
+        span tree (queue/admission/lock/scan and the refinement slice it
+        funded) carries it, making the request greppable end to end."""
+        fields: Dict[str, object] = {
+            "session": session,
+            "table": table,
+            "bounds": {
+                column: list(pair) for column, pair in bounds.items()
+            },
+            "mode": mode,
+            "return_ids": return_ids,
+        }
+        if trace is not None:
+            fields["trace"] = trace
+        return self.request("query", **fields)
 
     def check(self, table: Optional[str] = None) -> Dict[str, object]:
         fields = {} if table is None else {"table": table}
@@ -120,6 +129,16 @@ class ServeClient:
 
     def stats(self) -> Dict[str, object]:
         return self.request("stats")
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (the ``metrics`` op —
+        same text the HTTP endpoint serves, for clients already holding
+        a connection)."""
+        return str(self.request("metrics")["exposition"])
+
+    def slo(self) -> Dict[str, object]:
+        """Per-tenant SLO state plus recent watchdog events."""
+        return self.request("slo")
 
     def shutdown(self) -> None:
         self.request("shutdown")

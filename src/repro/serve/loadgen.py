@@ -50,6 +50,7 @@ from .report import (
     CheckpointOutcome,
     ClientOutcome,
     SoakReport,
+    phase_breakdown_from_trace,
     render_report,
 )
 
@@ -95,6 +96,8 @@ class SoakConfig:
     host: Optional[str] = None  # None = spawn in-process
     port: int = 0
     trace_path: Optional[str] = None
+    metrics_port: Optional[int] = None  # spawn an exporter (0 = ephemeral)
+    scrape_path: Optional[str] = None  # write the final scrape here
     command: str = "PYTHONPATH=src python -m repro.serve.loadgen"
 
     def as_report_config(self) -> Dict[str, object]:
@@ -117,6 +120,10 @@ class SoakConfig:
             "server": "spawned in-process" if self.host is None else (
                 f"{self.host}:{self.port}"
             ),
+            "metrics_port": (
+                "disabled" if self.metrics_port is None else self.metrics_port
+            ),
+            "scrape": self.scrape_path or "-",
             "command": self.command,
         }
 
@@ -212,6 +219,14 @@ def _client_loop(
             ):
                 break
             bounds = script[position % len(script)]
+            # A client-chosen request id rides the wire and lands on the
+            # server's serve.query root span, so every sampled request
+            # resolves to exactly one end-to-end trace.
+            request_id = (
+                f"c{outcome.client_id}-q{position}"
+                if config.trace_path is not None
+                else None
+            )
             position += 1
             mode = (
                 "snapshot"
@@ -223,7 +238,11 @@ def _client_loop(
                 begin = time.perf_counter()
                 try:
                     response = client.query(
-                        session, config.spec.name, bounds, mode=mode
+                        session,
+                        config.spec.name,
+                        bounds,
+                        mode=mode,
+                        trace=request_id,
                     )
                 except AdmissionRejected:
                     outcome.admission_retries += 1
@@ -278,6 +297,8 @@ def _client_loop(
 def run_soak(config: SoakConfig, log: Callable[[str], None] = print) -> SoakReport:
     """Drive the full soak; returns the report (render/exit is the CLI's job)."""
     handle = None
+    metrics_url: Optional[str] = None
+    last_scrape: Optional[str] = None
     if config.host is None:
         from .. import obs
         from .admission import AdmissionCaps
@@ -302,9 +323,18 @@ def run_soak(config: SoakConfig, log: Callable[[str], None] = print) -> SoakRepo
         handle = ServerThread(server).start()
         host, port = handle.host, handle.port
         log(f"loadgen: spawned in-process server on {host}:{port}")
+        if config.metrics_port is not None or config.scrape_path is not None:
+            exporter = server.start_metrics_exporter(
+                port=config.metrics_port or 0
+            )
+            metrics_url = exporter.url
+            log(f"loadgen: metrics exporter at {metrics_url}")
     else:
         host, port = config.host, config.port
         log(f"loadgen: using existing server at {host}:{port}")
+        if config.metrics_port is not None:
+            metrics_url = f"http://{host}:{config.metrics_port}/metrics"
+            log(f"loadgen: scraping external exporter at {metrics_url}")
 
     report = SoakReport(config=config.as_report_config())
     report.started_unix = time.time()
@@ -343,6 +373,13 @@ def run_soak(config: SoakConfig, log: Callable[[str], None] = print) -> SoakRepo
                 report.checkpoints.append(
                     _checkpoint(admin, now - start, log)
                 )
+                if metrics_url is not None:
+                    # Mid-soak scrape: proves the exporter answers while
+                    # the server is under full load, and keeps the
+                    # freshest snapshot in case the final one fails.
+                    text = _scrape(metrics_url, log)
+                    if text is not None:
+                        last_scrape = text
                 next_checkpoint = now + config.checkpoint_seconds
             time.sleep(0.05)
         for thread in threads:
@@ -362,6 +399,20 @@ def run_soak(config: SoakConfig, log: Callable[[str], None] = print) -> SoakRepo
             for key, value in admin.stats().items()
             if key != "id" and key != "ok"
         }
+        # SLO compliance and watchdog history, likewise before teardown.
+        try:
+            slo_response = admin.slo()
+            report.slo_state = {
+                "tenants": slo_response.get("tenants", {}),
+                "events": slo_response.get("counts", {}),
+            }
+            report.watchdog_events = list(slo_response.get("events", []))
+        except ServeClientError as error:
+            log(f"loadgen: slo op failed: {error}")
+        if metrics_url is not None:
+            text = _scrape(metrics_url, log)
+            if text is not None:
+                last_scrape = text
         for outcome in report.clients:
             if outcome.session_id:
                 try:
@@ -378,7 +429,27 @@ def run_soak(config: SoakConfig, log: Callable[[str], None] = print) -> SoakRepo
                 from .. import obs
 
                 obs.disable()
+    if config.scrape_path is not None and last_scrape is not None:
+        with open(config.scrape_path, "w") as scrape_file:
+            scrape_file.write(last_scrape)
+        report.scrape_path = config.scrape_path
+        log(f"loadgen: exporter scrape written to {config.scrape_path}")
+    if config.trace_path is not None:
+        # The trace file is complete only after obs.disable() above.
+        report.phase_breakdown = phase_breakdown_from_trace(config.trace_path)
     return report
+
+
+def _scrape(url: str, log: Callable[[str], None]) -> Optional[str]:
+    """Fetch one exposition snapshot; scrape failures are reported, not fatal."""
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return response.read().decode("utf-8")
+    except OSError as error:
+        log(f"loadgen: scrape of {url} failed: {error}")
+        return None
 
 
 def _checkpoint(
@@ -470,6 +541,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="record an obs JSONL trace (spawned server only)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics during the soak (0 = ephemeral port; "
+        "for --host, the port of the server's existing exporter)",
+    )
+    parser.add_argument(
+        "--scrape",
+        default=None,
+        metavar="PATH",
+        help="write the final Prometheus exposition scrape to this file",
+    )
     args = parser.parse_args(argv)
 
     mix = tuple(part for part in args.mix.split(",") if part)
@@ -485,6 +570,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "process-global); ignoring --trace"
         )
         args.trace = None
+    if args.host is not None and args.scrape and args.metrics_port is None:
+        print(
+            "loadgen: --scrape against an external server needs "
+            "--metrics-port to locate its exporter; ignoring --scrape"
+        )
+        args.scrape = None
 
     config = SoakConfig(
         clients=args.clients,
@@ -502,6 +593,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         host=args.host,
         port=args.port,
         trace_path=args.trace,
+        metrics_port=args.metrics_port,
+        scrape_path=args.scrape,
         command=(
             "PYTHONPATH=src python -m repro.serve.loadgen "
             + " ".join(

@@ -8,6 +8,18 @@ optional client-chosen ``id`` that the response echoes; responses carry
 ``retry: true`` when the request was rejected by admission control and
 is worth re-sending after a backoff).
 
+Ops: ``hello``, ``register``, ``open_session``, ``close_session``,
+``query``, ``check``, ``stats``, ``metrics`` (Prometheus text
+exposition of the server's telemetry), ``slo`` (per-tenant latency-SLO
+state plus recent watchdog events), ``shutdown``.  ``query``
+additionally accepts a ``trace`` field — a client-chosen request id
+that, with server-side tracing enabled, rides on the request's
+``serve.query`` root span so one client request resolves to exactly one
+server-side span tree (queue wait, admission, lock wait, scan, and the
+refinement slice the request funded).  All additions are
+backward-compatible: old clients never send ``trace`` or the new ops,
+so the protocol version stays at 1.
+
 Two pieces live here because both ends of the wire need them:
 
 * :func:`answer_checksum` — the canonical fingerprint of a query answer

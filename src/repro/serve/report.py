@@ -2,15 +2,18 @@
 
 The soak suite's deliverable is a single committed markdown file that a
 reviewer can read top-down: verdict first, then the evidence — per-tenant
-throughput and latency percentiles, the scheduler's refinement-budget
-allocation, invariant checkpoint results, and every anomaly observed.
-The format follows the verdict-style stress reports of real soak
-harnesses: strong PASS/FAIL headline, numbers tables, reproduction
-command at the bottom.
+throughput and latency percentiles, SLO compliance against the cost
+model's interactivity budget, the trace-derived per-phase time
+breakdown (queue/admission/lock/scan/refine), the scheduler's
+refinement-budget allocation, invariant checkpoint results, and every
+anomaly observed.  The format follows the verdict-style stress reports
+of real soak harnesses: strong PASS/FAIL headline, numbers tables,
+reproduction command at the bottom.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -21,8 +24,59 @@ __all__ = [
     "ClientOutcome",
     "CheckpointOutcome",
     "SoakReport",
+    "phase_breakdown_from_trace",
     "render_report",
 ]
+
+#: Trace span names that make up a request's server-side lifecycle, in
+#: causal order, plus the refinement slices those requests funded.
+PHASE_SPANS = (
+    "serve.queue",
+    "serve.admission",
+    "serve.lock",
+    "serve.scan",
+    "scheduler.slice",
+)
+
+
+def phase_breakdown_from_trace(path: str) -> Dict[str, Dict[str, float]]:
+    """Aggregate a soak's JSONL trace into per-phase totals.
+
+    Returns ``{span_name: {"count", "total_ms", "mean_ms", "max_ms"}}``
+    for the request-lifecycle spans (:data:`PHASE_SPANS`) plus the
+    ``serve.query`` roots, so the report can show where served time
+    actually went — including the executor-queue and lock waits that
+    client-side latency alone cannot attribute.
+    """
+    wanted = set(PHASE_SPANS) | {"serve.query"}
+    totals: Dict[str, Dict[str, float]] = {}
+    with open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("type") != "span":
+                continue
+            name = record.get("name")
+            if name not in wanted:
+                continue
+            duration_ms = float(record.get("dur", 0.0)) * 1000.0
+            bucket = totals.setdefault(
+                name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+            )
+            bucket["count"] += 1
+            bucket["total_ms"] += duration_ms
+            if duration_ms > bucket["max_ms"]:
+                bucket["max_ms"] = duration_ms
+    for bucket in totals.values():
+        bucket["mean_ms"] = (
+            bucket["total_ms"] / bucket["count"] if bucket["count"] else 0.0
+        )
+    return totals
 
 
 @dataclass
@@ -65,6 +119,14 @@ class SoakReport:
     server_stats: Optional[Dict[str, object]] = None
     duration_seconds: float = 0.0
     started_unix: float = 0.0
+    # Telemetry-plane evidence (filled when the soak ran with tracing /
+    # an exporter): per-tenant SLO state from the server's SLO engine,
+    # its watchdog events, the trace-derived phase breakdown, and where
+    # the final exporter scrape was written.
+    slo_state: Optional[Dict[str, object]] = None
+    watchdog_events: List[Dict[str, object]] = field(default_factory=list)
+    phase_breakdown: Optional[Dict[str, Dict[str, float]]] = None
+    scrape_path: Optional[str] = None
 
     # ------------------------------------------------------------- verdict
 
@@ -97,6 +159,23 @@ class SoakReport:
         return np.asarray(merged) if merged else np.asarray([float("nan")])
 
     @property
+    def watchdog_criticals(self) -> int:
+        """Critical watchdog events (starvation, stalls, runaway lock
+        waits) — counted from the event list when the soak collected
+        one, else from the server's SLO counters."""
+        if self.watchdog_events:
+            return sum(
+                1
+                for event in self.watchdog_events
+                if event.get("severity") == "critical"
+            )
+        if self.slo_state:
+            counts = self.slo_state.get("events", {})
+            if isinstance(counts, dict):
+                return int(counts.get("critical", 0))
+        return 0
+
+    @property
     def passed(self) -> bool:
         return (
             self.total_queries > 0
@@ -104,6 +183,7 @@ class SoakReport:
             and self.total_errors == 0
             and self.total_invariant_problems == 0
             and len(self.checkpoints) > 0
+            and self.watchdog_criticals == 0
         )
 
 
@@ -143,6 +223,10 @@ def render_report(report: SoakReport) -> str:
             )
         if not report.checkpoints:
             reasons.append("no invariant checkpoint ran")
+        if report.watchdog_criticals:
+            reasons.append(
+                f"{report.watchdog_criticals} critical watchdog event(s)"
+            )
         out("Failure reasons: " + "; ".join(reasons) + ".")
     out("")
 
@@ -178,6 +262,7 @@ def render_report(report: SoakReport) -> str:
     out(f"| admission retries (backpressure) | "
         f"{sum(c.admission_retries for c in report.clients)} |")
     out(f"| client errors | {report.total_errors} |")
+    out(f"| critical watchdog events | {report.watchdog_criticals} |")
     out("")
 
     out("## Per-tenant traffic and latency")
@@ -193,6 +278,93 @@ def render_report(report: SoakReport) -> str:
             f"{client.snapshot_queries} | {_fmt_ms(client.percentile(50))} | "
             f"{_fmt_ms(client.percentile(99))} | {len(client.mismatches)} | "
             f"{client.admission_retries} |"
+        )
+    out("")
+
+    slo_tenants: Dict[str, object] = {}
+    if report.slo_state:
+        tenants = report.slo_state.get("tenants", {})
+        if isinstance(tenants, dict):
+            slo_tenants = tenants
+    out("## SLO compliance")
+    out("")
+    if slo_tenants:
+        out(
+            "Per-tenant latency objectives are the cost model's "
+            "interactivity budget for the tenant's indexes (paper Fig. 6a: "
+            "the per-query time the greedy controller holds constant), "
+            "floored by the serving-overhead minimum; compliance is "
+            "measured server-side over every request."
+        )
+        out("")
+        out(
+            "| tenant | objective | requests | within objective | "
+            "compliance | burn rate | meeting target |"
+        )
+        out("|---|---|---|---|---|---|---|")
+        for tenant in sorted(slo_tenants):
+            state = slo_tenants[tenant]
+            out(
+                f"| {tenant} | {1000.0 * state['objective_seconds']:.1f} ms "
+                f"| {state['total']} | {state['good']} "
+                f"| {100.0 * state['compliance']:.2f}% "
+                f"| {state['burn_rate']:.2f} "
+                f"| {'yes' if state['meeting_target'] else 'NO'} |"
+            )
+    else:
+        out("_No SLO data (server SLO state unavailable)._")
+    out("")
+
+    out("## Request phase breakdown (from trace)")
+    out("")
+    if report.phase_breakdown:
+        out(
+            "Server-side time by request phase, aggregated over every "
+            "traced span — the executor-queue and lock waits here are "
+            "invisible to client-side latency percentiles:"
+        )
+        out("")
+        out("| phase | spans | total ms | mean ms | max ms |")
+        out("|---|---|---|---|---|")
+        order = ("serve.query",) + PHASE_SPANS
+        labels = {
+            "serve.query": "request (end-to-end)",
+            "serve.queue": "executor-queue wait",
+            "serve.admission": "admission",
+            "serve.lock": "snapshot-lock wait",
+            "serve.scan": "index scan / refine-in-query",
+            "scheduler.slice": "funded refinement slice",
+        }
+        for name in order:
+            bucket = report.phase_breakdown.get(name)
+            if not bucket:
+                continue
+            out(
+                f"| {labels.get(name, name)} | {int(bucket['count'])} "
+                f"| {bucket['total_ms']:.1f} | {bucket['mean_ms']:.3f} "
+                f"| {bucket['max_ms']:.2f} |"
+            )
+    else:
+        out("_No trace recorded (run with `--trace` for the breakdown)._")
+    out("")
+
+    out("## Watchdog events")
+    out("")
+    if report.watchdog_events:
+        out("| severity | kind | details |")
+        out("|---|---|---|")
+        for event in report.watchdog_events[:20]:
+            out(
+                f"| {event.get('severity')} | {event.get('kind')} "
+                f"| `{event.get('details')}` |"
+            )
+        if len(report.watchdog_events) > 20:
+            out("")
+            out(f"_... and {len(report.watchdog_events) - 20} more._")
+    else:
+        out(
+            "None — no tenant starved, refinement never stalled, no "
+            "runaway lock wait."
         )
     out("")
 
@@ -270,6 +442,16 @@ def render_report(report: SoakReport) -> str:
                 out(f"| {key} | {rejections[key]} |")
         else:
             out("No request was rejected; the server ran under its caps.")
+        out("")
+
+    if report.scrape_path:
+        out("## Exporter scrape")
+        out("")
+        out(
+            f"The final Prometheus-format scrape of the run was written "
+            f"to `{report.scrape_path}` (mid-soak scrapes were taken at "
+            f"every checkpoint)."
+        )
         out("")
 
     out("## Reproduction")

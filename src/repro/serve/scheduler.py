@@ -110,6 +110,10 @@ class RefinementScheduler:
         self._write_timeout = float(write_timeout)
         self._lock = threading.Lock()
         self._entries: List[_Entry] = []
+        # One-slot "who funded the next slice" hand-off: the query that
+        # poked last donates its root span id, and the next slice's span
+        # parents under it — the end-to-end trace's query->refinement link.
+        self._funding: Optional[int] = None
         self._wake = threading.Event()
         self._stop = threading.Event()
         self._pause = threading.RLock()
@@ -150,8 +154,16 @@ class RefinementScheduler:
 
     # ------------------------------------------------------------- protocol
 
-    def poke(self) -> None:
-        """Nudge the worker (called whenever a query finishes)."""
+    def poke(self, funding: Optional[int] = None) -> None:
+        """Nudge the worker (called whenever a query finishes).
+
+        ``funding`` is the poking query's root span id; the next slice
+        records it as its trace parent, crediting the refinement to the
+        request whose think-time paid for it (last poke wins).
+        """
+        if funding is not None:
+            with self._lock:
+                self._funding = funding
         self._wake.set()
 
     def paused(self) -> threading.RLock:
@@ -256,31 +268,69 @@ class RefinementScheduler:
             entry.probe = RangeQuery(
                 np.full(n_dims, -np.inf), np.full(n_dims, np.inf)
             )
-        # Refinement partitions/scans through the kernel layer; pin a
-        # scheduler-thread-private backend instance so the fused
-        # backend's scratch buffers are never shared with the executor
-        # threads running queries.
-        with kernels.pinned(kernels.thread_instance(kernels.active_name())):
-            used = entry.index._refine_step(
-                self._slice_rows, entry.probe, entry.stats
-            )
-        entry.rows += int(used)
-        entry.slices += 1
-        entry.model_seconds += int(used) * entry.row_price
-        self.slices_run += 1
+        span = None
         if obs_trace.ENABLED:
-            obs_trace.TRACER.event(
+            funding = None
+            with self._lock:
+                funding, self._funding = self._funding, None
+            # A span (not an instant event) so the refinement work this
+            # slice did nests under the query that funded it.
+            span = obs_trace.TRACER.span(
                 "scheduler.slice",
+                parent=funding,
                 tenant=entry.tenant,
                 index=entry.key,
-                rows=int(used),
             )
+            span.__enter__()
+        used = 0
+        try:
+            # Refinement partitions/scans through the kernel layer; pin a
+            # scheduler-thread-private backend instance so the fused
+            # backend's scratch buffers are never shared with the executor
+            # threads running queries.
+            with kernels.pinned(kernels.thread_instance(kernels.active_name())):
+                used = entry.index._refine_step(
+                    self._slice_rows, entry.probe, entry.stats
+                )
+        finally:
+            if span is not None:
+                span.attrs["rows"] = int(used)
+                span.__exit__(None, None, None)
+        model_seconds = int(used) * entry.row_price
+        entry.rows += int(used)
+        entry.slices += 1
+        entry.model_seconds += model_seconds
+        self.slices_run += 1
         if obs_metrics.ENABLED:
             registry = obs_metrics.REGISTRY
             registry.counter("scheduler.slices", tenant=entry.tenant).inc()
             registry.counter("scheduler.rows", tenant=entry.tenant).inc(
                 int(used)
             )
+            registry.counter(
+                "scheduler.model_seconds", tenant=entry.tenant
+            ).inc(model_seconds)
+            remaining = getattr(
+                entry.index, "convergence_rows_estimate", None
+            )
+            if remaining is not None:
+                registry.gauge(
+                    "serve.rows_to_converge",
+                    tenant=entry.tenant,
+                    index=entry.key,
+                ).set(remaining)
+            open_pieces = getattr(entry.index, "open_piece_count", None)
+            if open_pieces is not None:
+                registry.gauge(
+                    "serve.open_pieces",
+                    tenant=entry.tenant,
+                    index=entry.key,
+                ).set(open_pieces)
+            registry.gauge(
+                "serve.index_converged",
+                tenant=entry.tenant,
+                index=entry.key,
+            ).set(int(bool(entry.index.converged)))
 
     def __repr__(self) -> str:
         with self._lock:

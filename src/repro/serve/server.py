@@ -22,6 +22,15 @@ tenant sessions over shared registered tables.  Three layers:
   think-time refinement, allocating slices across tenants by
   model-priced fair share.
 
+A telemetry plane rides on all three: each traced request becomes one
+``serve.query`` span tree (queue wait -> admission -> lock wait -> scan,
+plus the refinement slice the request funded), a Prometheus-format
+exporter (:meth:`IndexServer.start_metrics_exporter` or the ``metrics``
+op) publishes per-tenant latency histograms, scheduler-ledger counters
+and per-index convergence gauges, and an :class:`~repro.obs.slo.
+SLOEngine` holds every tenant to the cost model's interactivity budget
+with a watchdog flagging starvation, stalls, and runaway lock waits.
+
 Queries come in two modes.  ``adaptive`` (the default) is the paper's
 query: it may refine the index and therefore takes the index's writer
 lock.  ``snapshot`` is the serving-path read: it scans the current piece
@@ -36,6 +45,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -43,6 +53,7 @@ import numpy as np
 
 from .. import kernels
 from ..core import BaseIndex, RangeQuery
+from ..core.cost_model import CostModel, MachineProfile
 from ..core.dictionary import EncodedTable, encode_table
 from ..core.metrics import QueryStats
 from ..core.progressive_kdtree import CREATION, ProgressiveKDTree
@@ -56,6 +67,8 @@ from ..errors import (
 from ..invariants import structural_errors
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..obs.export import MetricsExporter, render_exposition
+from ..obs.slo import SLOConfig, SLOEngine, Watchdog
 from ..session import TECHNIQUES, resolve_group_query
 from .admission import AdmissionCaps, AdmissionControl, AdmissionError
 from .locks import PieceSnapshotLock
@@ -71,6 +84,14 @@ from .protocol import (
 from .scheduler import RefinementScheduler
 
 __all__ = ["IndexServer", "ServerThread", "snapshot_scan", "TenantSession"]
+
+
+def _index_key(session_id: str, table: str, group: Tuple[str, ...]) -> str:
+    """Canonical per-session index key (scheduler registration, lock
+    name, metric label).  Columns join with ``+`` — a comma would break
+    the metrics registry's ``name{k=v,...}`` key rendering round-trip.
+    """
+    return f"{session_id}/{table}/{'+'.join(group)}"
 
 
 def _thread_kernels() -> kernels.pinned:
@@ -137,6 +158,10 @@ class _SessionIndex:
 
     index: BaseIndex
     lock: PieceSnapshotLock = field(default_factory=PieceSnapshotLock)
+    # (registry generation, {mode/gauge key -> instrument}): cached by
+    # execute_query so the per-request metered cost is dict gets, not
+    # registry-key renders under the registry lock.
+    metric_handles: Optional[tuple] = None
 
 
 @dataclass
@@ -184,6 +209,7 @@ class IndexServer:
         caps: AdmissionCaps = AdmissionCaps(),
         executor_workers: int = 8,
         scheduler: Optional[RefinementScheduler] = None,
+        slo_config: Optional[SLOConfig] = None,
     ) -> None:
         resolved = "greedy" if technique == "auto" else technique
         if resolved not in TECHNIQUES:
@@ -205,6 +231,13 @@ class IndexServer:
         self._queries_total = 0
         self._started_at = time.time()
         self._executor = None  # created by the asyncio layer on demand
+        self._metrics_exporter: Optional[MetricsExporter] = None
+        # SLO plane: per-tenant objectives (cost-model interactivity
+        # budgets, installed as indexes are created) plus the watchdog
+        # probing scheduler/lock health once a second.
+        self.slo = SLOEngine(slo_config)
+        self._watchdog = Watchdog(self.slo, self._watchdog_probe)
+        self._watchdog.start()
 
     # ------------------------------------------------------------- tables
 
@@ -316,7 +349,7 @@ class IndexServer:
         self.scheduler.unregister_tenant(
             session.tenant,
             keys={
-                f"{session.session_id}/{table}/{','.join(group)}"
+                _index_key(session.session_id, table, group)
                 for table, group in session.indexes
             },
         )
@@ -349,13 +382,30 @@ class IndexServer:
                 index = TECHNIQUES[session.technique](
                     projected, session.settings
                 )
-                entry = _SessionIndex(index=index)
+                index_key = _index_key(
+                    session.session_id, table_name, group_key
+                )
+                entry = _SessionIndex(
+                    index=index, lock=PieceSnapshotLock(name=index_key)
+                )
                 session.indexes[key] = entry
                 self.scheduler.register(
+                    session.tenant, index_key, index, entry.lock
+                )
+                # The tenant's latency objective is the cost model's
+                # interactivity budget for this index — the per-query
+                # time the greedy controller promises to hold.
+                model = getattr(index, "cost_model", None) or CostModel(
+                    MachineProfile.deterministic(),
+                    projected.n_rows,
+                    len(positions),
+                )
+                self.slo.set_objective(
                     session.tenant,
-                    f"{session.session_id}/{table_name}/{','.join(group_key)}",
-                    index,
-                    entry.lock,
+                    model.interactivity_budget_seconds(
+                        delta=session.settings.delta,
+                        tau=session.settings.tau,
+                    ),
                 )
             return entry
 
@@ -366,8 +416,18 @@ class IndexServer:
         bounds: Dict[str, object],
         mode: str = "adaptive",
         return_ids: bool = False,
+        trace: Optional[str] = None,
+        enqueued: Optional[float] = None,
     ) -> Dict[str, object]:
-        """Run one query for a session; blocking, called off the loop."""
+        """Run one query for a session; blocking, called off the loop.
+
+        ``trace`` is a client-chosen request id; when tracing is on it
+        rides on the ``serve.query`` root span so a client request
+        resolves to exactly one server-side span tree.  ``enqueued`` is
+        the trace-time stamp (:meth:`Tracer.now`) taken on the event
+        loop when the request was handed to the executor — the root's
+        ``serve.queue`` child records the executor-queue wait from it.
+        """
         if mode not in ("adaptive", "snapshot"):
             raise InvalidQueryError(
                 f"unknown query mode {mode!r}; options: adaptive, snapshot"
@@ -384,53 +444,147 @@ class IndexServer:
         entry = self._session_index(
             session, table_name, group_key, positions, shared
         )
-        with self.admission.inflight(session.tenant):
-            begin = time.perf_counter()
-            if obs_trace.ENABLED:
-                span = obs_trace.TRACER.span(
-                    "serve.query",
-                    tenant=session.tenant,
-                    session=session_id,
-                    table=table_name,
-                    columns=",".join(group_key),
-                    mode=mode,
+        index_key = _index_key(session_id, table_name, group_key)
+        tracer = obs_trace.TRACER if obs_trace.ENABLED else None
+        root = None
+        root_id: Optional[int] = None
+        begin = time.perf_counter()
+        try:
+            if tracer is not None:
+                attrs: Dict[str, object] = {
+                    "tenant": session.tenant,
+                    "session": session_id,
+                    "table": table_name,
+                    "columns": ",".join(group_key),
+                    "mode": mode,
+                }
+                if trace is not None:
+                    attrs["trace"] = trace
+                root = tracer.span("serve.query", **attrs)
+                root.__enter__()
+                root_id = root.span_id
+                if enqueued is not None:
+                    now = tracer.now()
+                    tracer.record_span(
+                        "serve.queue",
+                        enqueued,
+                        max(0.0, now - enqueued),
+                        parent=root_id,
+                    )
+            admit_at = tracer.now() if tracer is not None else 0.0
+            with self.admission.inflight(session.tenant):
+                if tracer is not None:
+                    tracer.record_span(
+                        "serve.admission",
+                        admit_at,
+                        tracer.now() - admit_at,
+                        parent=root_id,
+                        tenant=session.tenant,
+                    )
+                scan_cm = (
+                    tracer.span("serve.scan", mode=mode)
+                    if tracer is not None
+                    else nullcontext()
                 )
-            else:
-                span = None
-            try:
-                if span is not None:
-                    span.__enter__()
                 if mode == "adaptive":
-                    with entry.lock.write(), _thread_kernels():
-                        result = entry.index.query(query)
-                        row_ids = result.row_ids
+                    lock_at = tracer.now() if tracer is not None else 0.0
+                    entry.lock.acquire_write()
+                    try:
+                        if tracer is not None:
+                            tracer.record_span(
+                                "serve.lock",
+                                lock_at,
+                                tracer.now() - lock_at,
+                                parent=root_id,
+                                side="write",
+                            )
+                        with scan_cm, _thread_kernels():
+                            result = entry.index.query(query)
+                            row_ids = result.row_ids
+                    finally:
+                        entry.lock.release_write()
                 else:
                     stats = QueryStats()
                     base_columns = [
                         shared.encoded.table.column(position)
                         for position in positions
                     ]
-                    with entry.lock.read(), _thread_kernels():
-                        row_ids = snapshot_scan(
-                            entry.index, base_columns, query, stats
-                        )
-            finally:
-                if span is not None:
-                    span.__exit__(None, None, None)
-            elapsed = time.perf_counter() - begin
-        self.scheduler.poke()
+                    lock_at = tracer.now() if tracer is not None else 0.0
+                    entry.lock.acquire_read()
+                    try:
+                        if tracer is not None:
+                            tracer.record_span(
+                                "serve.lock",
+                                lock_at,
+                                tracer.now() - lock_at,
+                                parent=root_id,
+                                side="read",
+                            )
+                        with scan_cm, _thread_kernels():
+                            row_ids = snapshot_scan(
+                                entry.index, base_columns, query, stats
+                            )
+                    finally:
+                        entry.lock.release_read()
+        finally:
+            if root is not None:
+                root.__exit__(None, None, None)
+        elapsed = time.perf_counter() - begin
+        self.slo.observe(session.tenant, elapsed)
+        self.scheduler.poke(funding=root_id)
         with self._lock:
             session.queries_run += 1
             shared.queries_run += 1
             self._queries_total += 1
         if obs_metrics.ENABLED:
             registry = obs_metrics.REGISTRY
-            registry.counter(
-                "serve.queries", tenant=session.tenant, mode=mode
-            ).inc()
-            registry.histogram(
-                "serve.query_seconds", tenant=session.tenant, mode=mode
-            ).observe(elapsed)
+            handles = entry.metric_handles
+            if handles is None or handles[0] != registry.generation:
+                tenant = session.tenant
+                handles = (
+                    registry.generation,
+                    {
+                        "queries_adaptive": registry.counter(
+                            "serve.queries", tenant=tenant, mode="adaptive"
+                        ),
+                        "queries_snapshot": registry.counter(
+                            "serve.queries", tenant=tenant, mode="snapshot"
+                        ),
+                        "seconds_adaptive": registry.histogram(
+                            "serve.query_seconds", tenant=tenant,
+                            mode="adaptive"
+                        ),
+                        "seconds_snapshot": registry.histogram(
+                            "serve.query_seconds", tenant=tenant,
+                            mode="snapshot"
+                        ),
+                        "rows_to_converge": registry.gauge(
+                            "serve.rows_to_converge", tenant=tenant,
+                            index=index_key
+                        ),
+                        "open_pieces": registry.gauge(
+                            "serve.open_pieces", tenant=tenant,
+                            index=index_key
+                        ),
+                        "converged": registry.gauge(
+                            "serve.index_converged", tenant=tenant,
+                            index=index_key
+                        ),
+                    },
+                )
+                entry.metric_handles = handles
+            instruments = handles[1]
+            instruments[f"queries_{mode}"].inc()
+            instruments[f"seconds_{mode}"].observe(elapsed)
+            remaining = getattr(
+                entry.index, "convergence_rows_estimate", None
+            )
+            if remaining is not None:
+                instruments["rows_to_converge"].set(remaining)
+            open_pieces = getattr(entry.index, "open_piece_count", None)
+            if open_pieces is not None:
+                instruments["open_pieces"].set(open_pieces)
+            instruments["converged"].set(int(bool(entry.index.converged)))
         response: Dict[str, object] = {
             "count": int(row_ids.size),
             "checksum": answer_checksum(row_ids),
@@ -469,6 +623,52 @@ class IndexServer:
                     with entry.lock.write(), _thread_kernels():
                         findings[label] = structural_errors(entry.index)
         return findings
+
+    # ----------------------------------------------------------- telemetry
+
+    def _watchdog_probe(self) -> Dict[str, object]:
+        """Serve-plane health snapshot for the SLO watchdog (see
+        :class:`~repro.obs.slo.Watchdog` for the contract)."""
+        with self._lock:
+            locks = [
+                entry.lock
+                for session in self._sessions.values()
+                for entry in session.indexes.values()
+            ]
+        max_wait = 0.0
+        for lock in locks:
+            max_wait = max(max_wait, lock.drain_max_wait())
+        allocations = self.scheduler.allocations()
+        unconverged = sum(
+            int(bucket["indexes"]) - int(bucket["converged"])
+            for bucket in allocations.values()
+        )
+        return {
+            "slices_run": self.scheduler.slices_run,
+            "unconverged": unconverged,
+            "allocations": {
+                tenant: float(bucket["model_seconds"])
+                for tenant, bucket in allocations.items()
+            },
+            "max_lock_wait": max_wait,
+        }
+
+    def metrics_exposition(self) -> str:
+        """Prometheus text exposition: the metrics registry plus the SLO
+        plane (which is server-owned and always present)."""
+        return render_exposition() + self.slo.exposition()
+
+    def start_metrics_exporter(
+        self, port: int = 0, host: str = "127.0.0.1"
+    ) -> MetricsExporter:
+        """Start the ``/metrics`` HTTP endpoint (and turn metric feeding
+        on — an exporter without instruments would scrape empty)."""
+        if self._metrics_exporter is None:
+            obs_metrics.enable()
+            self._metrics_exporter = MetricsExporter(
+                port=port, host=host, extra=self.slo.exposition
+            )
+        return self._metrics_exporter
 
     # --------------------------------------------------------------- stats
 
@@ -514,12 +714,17 @@ class IndexServer:
                 "slices_run": self.scheduler.slices_run,
                 "allocations": self.scheduler.allocations(),
             },
+            "slo": {
+                "tenants": self.slo.snapshot(),
+                "events": self.slo.event_counts(),
+            },
         }
 
     # ------------------------------------------------------------ lifecycle
 
     def close(self) -> None:
         """Stop maintenance and drop all sessions.  Idempotent."""
+        self._watchdog.stop()
         with self._lock:
             session_ids = list(self._sessions)
         for session_id in session_ids:
@@ -528,6 +733,9 @@ class IndexServer:
             except InvalidParameterError:
                 pass
         self.scheduler.close()
+        exporter, self._metrics_exporter = self._metrics_exporter, None
+        if exporter is not None:
+            exporter.close()
 
     # ------------------------------------------------------- request layer
 
@@ -535,12 +743,15 @@ class IndexServer:
         """Ops that do real work — run on an executor thread."""
         op = request.get("op")
         if op == "query":
+            trace = request.get("trace")
             payload = self.execute_query(
                 session_id=str(request.get("session", "")),
                 table_name=str(request.get("table", "")),
                 bounds=request.get("bounds") or {},
                 mode=str(request.get("mode", "adaptive")),
                 return_ids=bool(request.get("return_ids", False)),
+                trace=None if trace is None else str(trace),
+                enqueued=request.get("_enqueued"),
             )
             return ok_response(request, **payload)
         if op == "check":
@@ -594,6 +805,19 @@ class IndexServer:
             return ok_response(request, closed=True)
         if op == "stats":
             return ok_response(request, **self.stats())
+        if op == "metrics":
+            return ok_response(
+                request,
+                content_type="text/plain; version=0.0.4",
+                exposition=self.metrics_exposition(),
+            )
+        if op == "slo":
+            return ok_response(
+                request,
+                tenants=self.slo.snapshot(),
+                events=self.slo.events(),
+                counts=self.slo.event_counts(),
+            )
         return None
 
     async def _handle_request(
@@ -603,6 +827,12 @@ class IndexServer:
             control = self._dispatch_control(request)
             if control is not None:
                 return control
+            if obs_trace.ENABLED and request.get("op") == "query":
+                # Stamp the hand-off time on the loop; the executor
+                # thread turns it into the request's queue-wait span.
+                request = dict(
+                    request, _enqueued=obs_trace.TRACER.now()
+                )
             return await loop.run_in_executor(
                 self._executor, self._dispatch_blocking, request
             )
