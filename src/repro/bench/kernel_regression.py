@@ -48,6 +48,7 @@ from .. import kernels
 from ..core.metrics import QueryStats
 from ..core.partition import IncrementalPartition
 from ..core.query import RangeQuery
+from ..errors import ReproError
 from ..workloads import make_synthetic_workload
 from .harness import run_workload
 
@@ -58,11 +59,17 @@ __all__ = [
     "compare",
     "record_parallel",
     "compare_parallel",
+    "BaselineProvenanceError",
     "PerfDrift",
     "OPS",
     "GATE",
     "PARALLEL_WORKERS",
+    "PARALLEL_PROCS",
 ]
+
+
+class BaselineProvenanceError(ReproError):
+    """Refusing to overwrite a baseline with worse-provenance numbers."""
 
 #: Micro-benchmark operations, timed per backend.  The three scan
 #: selectivities cover the backend's regimes: *selective* (~1% total)
@@ -226,11 +233,15 @@ def kernel_metrics(
 #: Worker counts the parallel baseline sweeps (1 == the serial path).
 PARALLEL_WORKERS = (1, 2, 4, 8)
 
+#: Process-pool worker counts the baseline sweeps (1 == no pool).
+PARALLEL_PROCS = (1, 2, 4)
+
 
 def parallel_metrics(
     n: int = 4_000_000,
     repeats: int = 3,
     workers: Sequence[int] = PARALLEL_WORKERS,
+    procs: Sequence[int] = PARALLEL_PROCS,
 ) -> Dict[str, object]:
     """Wall time of one moderate-selectivity full scan per worker count.
 
@@ -238,9 +249,17 @@ def parallel_metrics(
     exact code path queries take, so ``workers=1`` times the serial
     fall-through (one extra integer comparison) and ``workers>1`` times
     the real morsel fan-out including submit/merge overhead.
+
+    The ``procs`` sweep times the same scan on the process pool: the
+    columns are moved into shared-memory segments first (as
+    :meth:`repro.core.table.Table.share` does), so each count includes
+    the real dispatch cost — pickle of the morsel descriptors, a
+    zero-copy attach in each worker, and the submission-order merge —
+    but not segment creation or pool warm-up.
     """
     from ..core.scan import full_scan
     from ..parallel import config as parallel_config
+    from ..parallel import procpool, shm
 
     rng = np.random.default_rng(0)
     columns = [rng.random(n) for _ in range(3)]
@@ -260,6 +279,24 @@ def parallel_metrics(
         parallel_config.set_workers(previous)
         parallel_config.shutdown_pool()
     serial = seconds[str(workers[0])]
+
+    previous_procs = procpool.get_process_workers()
+    block = shm.share_arrays(columns)
+    columns = list(block.arrays)
+    proc_seconds: Dict[str, float] = {}
+    try:
+        for count in procs:
+            procpool.set_process_workers(count)
+            if count > 1:
+                procpool.warm_up()
+            run()  # warm-up: worker attach, page faults
+            proc_seconds[str(count)] = min(_timed(run) for _ in range(repeats))
+    finally:
+        procpool.set_process_workers(previous_procs)
+        procpool.shutdown_procs()
+        block.release()
+    proc_serial = proc_seconds[str(procs[0])]
+
     return {
         # cpu_count rides at top level, not buried in meta: every number
         # below is meaningless without knowing how many cores produced it
@@ -269,11 +306,17 @@ def parallel_metrics(
             "n": n,
             "repeats": repeats,
             "workers": list(workers),
+            "procs": list(procs),
             "cpu_count": os.cpu_count(),
         },
         "scan_seconds": seconds,
         "speedup": {
             count: serial / elapsed for count, elapsed in seconds.items()
+        },
+        "proc_scan_seconds": proc_seconds,
+        "proc_speedup": {
+            count: proc_serial / elapsed
+            for count, elapsed in proc_seconds.items()
         },
     }
 
@@ -366,9 +409,35 @@ def compare(
 
 
 def record_parallel(
-    path: str, n: int = 4_000_000, repeats: int = 3
+    path: str, n: int = 4_000_000, repeats: int = 3, force: bool = False
 ) -> Dict[str, object]:
-    """Measure and persist the parallel-scan baseline."""
+    """Measure and persist the parallel-scan baseline.
+
+    Refuses to overwrite an existing baseline recorded on a machine
+    with *more* CPUs than this one unless ``force`` is set: a laptop
+    re-record would silently replace multi-core CI provenance with
+    numbers that cannot show scaling, and every later ``compare-parallel``
+    would grade against a ceiling of pure overhead.
+    """
+    if not force and os.path.exists(path):
+        try:
+            with open(path) as handle:
+                stored = json.load(handle)
+        except (OSError, ValueError):
+            stored = None
+        if stored is not None:
+            stored_cpus = stored.get(
+                "cpu_count", stored.get("meta", {}).get("cpu_count")
+            )
+            current_cpus = os.cpu_count() or 1
+            if stored_cpus is not None and current_cpus < stored_cpus:
+                raise BaselineProvenanceError(
+                    f"{path} was recorded on {stored_cpus} CPU(s); this "
+                    f"machine has {current_cpus}. Overwriting would "
+                    f"downgrade the baseline's scaling provenance — "
+                    f"re-record on a machine with >= {stored_cpus} CPUs, "
+                    f"or pass --force to overwrite anyway."
+                )
     doc = parallel_metrics(n, repeats)
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
@@ -441,6 +510,41 @@ def compare_parallel(
             f"only {cpus} CPU(s) here; scaling floor skipped, "
             f"4-worker overhead {1 / speedup4 if speedup4 else 0:.2f}x"
         )
+
+    # Process-pool sweep: same portable claims as the thread sweep.
+    # Dispatch rides on pickle + spawn-warmed workers, so its overhead
+    # allowance is looser than the in-process thread fan-out's.
+    proc_seconds = current.get("proc_scan_seconds", {})
+    if proc_seconds:
+        proc_serial = proc_seconds["1"]
+        proc_overhead = max(overhead, 3.0)
+        # Process dispatch has a fixed cost (pickle, IPC round-trip)
+        # that cannot amortize on a small --n; grade it against a flat
+        # grace on top of the multiplicative allowance so the gate
+        # measures regressions, not scan size.
+        grace = 0.05
+        for count, elapsed in proc_seconds.items():
+            if elapsed > proc_serial * proc_overhead + grace:
+                drift.problems.append(
+                    f"{count} procs: {elapsed:.3f}s is more than "
+                    f"{proc_overhead:g}x the serial {proc_serial:.3f}s "
+                    f"(+{grace:g}s dispatch grace) — process dispatch "
+                    f"overhead regressed"
+                )
+        proc4 = current.get("proc_speedup", {}).get("4", 0.0)
+        if cpus >= 4:
+            if proc4 < min_speedup:
+                drift.problems.append(
+                    f"4-proc scan speedup {proc4:.2f}x on a {cpus}-CPU "
+                    f"machine is below the {min_speedup:.2f}x floor"
+                )
+            else:
+                drift.notes.append(f"4-proc scan {proc4:.2f}x over serial")
+        else:
+            drift.notes.append(
+                f"proc scaling floor skipped on {cpus} CPU(s), "
+                f"4-proc overhead {1 / proc4 if proc4 else 0:.2f}x"
+            )
     return drift
 
 
@@ -468,6 +572,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rec_par.add_argument("path")
     rec_par.add_argument("--n", type=int, default=4_000_000)
     rec_par.add_argument("--repeats", type=int, default=3)
+    rec_par.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite the baseline even when it was recorded on a "
+        "machine with more CPUs than this one",
+    )
     cmp_par = sub.add_parser(
         "compare-parallel", help="re-measure and diff the worker sweep"
     )
@@ -485,11 +595,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"baseline written to {args.path}")
         return 0
     if args.command == "record-parallel":
-        doc = record_parallel(args.path, args.n, args.repeats)
+        try:
+            doc = record_parallel(
+                args.path, args.n, args.repeats, force=args.force
+            )
+        except BaselineProvenanceError as error:
+            print(f"record-parallel refused: {error}")
+            return 1
         print(f"cpu_count: {doc['cpu_count']} (provenance for every "
               f"number below)")
         for count, value in sorted(doc["speedup"].items(), key=lambda kv: int(kv[0])):
             print(f"{count} workers: {value:.2f}x over serial")
+        for count, value in sorted(
+            doc.get("proc_speedup", {}).items(), key=lambda kv: int(kv[0])
+        ):
+            print(f"{count} procs: {value:.2f}x over serial")
         print(f"baseline written to {args.path}")
         return 0
     if args.command == "compare-parallel":

@@ -36,21 +36,39 @@ ALGORITHMS = ("FS", "AvgKD", "MedKD", "Q", "AKD", "PKD", "GPKD")
 
 
 def baseline_metrics() -> Dict[str, float]:
-    """Compute the deterministic metrics of the fixed mini-grid."""
-    metrics: Dict[str, float] = {}
-    for pattern, dims, rows, queries, selectivity in GRID:
-        workload = make_synthetic_workload(
-            pattern, rows, dims, queries, selectivity, seed=1234
-        )
-        for algorithm in ALGORITHMS:
-            run = run_workload(
-                algorithm, workload, size_threshold=128, delta=0.25
+    """Compute the deterministic metrics of the fixed mini-grid.
+
+    The baseline is defined over the *serial* schedule: the round-based
+    parallel refiner charges indexing work to different queries than
+    the one-piece serial loop, so both tiers are pinned off for the
+    measurement — an ambient REPRO_PARALLEL / REPRO_PROCS must not make
+    the checked-in numbers unreproducible.
+    """
+    from ..parallel import config as par_config
+    from ..parallel import procpool
+
+    workers = par_config.get_workers()
+    procs = procpool.get_process_workers()
+    par_config.set_workers(1)
+    procpool.set_process_workers(1)
+    try:
+        metrics: Dict[str, float] = {}
+        for pattern, dims, rows, queries, selectivity in GRID:
+            workload = make_synthetic_workload(
+                pattern, rows, dims, queries, selectivity, seed=1234
             )
-            key = f"{workload.name}/{algorithm}"
-            metrics[f"{key}/total_work"] = total_work(run)
-            metrics[f"{key}/first_work"] = float(run.work()[0])
-            metrics[f"{key}/nodes"] = float(run.node_counts[-1])
-    return metrics
+            for algorithm in ALGORITHMS:
+                run = run_workload(
+                    algorithm, workload, size_threshold=128, delta=0.25
+                )
+                key = f"{workload.name}/{algorithm}"
+                metrics[f"{key}/total_work"] = total_work(run)
+                metrics[f"{key}/first_work"] = float(run.work()[0])
+                metrics[f"{key}/nodes"] = float(run.node_counts[-1])
+        return metrics
+    finally:
+        par_config.set_workers(workers)
+        procpool.set_process_workers(procs)
 
 
 @dataclass

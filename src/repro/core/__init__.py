@@ -19,7 +19,13 @@ from .progressive_kdtree import ProgressiveKDTree
 from .greedy_progressive import GreedyProgressiveKDTree
 from .approximate import ApproximateAnswer, ApproximateProgressiveKDTree
 from .dictionary import DictionaryColumn, EncodedTable, encode_table
-from .table_partitioning import AdaptiveTablePartitioner, PartitionedResult
+from .table_partitioning import (
+    AdaptiveTablePartitioner,
+    PartitionedResult,
+    Shard,
+    ShardedIndex,
+    ShardedTable,
+)
 from .updates import AppendableAdaptiveKDTree
 from .aggregates import AggregateReader
 from .histogram import EquiWidthHistogram, TableHistograms
@@ -46,6 +52,9 @@ __all__ = [
     "encode_table",
     "AdaptiveTablePartitioner",
     "PartitionedResult",
+    "Shard",
+    "ShardedIndex",
+    "ShardedTable",
     "Table",
     "RangeQuery",
     "QueryStats",

@@ -59,28 +59,65 @@ class QueryResult:
 
 class IndexTable:
     """The secondary index table: reorganisable copies of all columns plus
-    a rowid column mapping positions back to the original table."""
+    a rowid column mapping positions back to the original table.
 
-    __slots__ = ("columns", "rowids")
+    With process workers enabled (:mod:`repro.parallel.procpool`), the
+    two construction paths place the arrays in shared-memory segments
+    instead of the process heap — behaviourally identical views, but
+    shippable to pool workers by handle.  The segment's lifetime is tied
+    to the ``IndexTable`` instance (hence ``__weakref__`` in the slots).
+    """
+
+    __slots__ = ("columns", "rowids", "__weakref__")
 
     def __init__(self, columns: List[np.ndarray], rowids: np.ndarray) -> None:
         self.columns = columns
         self.rowids = rowids
 
+    @staticmethod
+    def _shm_backed() -> bool:
+        from ..parallel import procpool
+
+        return procpool.get_process_workers() > 1 and not procpool.in_proc_worker()
+
     @classmethod
     def copy_of(cls, table: Table, stats: Optional[QueryStats] = None) -> "IndexTable":
         """Materialise the index table as a copy of the base table
         (the Adaptive KD-Tree initialization phase)."""
-        columns = table.copy_columns()
-        rowids = np.arange(table.n_rows, dtype=np.int64)
         if stats is not None:
             stats.copied += table.n_rows * (table.n_columns + 1)
+        if cls._shm_backed():
+            from ..parallel import shm as parallel_shm
+
+            specs = [
+                (table.n_rows, column.dtype) for column in table.columns()
+            ]
+            specs.append((table.n_rows, np.dtype(np.int64)))
+            block = parallel_shm.empty_arrays(specs)
+            for view, column in zip(block.arrays, table.columns()):
+                view[:] = column
+            rowids = block.arrays[-1]
+            rowids[:] = np.arange(table.n_rows, dtype=np.int64)
+            instance = cls(block.arrays[:-1], rowids)
+            parallel_shm.adopt(instance, block)
+            return instance
+        columns = table.copy_columns()
+        rowids = np.arange(table.n_rows, dtype=np.int64)
         return cls(columns, rowids)
 
     @classmethod
     def allocate(cls, n_rows: int, n_columns: int, dtype=np.float64) -> "IndexTable":
         """Uninitialised index table (the progressive creation phase fills
         it incrementally)."""
+        if cls._shm_backed():
+            from ..parallel import shm as parallel_shm
+
+            specs = [(n_rows, np.dtype(dtype))] * n_columns
+            specs.append((n_rows, np.dtype(np.int64)))
+            block = parallel_shm.empty_arrays(specs)
+            instance = cls(block.arrays[:-1], block.arrays[-1])
+            parallel_shm.adopt(instance, block)
+            return instance
         columns = [np.empty(n_rows, dtype=dtype) for _ in range(n_columns)]
         rowids = np.empty(n_rows, dtype=np.int64)
         return cls(columns, rowids)

@@ -337,7 +337,7 @@ class ProgressiveKDTree(BaseIndex):
         1`` always takes the serial loop below, unchanged.
         """
         if (
-            parallel_config.get_workers() > 1
+            parallel_config.fanout_workers() > 1
             and len(self._open) > 1
             and not parallel_config.in_worker()
         ):
@@ -502,7 +502,7 @@ class ProgressiveKDTree(BaseIndex):
         """
         model = self.cost_model
         row_seconds = model.refinement_row_seconds()
-        workers = parallel_config.get_workers()
+        workers = parallel_config.fanout_workers()
         used_total = 0
         while budget_rows > 0 and self._open:
             before = model.seconds_of(stats)

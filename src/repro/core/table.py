@@ -35,7 +35,7 @@ class Table:
         Storage dtype for the dimension columns.
     """
 
-    __slots__ = ("_columns", "_names", "_n_rows")
+    __slots__ = ("_columns", "_names", "_n_rows", "__weakref__")
 
     def __init__(
         self,
@@ -143,6 +143,25 @@ class Table:
             [self._names[p] for p in positions],
             dtype=self._columns[0].dtype,
         )
+
+    def share(self) -> bool:
+        """Move the columns into shared memory for the process tier.
+
+        Replaces the column arrays with equal-content views backed by a
+        :mod:`repro.parallel.shm` segment (whose lifetime follows this
+        table), so full scans can fan out across process workers.
+        Idempotent; returns True once the columns are shm-backed.  Call
+        *before* building indexes over this table — already-built
+        indexes keep referencing the old heap arrays.
+        """
+        from ..parallel import shm as parallel_shm
+
+        if parallel_shm.handles_of(self._columns) is not None:
+            return True
+        block = parallel_shm.share_arrays(self._columns)
+        self._columns = list(block.arrays)
+        parallel_shm.adopt(self, block)
+        return True
 
     def minimums(self) -> np.ndarray:
         """Per-column minimum values."""

@@ -1,4 +1,28 @@
-"""Adaptive Table Partitioning (paper Section V, future work).
+"""Table partitioning: physical sharding plus adaptive in-place cracking.
+
+Two layers share this module:
+
+**Sharding** (:class:`ShardedTable` / :class:`ShardedIndex`) splits a
+registered table into contiguous, balanced row-range shards, each with
+its own per-column min/max zone map and its own independently-built
+inner index.  A query is answered scatter-gather: the zone maps prune
+shards whose box cannot intersect the query (the same data-free test
+PR-2's leaf zone maps perform, one level up), the survivors execute
+against their inner indexes — serially, across the thread pool, or with
+each shard's scans fanning out over the process tier
+(:mod:`repro.parallel.procpool`) — and the per-shard answers and
+``QueryStats`` merge in shard order, so the result is bit-identical to
+the serial loop.  Shard-local rowids map back through the shard's
+``row_offset``; sharding is invisible in the answer.  Refinement also
+decomposes: :meth:`ShardedIndex._refine_step` splits a budget across
+the shards still refining, which is what lets the serve layer's
+:class:`~repro.serve.scheduler.RefinementScheduler` converge shards in
+parallel.  Invariant I10 (:func:`repro.invariants.shard_errors`) checks
+disjoint complete coverage and zone soundness, and sweeps I1–I9 over
+every inner index.
+
+**Adaptive table partitioning** (:class:`AdaptiveTablePartitioner`) is
+the paper's Section V future-work idea:
 
     "A similar reorganization strategy can be extended for the original
     table's data instead of creating a secondary index structure.  This
@@ -6,21 +30,20 @@
     multidimensional indexes will suffer from tuple reconstruction costs
     when accessing non-indexed tuples."
 
-:class:`AdaptiveTablePartitioner` applies the Adaptive KD-Tree's cracking
-strategy to the *whole* table — payload columns are physically reorganised
-together with the dimension columns.  Queries therefore return (mostly)
-contiguous row runs, and payload access is a direct slice of the
-partitioned storage instead of a rowid-gather through a secondary index
-(:meth:`fetch` vs. the ``rowids[...]`` hop every secondary index pays).
-
-The trade-off the paper predicts is measurable here: reorganisation moves
-``d + p + 1`` arrays per pivot instead of ``d + 1``, so adaptation costs
-grow with the payload width while reads shrink.
+It applies the Adaptive KD-Tree's cracking strategy to the *whole*
+table — payload columns are physically reorganised together with the
+dimension columns.  Queries therefore return (mostly) contiguous row
+runs, and payload access is a direct slice of the partitioned storage
+instead of a rowid-gather through a secondary index (:meth:`fetch` vs.
+the ``rowids[...]`` hop every secondary index pays).  The trade-off the
+paper predicts is measurable here: reorganisation moves ``d + p + 1``
+arrays per pivot instead of ``d + 1``, so adaptation costs grow with
+the payload width while reads shrink.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,11 +52,333 @@ from .index_base import BaseIndex
 from .kdtree import KDTree
 from .metrics import PhaseTimer, QueryStats
 from .partition import stable_partition
+from .progressive_kdtree import CONVERGED, CREATION, REFINEMENT
 from .query import RangeQuery
 from .scan import range_scan
 from .table import Table
 
-__all__ = ["AdaptiveTablePartitioner", "PartitionedResult"]
+__all__ = [
+    "Shard",
+    "ShardedTable",
+    "ShardedIndex",
+    "AdaptiveTablePartitioner",
+    "PartitionedResult",
+]
+
+
+class Shard:
+    """One contiguous row-range shard of a sharded table.
+
+    ``table`` holds zero-copy column views ``base[start:end)``;
+    ``row_offset`` (= ``start``) maps shard-local rowids back to base
+    rowids; ``zone_lo``/``zone_hi`` are the per-column min/max of the
+    shard's rows, computed once at sharding time (the base table is
+    read-only, so they never go stale).
+    """
+
+    __slots__ = ("shard_id", "row_offset", "n_rows", "table", "zone_lo", "zone_hi")
+
+    def __init__(
+        self, shard_id: int, row_offset: int, table: Table
+    ) -> None:
+        self.shard_id = shard_id
+        self.row_offset = row_offset
+        self.n_rows = table.n_rows
+        self.table = table
+        self.zone_lo = tuple(float(v) for v in table.minimums())
+        self.zone_hi = tuple(float(v) for v in table.maximums())
+
+    def intersects(self, query: RangeQuery) -> bool:
+        """Data-free zone test: can any shard row satisfy the query?
+
+        Same half-open semantics as the leaf zone maps: ``low < x <=
+        high`` cannot hold anywhere in ``[zlo, zhi]`` when ``high < zlo``
+        or ``low >= zhi``.
+        """
+        lows = query.lows_f
+        highs = query.highs_f
+        for dim in range(query.n_dims):
+            if highs[dim] < self.zone_lo[dim] or lows[dim] >= self.zone_hi[dim]:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard({self.shard_id}: rows [{self.row_offset}, "
+            f"{self.row_offset + self.n_rows}))"
+        )
+
+
+class ShardedTable:
+    """A table split into contiguous, balanced row-range shards.
+
+    Shard boundaries follow the balanced split ``n_rows // n_shards``
+    with the remainder spread over the first shards, so sizes differ by
+    at most one row.  Column views are registered with the shared-memory
+    layer when the base columns are shm-backed
+    (:meth:`~repro.core.table.Table.share`), which lets each shard's
+    scans fan out over the process pool independently.
+    """
+
+    def __init__(self, table: Table, n_shards: int) -> None:
+        n_shards = int(n_shards)
+        if n_shards < 1:
+            raise InvalidParameterError(
+                f"shard count must be >= 1, got {n_shards}"
+            )
+        n_shards = min(n_shards, max(1, table.n_rows))
+        self.table = table
+        self.shards: List[Shard] = []
+        base_columns = table.columns()
+        names = table.names
+        size, extra = divmod(table.n_rows, n_shards)
+        start = 0
+        for shard_id in range(n_shards):
+            end = start + size + (1 if shard_id < extra else 0)
+            views = [column[start:end] for column in base_columns]
+            self._register_views(views, base_columns)
+            shard_table = Table(views, names, dtype=base_columns[0].dtype)
+            self.shards.append(Shard(shard_id, start, shard_table))
+            start = end
+        assert start == table.n_rows
+
+    @staticmethod
+    def _register_views(
+        views: Sequence[np.ndarray], bases: Sequence[np.ndarray]
+    ) -> None:
+        from ..parallel import shm as parallel_shm
+
+        for view, base in zip(views, bases):
+            parallel_shm.register_view(view, base)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def prune(self, query: RangeQuery) -> Tuple[List[Shard], int]:
+        """Shards whose zone box intersects the query, plus pruned count."""
+        survivors = [shard for shard in self.shards if shard.intersects(query)]
+        return survivors, len(self.shards) - len(survivors)
+
+
+class ShardedIndex(BaseIndex):
+    """Scatter-gather index: one independent inner index per shard.
+
+    Parameters
+    ----------
+    table:
+        The (projected) base table to shard.
+    factory:
+        ``factory(shard_table) -> BaseIndex`` building the inner index
+        of one shard — e.g. a technique lambda from
+        :data:`repro.session.TECHNIQUES` partially applied to the
+        session settings.
+    n_shards:
+        Number of contiguous row-range shards.
+
+    Answers are bit-identical to the unsharded index as row-id *sets*
+    (each shard returns its own rows, offset back to base rowids) and
+    bit-identical to the sharded serial loop as arrays: shards always
+    merge in shard order, whether they executed serially, across the
+    thread pool, or with per-shard process fan-out.
+    """
+
+    name = "Sharded"
+
+    def __init__(
+        self,
+        table: Table,
+        factory: Callable[[Table], BaseIndex],
+        n_shards: int,
+    ) -> None:
+        super().__init__(table)
+        self.sharded = ShardedTable(table, n_shards)
+        self.shards = self.sharded.shards
+        self.indexes: List[BaseIndex] = [
+            factory(shard.table) for shard in self.shards
+        ]
+        inner = self.indexes[0].name
+        self.name = f"Sharded[{inner}x{len(self.shards)}]"
+        self.size_threshold = getattr(self.indexes[0], "size_threshold", None)
+        # The scheduler prices refinement slices through the index's cost
+        # model; per-row prices barely vary across same-width shards, so
+        # the first shard's model prices the whole group.
+        self.cost_model = getattr(self.indexes[0], "cost_model", None)
+
+    # -- query ---------------------------------------------------------------
+
+    def _execute(self, query: RangeQuery, stats: QueryStats) -> np.ndarray:
+        from ..parallel import config as parallel_config
+        from ..parallel import procpool
+
+        survivors: List[Tuple[Shard, BaseIndex]] = []
+        for shard, index in zip(self.shards, self.indexes):
+            if shard.intersects(query):
+                survivors.append((shard, index))
+            else:
+                stats.pruned += 1
+        if not survivors:
+            return np.empty(0, dtype=np.int64)
+        workers = parallel_config.get_workers()
+        procs = procpool.get_process_workers()
+        # Scatter shards over the thread pool only when the process tier
+        # is idle: with REPRO_PROCS active, each shard's own scans fan
+        # out over the process pool instead, and running shards serially
+        # here keeps the two tiers from competing for the same cores.
+        scatter = (
+            workers > 1
+            and len(survivors) > 1
+            and procs <= 1
+            and not parallel_config.in_worker()
+            and not procpool.in_proc_worker()
+        )
+        if scatter:
+            outcomes = self._scatter(survivors, query)
+        else:
+            outcomes = []
+            for shard, index in survivors:
+                shard_stats = QueryStats()
+                outcomes.append(
+                    (shard, index._execute(query, shard_stats), shard_stats)
+                )
+        parts: List[np.ndarray] = []
+        for shard, local_ids, shard_stats in outcomes:
+            stats.merge(shard_stats)
+            if local_ids.size:
+                parts.append(local_ids + shard.row_offset)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    @staticmethod
+    def _scatter(
+        survivors: List[Tuple[Shard, BaseIndex]], query: RangeQuery
+    ) -> List[Tuple[Shard, np.ndarray, QueryStats]]:
+        """Run surviving shards concurrently; results in shard order."""
+        from .. import kernels
+        from ..parallel import config as parallel_config
+
+        backend_name = kernels.current_backend().name
+        futures = [
+            parallel_config.pool().submit(
+                _shard_execute_task, backend_name, index, query
+            )
+            for _shard, index in survivors
+        ]
+        return [
+            (shard, *future.result())
+            for (shard, _index), future in zip(survivors, futures)
+        ]
+
+    # -- refinement ----------------------------------------------------------
+
+    def _refine_step(
+        self, budget_rows: int, query: RangeQuery, stats: QueryStats
+    ) -> int:
+        """Split a refinement budget across the shards still refining.
+
+        Equal shares with the remainder on the first refinable shard —
+        the same deterministic split :meth:`ProgressiveKDTree.
+        _refine_step_parallel` uses across pieces, one level up.  Only
+        shards in the refinement phase participate (a shard mid-creation
+        finishes creation through its own queries).
+        """
+        refinable = [
+            index
+            for index in self.indexes
+            if getattr(index, "phase", None) == REFINEMENT
+        ]
+        if not refinable or budget_rows <= 0:
+            return 0
+        share, remainder = divmod(int(budget_rows), len(refinable))
+        used = 0
+        for position, index in enumerate(refinable):
+            grant = share + (remainder if position == 0 else 0)
+            if grant > 0:
+                used += index._refine_step(grant, query, stats)
+        return used
+
+    # -- aggregate state -----------------------------------------------------
+
+    @property
+    def phase(self) -> Optional[str]:
+        phases = [getattr(index, "phase", None) for index in self.indexes]
+        if any(phase == REFINEMENT for phase in phases):
+            return REFINEMENT
+        if any(phase == CREATION for phase in phases):
+            return CREATION
+        if phases and all(phase == CONVERGED for phase in phases):
+            return CONVERGED
+        return None
+
+    @property
+    def converged(self) -> bool:
+        return all(index.converged for index in self.indexes)
+
+    @property
+    def node_count(self) -> int:
+        return sum(index.node_count for index in self.indexes)
+
+    @property
+    def open_piece_count(self) -> Optional[int]:
+        counts = [index.open_piece_count for index in self.indexes]
+        known = [count for count in counts if count is not None]
+        return sum(known) if known else None
+
+    @property
+    def convergence_rows_estimate(self) -> Optional[int]:
+        estimates = [
+            index.convergence_rows_estimate for index in self.indexes
+        ]
+        known = [estimate for estimate in estimates if estimate is not None]
+        return sum(known) if known else None
+
+    def shard_signatures(self) -> List[object]:
+        """Per-shard tree preorder signatures (determinism tests)."""
+        signatures: List[object] = []
+        for index in self.indexes:
+            tree = getattr(index, "tree", None)
+            signatures.append(
+                tree.preorder_signature() if tree is not None else None
+            )
+        return signatures
+
+    # -- debug introspection ---------------------------------------------------
+
+    def self_check(self) -> None:
+        from ..errors import InvariantViolationError
+        from ..invariants import shard_errors
+
+        problems = shard_errors(self)
+        if problems:
+            raise InvariantViolationError(self.name, problems)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({len(self.shards)} shards, "
+            f"N={self.n_rows}, d={self.n_dims})"
+        )
+
+
+def _shard_execute_task(
+    backend_name: str, index: BaseIndex, query: RangeQuery
+) -> Tuple[np.ndarray, QueryStats]:
+    """One shard's scatter task: private stats, thread-private backend,
+    nested fan-outs suppressed (the shard already *is* the work unit)."""
+    from .. import kernels
+    from ..parallel import config as parallel_config
+
+    parallel_config.enter_worker()
+    try:
+        shard_stats = QueryStats()
+        backend = kernels.thread_instance(backend_name)
+        with kernels.pinned(backend):
+            local_ids = index._execute(query, shard_stats)
+        return local_ids, shard_stats
+    finally:
+        parallel_config.exit_worker()
 
 
 class PartitionedResult:

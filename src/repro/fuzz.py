@@ -23,7 +23,9 @@ off-by-one surface), and empty ranges.
 runs it under the morsel executor with ``N`` workers (fan-out thresholds
 lowered so the tiny tables actually split), checking that answers,
 invariants — including the I9 ownership protocol — and converged
-structures survive multi-threaded execution.
+structures survive multi-threaded execution.  ``--procs N`` does the
+same over the process pool: index tables land in shared memory and
+scans/refinement fan out across worker processes.
 
 Every run is reproducible from its seed.  On failure the fuzzer shrinks
 the workload with a delta-debugging pass, saves a JSON repro file, and
@@ -633,6 +635,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "actually exercise the parallel paths)",
     )
     parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool worker count for the run (default: keep the "
+        "active count; thresholds are lowered as for --parallel so the "
+        "tiny fuzz tables reach the process tier)",
+    )
+    parser.add_argument(
         "--sessions",
         type=int,
         default=None,
@@ -665,6 +676,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Fuzz tables are deliberately tiny; without lowering the
         # fan-out thresholds every scan would fall through to the serial
         # path and the sweep would not exercise the morsel executor.
+        parallel_config.MORSEL_ROWS = 256
+        parallel_config.MIN_PARALLEL_ROWS = 256
+
+    if args.procs is not None:
+        from .parallel import config as parallel_config
+        from .parallel import procpool
+
+        procpool.set_process_workers(args.procs)
+        if args.procs > 1:
+            procpool.warm_up()
         parallel_config.MORSEL_ROWS = 256
         parallel_config.MIN_PARALLEL_ROWS = 256
 

@@ -50,6 +50,11 @@ I9  **Refinement ownership** — while refinement work is fanned out
     this index is still claimed when the index is observed at rest, and
     a background refiner attached to the index has quiesced (is between
     slices) whenever invariants are checked.
+I10 **Shard partition** — a :class:`~repro.core.table_partitioning.
+    ShardedIndex`'s shards tile ``[0, N)`` disjointly and completely in
+    shard order, each shard's column views alias exactly its base-table
+    row range, every shard's zone box contains all of its rows, and
+    every inner index passes the full I1–I9 sweep over its own shard.
 
 Backends whose structure is not a KD-Tree participate through
 :meth:`BaseIndex.self_check` (QUASII hierarchy, cracker columns).
@@ -79,6 +84,7 @@ __all__ = [
     "creation_state_errors",
     "zone_map_errors",
     "ownership_errors",
+    "shard_errors",
     "convergence_determinism_errors",
     "InvariantMonitor",
 ]
@@ -409,6 +415,66 @@ def ownership_errors(index: BaseIndex, state: IndexDebugState) -> List[str]:
             "background refiner is mid-slice during an invariant check "
             "(quiescence handoff was skipped)"
         )
+    return problems
+
+
+# -------------------------------------------------------------------- I10
+
+def shard_errors(index: BaseIndex) -> List[str]:
+    """Shard-partition breaches (invariant I10) of a ShardedIndex.
+
+    Checks that the shards tile ``[0, N)`` disjointly and completely in
+    shard order, that each shard's columns are views of exactly its base
+    row range (zero-copy aliasing, same values), that every shard zone
+    box bounds its rows, and then sweeps the full I1–I9 suite over every
+    inner index (each inner index is an ordinary index over its shard's
+    table, so every existing checker applies unchanged).
+    """
+    shards = getattr(index, "shards", None)
+    inner = getattr(index, "indexes", None)
+    if shards is None or inner is None:
+        return []
+    problems: List[str] = []
+    base = index.table
+    cursor = 0
+    for shard in shards:
+        if shard.row_offset != cursor:
+            problems.append(
+                f"{shard!r} starts at {shard.row_offset}, expected {cursor} "
+                "(shards must tile the table contiguously in order)"
+            )
+        cursor = shard.row_offset + shard.n_rows
+        for dim in range(base.n_columns):
+            view = shard.table.column(dim)
+            segment = base.column(dim)[
+                shard.row_offset : shard.row_offset + shard.n_rows
+            ]
+            if view.shape != segment.shape or not np.array_equal(view, segment):
+                problems.append(
+                    f"{shard!r} column {dim} does not hold base rows "
+                    f"[{shard.row_offset}, {shard.row_offset + shard.n_rows})"
+                )
+                continue
+            if shard.n_rows:
+                lo = float(view.min())
+                hi = float(view.max())
+                if lo < shard.zone_lo[dim] or hi > shard.zone_hi[dim]:
+                    problems.append(
+                        f"{shard!r} holds values [{lo}, {hi}] outside its "
+                        f"zone [{shard.zone_lo[dim]}, {shard.zone_hi[dim]}] "
+                        f"on dim {dim}"
+                    )
+    if cursor != base.n_rows:
+        problems.append(
+            f"shards cover [0, {cursor}), table has {base.n_rows} rows"
+        )
+    if len(inner) != len(shards):
+        problems.append(
+            f"{len(inner)} inner indexes for {len(shards)} shards"
+        )
+    for shard, shard_index in zip(shards, inner):
+        for problem in structural_errors(shard_index):
+            problems.append(f"shard {shard.shard_id}: {problem}")
     return problems
 
 

@@ -31,6 +31,16 @@ read once at import; programmatic control via :func:`set_workers`, the
 :func:`repro.bench.harness.run_workload`, and ``python -m repro.fuzz
 --parallel N``.  ``workers == 1`` (the default) compiles to the
 unchanged serial path — no pool, no task objects, no overhead.
+
+A second, process-based tier (DESIGN.md §5.6) escapes the GIL entirely:
+:mod:`~repro.parallel.shm` places columns in shared-memory segments and
+:mod:`~repro.parallel.procpool` runs the same morsel/piece/refinement
+task bodies on a persistent spawn-based process pool, selected via
+``REPRO_PROCS`` / :func:`set_process_workers` /
+``ExplorationSession(procs=)``.  The executor prefers the process tier
+when it is enabled *and* the arrays in question are shm-backed, and
+falls back to threads (then serial) otherwise — same answers and stats
+bit-for-bit on every path.
 """
 
 from .background import BackgroundRefiner
@@ -38,6 +48,7 @@ from .config import (
     MIN_PARALLEL_ROWS,
     MORSEL_ROWS,
     claim_piece,
+    fanout_workers,
     get_workers,
     in_worker,
     owned_pieces,
@@ -49,6 +60,13 @@ from .config import (
     shutdown_pool,
 )
 from .executor import advance_jobs, scan_pieces, scan_range
+from .procpool import (
+    get_process_workers,
+    in_proc_worker,
+    proc_pool,
+    set_process_workers,
+    shutdown_procs,
+)
 
 __all__ = [
     "BackgroundRefiner",
@@ -56,15 +74,21 @@ __all__ = [
     "MORSEL_ROWS",
     "advance_jobs",
     "claim_piece",
+    "fanout_workers",
+    "get_process_workers",
     "get_workers",
+    "in_proc_worker",
     "in_worker",
     "owned_pieces",
     "ownership_violations",
     "pool",
+    "proc_pool",
     "release_piece",
     "reset_ownership_log",
     "scan_pieces",
     "scan_range",
+    "set_process_workers",
     "set_workers",
     "shutdown_pool",
+    "shutdown_procs",
 ]

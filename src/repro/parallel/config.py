@@ -44,6 +44,7 @@ __all__ = [
     "pool",
     "shutdown_pool",
     "in_worker",
+    "fanout_workers",
     "claim_piece",
     "release_piece",
     "owned_pieces",
@@ -133,6 +134,20 @@ def in_worker() -> bool:
     """True on a pool worker thread (fan-outs must not nest: a worker
     submitting to the same bounded pool it runs on can deadlock)."""
     return getattr(_TLS, "in_worker", False)
+
+
+def fanout_workers() -> int:
+    """Total fan-out width across both execution tiers.
+
+    The refinement scheduler gates multi-piece fan-out on "is there any
+    parallelism at all": thread workers (:func:`get_workers`) or process
+    workers (:func:`repro.parallel.procpool.get_process_workers`) —
+    whichever tier is wider decides how many concurrent advances are
+    worth creating.
+    """
+    from . import procpool
+
+    return max(_WORKERS, procpool.get_process_workers())
 
 
 def enter_worker() -> None:

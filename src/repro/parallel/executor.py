@@ -53,9 +53,18 @@ import numpy as np
 from .. import kernels
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
-from . import config
+from . import config, procpool, shm
 
 __all__ = ["scan_range", "scan_pieces", "advance_jobs"]
+
+
+def _procs_eligible() -> int:
+    """Process-worker count when the process tier may dispatch from this
+    context (never from inside any worker, of either tier)."""
+    procs = procpool.get_process_workers()
+    if procs <= 1 or procpool.in_proc_worker() or config.in_worker():
+        return 0
+    return procs
 
 
 def _morsel_ranges(start: int, end: int, morsel_rows: int) -> List[Tuple[int, int]]:
@@ -116,6 +125,14 @@ def scan_range(
     """
     window = end - start
     workers = config.get_workers()
+    procs = _procs_eligible()
+    if procs and window > config.MORSEL_ROWS and window >= config.MIN_PARALLEL_ROWS:
+        handles = shm.handles_of(columns)
+        if handles is not None:
+            return _scan_range_procs(
+                handles, start, end, query, stats, check_low, check_high,
+                procs,
+            )
     if (
         workers <= 1
         or window <= config.MORSEL_ROWS
@@ -191,6 +208,40 @@ def _scan_range_task(
         config.exit_worker()
 
 
+def _scan_range_procs(
+    handles, start, end, query, stats, check_low, check_high, procs
+):
+    """Morsel fan-out of one row range over the process pool.
+
+    Same morsel geometry and submission-order merge as the thread path;
+    only the transport differs (shm handles out, positions + private
+    stats back), so the result is bit-identical to serial.
+    """
+    ranges = _morsel_ranges(start, end, config.MORSEL_ROWS)
+    backend_name = kernels.current_backend().name
+    _note_fanout("proc_scan", len(ranges), procs)
+    pool = procpool.proc_pool()
+    futures = [
+        pool.submit(
+            procpool.scan_range_task,
+            backend_name,
+            handles,
+            morsel_start,
+            morsel_end,
+            query,
+            check_low,
+            check_high,
+        )
+        for morsel_start, morsel_end in ranges
+    ]
+    parts: List[np.ndarray] = []
+    for future in futures:
+        positions, worker_stats = future.result()
+        stats.merge(worker_stats)
+        parts.append(positions)
+    return _concat(parts)
+
+
 # ------------------------------------------------------------- piece scans
 
 def scan_pieces(index_table, matches, query, stats) -> List[np.ndarray]:
@@ -203,12 +254,25 @@ def scan_pieces(index_table, matches, query, stats) -> List[np.ndarray]:
     worker and merge back as additive counters).
     """
     workers = config.get_workers()
-    if workers <= 1 or len(matches) < 2 or config.in_worker():
+    procs = _procs_eligible()
+    if (workers <= 1 and not procs) or len(matches) < 2 or config.in_worker():
         return [index_table.scan_piece(match, query, stats) for match in matches]
     total_rows = 0
     for match in matches:
         total_rows += match.piece.size
     if total_rows < config.MIN_PARALLEL_ROWS:
+        return [index_table.scan_piece(match, query, stats) for match in matches]
+    if procs:
+        column_handles = shm.handles_of(index_table.columns)
+        rowid_handle = shm.handle_of(index_table.rowids)
+        if column_handles is not None and rowid_handle is not None:
+            parts = _scan_pieces_procs(
+                column_handles, rowid_handle, matches, total_rows, query,
+                stats, procs,
+            )
+            if parts is not None:
+                return parts
+    if workers <= 1:
         return [index_table.scan_piece(match, query, stats) for match in matches]
     chunks = _chunk_matches(matches, total_rows, workers)
     if len(chunks) < 2:
@@ -298,6 +362,41 @@ def _scan_pieces_task(
         config.exit_worker()
 
 
+def _scan_pieces_procs(
+    column_handles, rowid_handle, matches, total_rows, query, stats, procs
+):
+    """Whole-piece chunk fan-out over the process pool.
+
+    Pieces travel as flat specs (bounds + zone box + residual-check
+    flags) and are rebuilt as shims around the attached shm arrays in
+    the worker; parts and stats merge in match order, exactly like the
+    thread path.
+    """
+    chunks = _chunk_matches(matches, total_rows, procs)
+    if len(chunks) < 2:
+        return None  # not worth a process hop; caller falls through
+    backend_name = kernels.current_backend().name
+    _note_fanout("proc_piece_scan", len(chunks), procs)
+    pool = procpool.proc_pool()
+    futures = [
+        pool.submit(
+            procpool.scan_pieces_task,
+            backend_name,
+            column_handles,
+            rowid_handle,
+            [procpool.piece_spec(match) for match in chunk],
+            query,
+        )
+        for chunk in chunks
+    ]
+    parts: List[np.ndarray] = []
+    for future in futures:
+        chunk_parts, worker_stats = future.result()
+        stats.merge(worker_stats)
+        parts.extend(chunk_parts)
+    return parts
+
+
 # ----------------------------------------------------- refinement advances
 
 def advance_jobs(pairs: Sequence[Tuple[object, int]]) -> List[int]:
@@ -308,10 +407,29 @@ def advance_jobs(pairs: Sequence[Tuple[object, int]]) -> List[int]:
     Each worker claims exclusive ownership of its piece for the duration
     of the advance — invariant I9's checkable protocol.  Returns rows
     actually visited per pair, in pair order.
+
+    The process tier only dispatches when the round's total granted rows
+    reach :data:`~.config.MIN_PARALLEL_ROWS` — below that the fixed IPC
+    cost dwarfs the partition work — otherwise threads/serial apply.
     """
     if not pairs:
         return []
-    if len(pairs) == 1 or config.get_workers() <= 1 or config.in_worker():
+    procs = _procs_eligible()
+    if (
+        len(pairs) == 1
+        or (config.get_workers() <= 1 and not procs)
+        or config.in_worker()
+    ):
+        return [piece.job.advance(grant) for piece, grant in pairs]
+    if procs:
+        granted = sum(
+            min(grant, piece.job.remaining_rows) for piece, grant in pairs
+        )
+        if granted >= config.MIN_PARALLEL_ROWS:
+            used = _advance_jobs_procs(pairs, procs)
+            if used is not None:
+                return used
+    if config.get_workers() <= 1:
         return [piece.job.advance(grant) for piece, grant in pairs]
     backend_name = kernels.current_backend().name
     parent = _parent_span_id()
@@ -352,3 +470,60 @@ def _advance_task(
     finally:
         config.release_piece(piece, owner)
         config.exit_worker()
+
+
+def _advance_jobs_procs(pairs, procs):
+    """Refinement fan-out over the process pool.
+
+    Each worker advances its job's Hoare partition directly in shared
+    memory (the swaps are immediately visible here) and ships back only
+    the pointer state ``(used, lo, hi, done)``, which is applied to the
+    parent's job object — deterministic because each job's advance is a
+    pure function of (arrays, pointers, grant), independent of the other
+    jobs (the pieces are disjoint).  Returns ``None`` when any job's
+    arrays are not shm-backed; the caller then uses threads/serial.
+    """
+    shipped = []
+    for piece, grant in pairs:
+        job = piece.job
+        handles = shm.handles_of(job.arrays)
+        if handles is None:
+            return None
+        shipped.append((piece, grant, job, handles))
+    _note_fanout("proc_refine", len(shipped), procs)
+    pool = procpool.proc_pool()
+    futures = []
+    for position, (piece, grant, job, handles) in enumerate(shipped):
+        owner = f"refine-proc-{position}"
+        config.claim_piece(piece, owner)
+        futures.append(
+            (
+                piece,
+                job,
+                owner,
+                pool.submit(
+                    procpool.advance_task,
+                    kernels.current_backend().name,
+                    handles,
+                    job.start,
+                    job.end,
+                    job.key_index,
+                    job.pivot,
+                    job.lo,
+                    job.hi,
+                    grant,
+                ),
+            )
+        )
+    results = []
+    for piece, job, owner, future in futures:
+        try:
+            used, lo, hi, done = future.result()
+        finally:
+            config.release_piece(piece, owner)
+        job.lo = lo
+        job.hi = hi
+        job.done = done
+        job._paused = not done
+        results.append(used)
+    return results

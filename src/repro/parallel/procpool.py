@@ -1,0 +1,326 @@
+"""Process-parallel execution: escape the GIL via a persistent pool.
+
+The morsel layer (:mod:`.executor`) fans work out over threads, which
+only buys parallelism while the kernels are inside NumPy (the GIL is
+released there, but the pure-Python piece bookkeeping around the kernels
+is not).  This module adds the second tier: a persistent
+:class:`~concurrent.futures.ProcessPoolExecutor` whose workers map the
+table columns through :mod:`.shm` and run the *same* task bodies —
+range-scan morsels, whole-piece chunks, refinement advances — with no
+interpreter lock shared with the parent.
+
+Selection mirrors the thread tier exactly:
+
+* environment: ``REPRO_PROCS=<n>`` (or ``auto``), read once at import;
+* programmatic: :func:`set_process_workers`, or the ``procs=`` option of
+  :class:`repro.session.ExplorationSession` and ``python -m repro.fuzz
+  --procs``.
+
+``procs == 1`` (the default) is free: the executor checks one integer
+before considering this module at all, and the thread path — or plain
+serial — runs untouched.
+
+Start method
+------------
+Workers are started with the ``spawn`` method (override via
+``REPRO_PROCS_START``): the serve layer and background refiners keep
+live threads, and forking a threaded parent can deadlock the child in
+a held lock.  Spawned workers import :mod:`repro` fresh — a visible
+one-off warm-up per pool, which is why the pool is persistent and
+re-used across queries.  Each worker's initializer pins it to strictly
+serial execution (thread workers = 1, process workers = 1, marked via
+:func:`in_proc_worker`) so inherited ``REPRO_*`` environment can never
+nest pools inside pools.
+
+Determinism
+-----------
+Identical to the thread tier's contract: workers return positions for
+their sub-range plus a private :class:`~repro.core.metrics.QueryStats`,
+the parent merges both in submission order, and refinement advances ship
+back ``(used, lo, hi, done)`` partition state that the parent applies to
+its own job object — the row swaps themselves happened in shared memory
+and are already visible.  Answers and stats are bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from . import shm
+
+__all__ = [
+    "set_process_workers",
+    "get_process_workers",
+    "proc_pool",
+    "shutdown_procs",
+    "in_proc_worker",
+    "warm_up",
+]
+
+_LOCK = threading.RLock()
+_PROCS = 1
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_PROCS = 0
+
+#: True in a pool worker *process* (set by the initializer).  Unlike the
+#: thread-tier flag this is process-wide: the whole child exists to run
+#: one task at a time, so nothing in it may fan out again.
+_IN_PROC_WORKER = False
+
+
+def set_process_workers(n: int) -> int:
+    """Set the process-global process-worker count; returns it.
+
+    ``n`` must be a positive integer; ``1`` restores thread/serial
+    execution (an existing pool is left warm until :func:`shutdown_procs`
+    or a resize replaces it).
+    """
+    try:
+        n = int(n)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(
+            f"process worker count must be an integer, got {n!r}"
+        ) from None
+    if n < 1:
+        raise InvalidParameterError(
+            f"process worker count must be >= 1, got {n}"
+        )
+    global _PROCS
+    with _LOCK:
+        _PROCS = n
+    return n
+
+
+def get_process_workers() -> int:
+    """The process-global process-worker count (1 = no process tier)."""
+    return _PROCS
+
+
+def in_proc_worker() -> bool:
+    """True when running inside a pool worker process."""
+    return _IN_PROC_WORKER
+
+
+def _worker_init() -> None:
+    """Runs once in every spawned worker, before any task.
+
+    Neutralises inherited parallelism (the child imported this package
+    with the parent's ``REPRO_PARALLEL`` / ``REPRO_PROCS`` environment)
+    and marks the process as a worker so every fan-out gate in the
+    executor falls through to serial.
+    """
+    global _IN_PROC_WORKER
+    _IN_PROC_WORKER = True
+    from . import config
+
+    config.set_workers(1)
+    set_process_workers(1)
+
+
+def _start_context():
+    import multiprocessing
+
+    method = os.environ.get("REPRO_PROCS_START", "spawn")
+    return multiprocessing.get_context(method)
+
+
+def proc_pool() -> ProcessPoolExecutor:
+    """The shared process pool, created lazily, re-created on resize."""
+    global _POOL, _POOL_PROCS
+    with _LOCK:
+        procs = _PROCS
+        if _POOL is None or _POOL_PROCS != procs:
+            if _POOL is not None:
+                _POOL.shutdown(wait=True)
+            _POOL = ProcessPoolExecutor(
+                max_workers=procs,
+                mp_context=_start_context(),
+                initializer=_worker_init,
+            )
+            _POOL_PROCS = procs
+        return _POOL
+
+
+def shutdown_procs() -> None:
+    """Tear down the process pool (tests / atexit; workers are joined, so
+    no zombies survive this call)."""
+    global _POOL, _POOL_PROCS
+    with _LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_PROCS = 0
+
+
+def warm_up() -> List[int]:
+    """Force every worker to finish importing; returns their pids.
+
+    Spawned workers pay the :mod:`repro` import on first use; calling
+    this once up front (sessions do, at ``procs=`` setup) moves that
+    cost out of the first query.
+    """
+    pool = proc_pool()
+    with _LOCK:
+        procs = _POOL_PROCS
+    futures = [pool.submit(_warm_task) for _ in range(procs)]
+    return sorted({future.result() for future in futures})
+
+
+def _warm_task() -> int:
+    return os.getpid()
+
+
+atexit.register(shutdown_procs)
+
+
+# ------------------------------------------------------------ worker tasks
+#
+# Module-level functions (picklable by reference).  Each attaches the shm
+# handles it was shipped, pins a process-private kernel backend instance,
+# runs the same code the serial path runs, and returns positions plus a
+# private QueryStats for submission-order merge in the parent.
+
+class _PieceShim:
+    """Worker-side stand-in for a KD leaf: just the fields scan_piece reads."""
+
+    __slots__ = ("start", "end", "size", "zone_lo", "zone_hi")
+
+    def __init__(self, start, end, zone_lo, zone_hi):
+        self.start = start
+        self.end = end
+        self.size = end - start
+        self.zone_lo = zone_lo
+        self.zone_hi = zone_hi
+
+
+class _MatchShim:
+    __slots__ = ("piece", "check_low", "check_high")
+
+    def __init__(self, piece, check_low, check_high):
+        self.piece = piece
+        self.check_low = check_low
+        self.check_high = check_high
+
+
+def piece_spec(match) -> tuple:
+    """The picklable projection of one PieceMatch a worker needs."""
+    piece = match.piece
+    return (
+        int(piece.start),
+        int(piece.end),
+        piece.zone_lo,
+        piece.zone_hi,
+        match.check_low,
+        match.check_high,
+    )
+
+
+def scan_range_task(
+    backend_name: str,
+    handles: Sequence[shm.ArrayHandle],
+    start: int,
+    end: int,
+    query,
+    check_low,
+    check_high,
+):
+    from .. import kernels
+    from ..core.metrics import QueryStats
+
+    columns = [shm.attach(handle) for handle in handles]
+    worker_stats = QueryStats()
+    backend = kernels.thread_instance(backend_name)
+    with kernels.pinned(backend):
+        positions = kernels.range_scan(
+            columns, start, end, query, worker_stats, check_low, check_high
+        )
+    return positions, worker_stats
+
+
+def scan_pieces_task(
+    backend_name: str,
+    column_handles: Sequence[shm.ArrayHandle],
+    rowid_handle: shm.ArrayHandle,
+    specs: Sequence[tuple],
+    query,
+):
+    from .. import kernels
+    from ..core.index_base import IndexTable
+    from ..core.metrics import QueryStats
+
+    columns = [shm.attach(handle) for handle in column_handles]
+    rowids = shm.attach(rowid_handle)
+    index_table = IndexTable(columns, rowids)
+    worker_stats = QueryStats()
+    backend = kernels.thread_instance(backend_name)
+    parts: List[np.ndarray] = []
+    with kernels.pinned(backend):
+        for start, end, zone_lo, zone_hi, check_low, check_high in specs:
+            match = _MatchShim(
+                _PieceShim(start, end, zone_lo, zone_hi), check_low, check_high
+            )
+            parts.append(index_table.scan_piece(match, query, worker_stats))
+    return parts, worker_stats
+
+
+def advance_task(
+    backend_name: str,
+    handles: Sequence[shm.ArrayHandle],
+    start: int,
+    end: int,
+    key_index: int,
+    pivot: float,
+    lo: int,
+    hi: int,
+    grant: int,
+) -> Tuple[int, int, int, bool]:
+    """Advance a paused IncrementalPartition over the shared arrays.
+
+    The swaps mutate shared memory directly; only the pointer state
+    travels back for the parent to apply to its own job object.
+    """
+    from .. import kernels
+    from ..core.partition import IncrementalPartition
+
+    arrays = [shm.attach(handle) for handle in handles]
+    job = IncrementalPartition(arrays, start, end, key_index, pivot)
+    job.lo = lo
+    job.hi = hi
+    job.done = lo >= hi
+    backend = kernels.thread_instance(backend_name)
+    with kernels.pinned(backend):
+        used = job.advance(grant)
+    return used, job.lo, job.hi, job.done
+
+
+# --------------------------------------------------------------- env setup
+
+def _procs_from_env() -> int:
+    requested = os.environ.get("REPRO_PROCS")
+    if requested is None or requested == "":
+        return 1
+    if requested.strip().lower() == "auto":
+        return max(1, os.cpu_count() or 1)
+    try:
+        value = int(requested)
+        if value < 1:
+            raise ValueError
+    except ValueError:
+        warnings.warn(
+            f"REPRO_PROCS={requested!r} is not a positive integer or "
+            f"'auto'; not using process workers",
+            stacklevel=2,
+        )
+        return 1
+    return value
+
+
+set_process_workers(_procs_from_env())

@@ -1,0 +1,313 @@
+"""Shared-memory column storage for the process-parallel tier.
+
+Threads share the address space for free; processes do not.  To let a
+process pool scan and refine the same physical columns the parent owns
+— zero-copy, mutations visible both ways — this module places column
+arrays in :class:`multiprocessing.shared_memory.SharedMemory` segments
+and hands out :class:`ArrayHandle` descriptors that a worker process
+turns back into NumPy views with :func:`attach`.
+
+Design
+------
+* A :class:`SharedBlock` is one shm segment packing several arrays
+  (64-byte aligned), created by the *owner* process.  The block owns the
+  segment: closing/unlinking happens exactly once, in the owner, via
+  :meth:`SharedBlock.release`, a ``weakref.finalize`` on the adopting
+  owner object (:func:`adopt`), or the atexit sweep — whichever comes
+  first.
+* Every array placed in a block is recorded in a process-global
+  registry, so :func:`handle_of` can answer "is this exact array
+  shippable to a worker?" for any array the executor sees.  Derived
+  views (a shard's slice of a shared column) can be registered
+  explicitly with :func:`register_view`.
+* Workers never create or unlink segments; :func:`attach` maps a
+  handle's segment (cached per name) and returns a view.  A worker's
+  attachments are closed when its process exits.
+
+The registry is keyed by ``id(array)`` guarded by a weakref to the
+array itself, so a recycled id can never alias a dead registration.
+
+Leak discipline: every segment name carries :data:`SEGMENT_PREFIX` and
+the PID of the creating process, :func:`live_segments` lists what this
+process still owns, and an :mod:`atexit` hook unlinks anything left —
+the CI teardown check greps ``/dev/shm`` for strays.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrayHandle",
+    "SharedBlock",
+    "SEGMENT_PREFIX",
+    "share_arrays",
+    "empty_arrays",
+    "register_view",
+    "handle_of",
+    "handles_of",
+    "attach",
+    "live_segments",
+    "release_all",
+]
+
+#: Prefix of every segment this module creates; the leak checker keys
+#: off it.  The creating PID is embedded so concurrent test processes
+#: never collide and stray segments are attributable.
+SEGMENT_PREFIX = "repro-shm"
+
+_ALIGN = 64
+
+_LOCK = threading.RLock()
+_COUNTER = 0
+
+#: Segment name -> block, for every block this process created and has
+#: not yet released (strong refs: the segment must outlive any array
+#: views handed out, release is explicit/finalized/atexit).
+_BLOCKS: Dict[str, "SharedBlock"] = {}
+
+#: id(array) -> (weakref to array, handle).  Covers arrays living in
+#: blocks this process owns *and* explicitly registered derived views.
+_HANDLES: Dict[int, Tuple[weakref.ref, "ArrayHandle"]] = {}
+
+#: Worker-side cache: segment name -> attached SharedMemory.
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """A picklable descriptor of one array inside a shm segment."""
+
+    segment: str
+    dtype: str
+    length: int
+    offset: int  # bytes from the start of the segment
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * np.dtype(self.dtype).itemsize
+
+
+def _next_name() -> str:
+    global _COUNTER
+    with _LOCK:
+        _COUNTER += 1
+        return f"{SEGMENT_PREFIX}-{os.getpid()}-{_COUNTER}"
+
+
+def _register(array: np.ndarray, handle: ArrayHandle) -> None:
+    key = id(array)
+
+    def _evict(_ref, _key=key):
+        with _LOCK:
+            entry = _HANDLES.get(_key)
+            if entry is not None and entry[0] is _ref:
+                del _HANDLES[_key]
+
+    with _LOCK:
+        _HANDLES[key] = (weakref.ref(array, _evict), handle)
+
+
+class SharedBlock:
+    """One shm segment holding several aligned arrays.
+
+    Build with :meth:`create` (copy existing arrays in) or
+    :meth:`empty` (uninitialised, for progressive creation fills).
+    ``block.arrays`` are the shm-backed views in declaration order;
+    ``block.handles`` the matching descriptors.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory,
+        arrays: List[np.ndarray], handles: List[ArrayHandle],
+    ) -> None:
+        self.shm = shm
+        self.arrays = arrays
+        self.handles = handles
+        self.released = False
+        with _LOCK:
+            _BLOCKS[shm.name] = self
+        for array, handle in zip(arrays, handles):
+            _register(array, handle)
+
+    @staticmethod
+    def _layout(
+        specs: Sequence[Tuple[int, np.dtype]]
+    ) -> Tuple[int, List[int]]:
+        offsets: List[int] = []
+        cursor = 0
+        for length, dtype in specs:
+            cursor = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
+            offsets.append(cursor)
+            cursor += length * np.dtype(dtype).itemsize
+        return max(cursor, 1), offsets
+
+    @classmethod
+    def empty(
+        cls, specs: Sequence[Tuple[int, np.dtype]]
+    ) -> "SharedBlock":
+        """Allocate uninitialised arrays of ``(length, dtype)`` specs."""
+        total, offsets = cls._layout(specs)
+        shm = shared_memory.SharedMemory(
+            name=_next_name(), create=True, size=total
+        )
+        arrays: List[np.ndarray] = []
+        handles: List[ArrayHandle] = []
+        for (length, dtype), offset in zip(specs, offsets):
+            dt = np.dtype(dtype)
+            view = np.ndarray((length,), dtype=dt, buffer=shm.buf, offset=offset)
+            arrays.append(view)
+            handles.append(
+                ArrayHandle(shm.name, dt.str, int(length), int(offset))
+            )
+        return cls(shm, arrays, handles)
+
+    @classmethod
+    def create(cls, source: Sequence[np.ndarray]) -> "SharedBlock":
+        """Copy ``source`` arrays into a fresh segment."""
+        block = cls.empty([(int(a.shape[0]), a.dtype) for a in source])
+        for view, array in zip(block.arrays, source):
+            view[:] = array
+        return block
+
+    def release(self) -> None:
+        """Close and unlink the segment (owner side; idempotent).
+
+        The shm-backed views become invalid; callers release only once
+        no live index/table still uses them (in practice: from the
+        owner object's finalizer or the atexit sweep).
+        """
+        if self.released:
+            return
+        self.released = True
+        with _LOCK:
+            _BLOCKS.pop(self.shm.name, None)
+            for array in self.arrays:
+                entry = _HANDLES.get(id(array))
+                if entry is not None and entry[0]() is array:
+                    del _HANDLES[id(array)]
+        # Drop our views before closing so the exported-pointer check
+        # in SharedMemory.close() cannot trip over them.
+        self.arrays = []
+        try:
+            self.shm.close()
+        except BufferError:  # a view still alive somewhere; unlink anyway
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def share_arrays(arrays: Sequence[np.ndarray]) -> SharedBlock:
+    """Copy ``arrays`` into one shm segment; returns the owning block."""
+    return SharedBlock.create(arrays)
+
+
+def empty_arrays(specs: Sequence[Tuple[int, np.dtype]]) -> SharedBlock:
+    """Allocate uninitialised shm arrays; returns the owning block."""
+    return SharedBlock.empty(specs)
+
+
+def adopt(owner: object, block: SharedBlock) -> SharedBlock:
+    """Tie ``block``'s lifetime to ``owner``: released when the owner is
+    garbage-collected (or at interpreter exit, whichever comes first)."""
+    weakref.finalize(owner, block.release)
+    return block
+
+
+def register_view(view: np.ndarray, base: np.ndarray) -> Optional[ArrayHandle]:
+    """Register ``view`` — a contiguous slice of shared array ``base`` —
+    so it too can be shipped to workers.  Returns the view's handle, or
+    ``None`` when ``base`` is not shared (callers then just fall back to
+    thread/serial execution for that array)."""
+    parent = handle_of(base)
+    if parent is None:
+        return None
+    if view.base is None and view is not base:
+        return None  # a copy, not a view — shipping it would desync
+    offset_bytes = (
+        view.__array_interface__["data"][0]
+        - base.__array_interface__["data"][0]
+    )
+    if offset_bytes < 0 or view.dtype != base.dtype or view.ndim != 1:
+        return None
+    handle = ArrayHandle(
+        parent.segment,
+        view.dtype.str,
+        int(view.shape[0]),
+        parent.offset + int(offset_bytes),
+    )
+    _register(view, handle)
+    return handle
+
+
+def handle_of(array: np.ndarray) -> Optional[ArrayHandle]:
+    """The handle for ``array`` if this exact object is shm-backed."""
+    entry = _HANDLES.get(id(array))
+    if entry is None:
+        return None
+    ref, handle = entry
+    return handle if ref() is array else None
+
+
+def handles_of(
+    arrays: Sequence[np.ndarray],
+) -> Optional[List[ArrayHandle]]:
+    """Handles for every array, or ``None`` if any is not shm-backed."""
+    handles: List[ArrayHandle] = []
+    for array in arrays:
+        handle = handle_of(array)
+        if handle is None:
+            return None
+        handles.append(handle)
+    return handles
+
+
+def attach(handle: ArrayHandle) -> np.ndarray:
+    """Map a handle back to a NumPy view (worker side; cached segment)."""
+    shm = _ATTACHED.get(handle.segment)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=handle.segment)
+        _ATTACHED[handle.segment] = shm
+    return np.ndarray(
+        (handle.length,),
+        dtype=np.dtype(handle.dtype),
+        buffer=shm.buf,
+        offset=handle.offset,
+    )
+
+
+def detach_all() -> None:
+    """Close every worker-side attachment (tests; process exit does it too)."""
+    while _ATTACHED:
+        _name, shm = _ATTACHED.popitem()
+        try:
+            shm.close()
+        except BufferError:
+            pass
+
+
+def live_segments() -> List[str]:
+    """Names of segments this process created and has not released."""
+    with _LOCK:
+        return sorted(_BLOCKS)
+
+
+def release_all() -> None:
+    """Release every live block this process owns (atexit / tests)."""
+    with _LOCK:
+        blocks = list(_BLOCKS.values())
+    for block in blocks:
+        block.release()
+
+
+atexit.register(release_all)

@@ -40,6 +40,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--size-threshold", type=int, default=1024)
     parser.add_argument("--delta", type=float, default=0.2)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="range-shard each session index this many ways "
+        "(zone maps prune shards; refinement is sliced per shard)",
+    )
     parser.add_argument("--max-sessions", type=int, default=64)
     parser.add_argument("--max-sessions-per-tenant", type=int, default=8)
     parser.add_argument("--max-inflight", type=int, default=64)
@@ -66,6 +73,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         technique=args.technique,
         size_threshold=args.size_threshold,
         delta=args.delta,
+        shards=args.shards,
         caps=AdmissionCaps(
             max_sessions=args.max_sessions,
             max_sessions_per_tenant=args.max_sessions_per_tenant,

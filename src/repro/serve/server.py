@@ -52,7 +52,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import kernels
-from ..core import BaseIndex, RangeQuery
+from ..core import BaseIndex, RangeQuery, ShardedIndex
 from ..core.cost_model import CostModel, MachineProfile
 from ..core.dictionary import EncodedTable, encode_table
 from ..core.metrics import QueryStats
@@ -210,6 +210,7 @@ class IndexServer:
         executor_workers: int = 8,
         scheduler: Optional[RefinementScheduler] = None,
         slo_config: Optional[SLOConfig] = None,
+        shards: int = 1,
     ) -> None:
         resolved = "greedy" if technique == "auto" else technique
         if resolved not in TECHNIQUES:
@@ -217,7 +218,15 @@ class IndexServer:
                 f"unknown technique {technique!r}; options: "
                 f"{['auto'] + sorted(TECHNIQUES)}"
             )
+        if int(shards) < 1:
+            raise InvalidParameterError(
+                f"shards must be a positive integer, got {shards!r}"
+            )
         self.technique = resolved
+        # Session indexes are built over this many range shards; the
+        # scheduler then hands out per-shard refinement slices, and zone
+        # maps prune whole shards before any piece scan runs.
+        self.shards = int(shards)
         self.settings = _Settings(
             size_threshold=size_threshold, delta=delta, tau=tau
         )
@@ -379,9 +388,18 @@ class IndexServer:
             entry = session.indexes.get(key)
             if entry is None:
                 projected = shared.encoded.table.project(positions)
-                index = TECHNIQUES[session.technique](
-                    projected, session.settings
-                )
+                if self.shards > 1:
+                    index = ShardedIndex(
+                        projected,
+                        lambda table: TECHNIQUES[session.technique](
+                            table, session.settings
+                        ),
+                        self.shards,
+                    )
+                else:
+                    index = TECHNIQUES[session.technique](
+                        projected, session.settings
+                    )
                 index_key = _index_key(
                     session.session_id, table_name, group_key
                 )

@@ -187,6 +187,20 @@ class ExplorationSession:
         queries, quiescing before every query and invariant check.  Call
         :meth:`close` (or use the session as a context manager) to stop
         the workers.
+    procs:
+        Process-worker count for the GIL-free execution tier
+        (:mod:`repro.parallel.procpool`): registered tables move their
+        columns into shared memory, index tables allocate there too, and
+        scans/refinement fan out across a persistent process pool.  ``1``
+        disables the tier; ``None`` keeps whatever is active (the
+        default, or ``REPRO_PROCS``).  Process-global, like ``parallel``.
+    shards:
+        Split every index this session builds into ``shards`` contiguous
+        row-range shards with independent inner indexes
+        (:class:`~repro.core.table_partitioning.ShardedIndex`): queries
+        scatter-gather with zone-map shard pruning, refinement budgets
+        split across unconverged shards.  ``1`` (default) builds
+        unsharded indexes exactly as before.
     """
 
     def __init__(
@@ -199,6 +213,8 @@ class ExplorationSession:
         validate: bool = False,
         parallel: Optional[int] = None,
         background_refine: bool = False,
+        procs: Optional[int] = None,
+        shards: int = 1,
     ) -> None:
         resolved = "greedy" if technique == "auto" else technique
         if resolved not in TECHNIQUES:
@@ -221,6 +237,17 @@ class ExplorationSession:
 
             parallel = parallel_config.set_workers(parallel)
         self.parallel = parallel
+        if procs is not None:
+            from .parallel import procpool
+
+            procs = procpool.set_process_workers(procs)
+        self.procs = procs
+        shards = int(shards)
+        if shards < 1:
+            raise InvalidParameterError(
+                f"shard count must be >= 1, got {shards}"
+            )
+        self.shards = shards
         self.background_refine = background_refine
         self._refiners: List[object] = []
         self._tables: Dict[str, _RegisteredTable] = {}
@@ -231,7 +258,14 @@ class ExplorationSession:
         """Register a table under ``name``; string columns are encoded."""
         if name in self._tables:
             raise InvalidTableError(f"table {name!r} already registered")
-        self._tables[name] = _RegisteredTable(encoded=encode_table(columns))
+        encoded = encode_table(columns)
+        from .parallel import procpool
+
+        if procpool.get_process_workers() > 1:
+            # Process workers scan by shm handle; move the columns into
+            # shared memory before any index copies them.
+            encoded.table.share()
+        self._tables[name] = _RegisteredTable(encoded=encoded)
 
     @property
     def tables(self) -> List[str]:
@@ -262,7 +296,16 @@ class ExplorationSession:
         index = registered.indexes.get(group_key)
         if index is None:
             projected = registered.encoded.table.project(positions)
-            index = TECHNIQUES[self.technique](projected, self)
+            if self.shards > 1:
+                from .core.table_partitioning import ShardedIndex
+
+                index = ShardedIndex(
+                    projected,
+                    lambda table: TECHNIQUES[self.technique](table, self),
+                    self.shards,
+                )
+            else:
+                index = TECHNIQUES[self.technique](projected, self)
             registered.indexes[group_key] = index
             if self.background_refine and isinstance(index, ProgressiveKDTree):
                 from .parallel.background import BackgroundRefiner

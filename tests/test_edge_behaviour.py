@@ -100,9 +100,24 @@ class TestLookupPruning:
 
 
 class TestQueryPriorityRefinement:
-    def test_progressive_refines_queried_region_first(self):
+    def test_progressive_refines_queried_region_first(self, request):
         """Repeating one query converges its region while a fresh region
-        stays coarse — the 'pieces required for query processing' rule."""
+        stays coarse — the 'pieces required for query processing' rule.
+
+        A *serial*-scheduler property: the round-based parallel refiner
+        intentionally spreads leftover budget onto non-queried pieces
+        (see ``_pick_pieces``), so the strict ordering below only holds
+        with fan-out pinned off — regardless of any ambient
+        REPRO_PARALLEL / REPRO_PROCS environment.
+        """
+        from repro.parallel import config as par_config
+        from repro.parallel import procpool
+
+        workers, procs = par_config.get_workers(), procpool.get_process_workers()
+        par_config.set_workers(1)
+        procpool.set_process_workers(1)
+        request.addfinalizer(lambda: par_config.set_workers(workers))
+        request.addfinalizer(lambda: procpool.set_process_workers(procs))
         table = make_uniform_table(6_000, 2, seed=122)
         index = ProgressiveKDTree(table, delta=0.3, size_threshold=64)
         span = table.n_rows

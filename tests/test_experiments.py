@@ -34,6 +34,24 @@ TINY = Scale(
 )
 
 
+@pytest.fixture(scope="module", autouse=True)
+def serial_schedule():
+    """Paper tables describe the *serial* refinement schedule, and the
+    tiny-scale timing columns drown in fan-out dispatch noise — pin both
+    parallel tiers off for the whole module, regardless of any ambient
+    REPRO_PARALLEL / REPRO_PROCS environment (each tier's own suite
+    covers the fan-out paths)."""
+    from repro.parallel import config as par_config
+    from repro.parallel import procpool
+
+    workers, procs = par_config.get_workers(), procpool.get_process_workers()
+    par_config.set_workers(1)
+    procpool.set_process_workers(1)
+    yield
+    par_config.set_workers(workers)
+    procpool.set_process_workers(procs)
+
+
 @pytest.fixture(scope="module")
 def runs():
     return grid_runs(TINY)
