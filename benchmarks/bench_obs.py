@@ -29,6 +29,7 @@ profiling tool with their own price.
 import time
 
 import numpy as np
+import pytest
 from _bench_utils import emit
 
 import repro.obs as obs
@@ -302,4 +303,100 @@ def test_serve_enabled_overhead_under_five_percent(benchmark, results_dir):
     assert overhead < 0.05, (
         f"serve-layer instruments make execute_query {overhead * 100:.2f}% "
         f"slower than the core-instruments-only path (gate: <5%)"
+    )
+
+
+# ------------------------------------------------- proc-dispatched scans
+
+PROC_ROWS = 1 << 19  # four morsels per scan — a real fan-out, small work
+PROC_WORKERS = 2
+PROC_SWEEP_REPEATS = 10
+
+
+def measure_proc_overhead(attempts=6, good_enough=0.03):
+    """Paired cost of the cross-process telemetry bridge.
+
+    The same shm-backed ``executor.scan_range`` fan-out runs with the
+    telemetry planes off (workers skip all capture, tasks return the
+    legacy tuple shape) and on (workers trace + meter every task, the
+    payload rides back on the result, the parent re-parents and folds).
+    Minima per side, interleaved attempts, collector paused — the same
+    one-sided-noise regime as the other paired measurements here.
+    """
+    import gc
+
+    from repro.parallel import executor, procpool
+    from repro.parallel import shm as parallel_shm
+
+    columns = [np.random.default_rng(5).random(PROC_ROWS) for _ in range(2)]
+    query = RangeQuery([0.2, 0.2], [0.6, 0.6])
+    obs.disable()
+    block = parallel_shm.share_arrays(columns)
+    shared = list(block.arrays)
+    procs_restore = procpool.get_process_workers()
+    procpool.set_process_workers(PROC_WORKERS)
+    try:
+        procpool.warm_up()
+
+        def run():
+            for _ in range(PROC_SWEEP_REPEATS):
+                stats = QueryStats()
+                executor.scan_range(shared, 0, PROC_ROWS, query, stats)
+
+        run()  # warm the pool, caches, and pickled-query paths
+        disabled = enabled = float("inf")
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(attempts):
+                obs.disable()
+                disabled = min(disabled, _time(run))
+                obs.enable(sink=ListSink(), metrics=True)
+                try:
+                    run()  # warm the bridge's instrument handles
+                    enabled = min(enabled, _time(run))
+                finally:
+                    obs.disable()
+                if enabled / disabled - 1.0 < good_enough:
+                    break
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        obs.disable()
+        obs.REGISTRY.reset()
+        procpool.shutdown_procs()
+        procpool.set_process_workers(procs_restore)
+        block.release()
+    return {"disabled": disabled, "enabled": enabled}
+
+
+def test_proc_dispatch_enabled_overhead_under_five_percent(
+    benchmark, results_dir
+):
+    import os
+
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("process tier needs at least 2 CPUs")
+    seconds = benchmark.pedantic(
+        measure_proc_overhead, rounds=1, iterations=1
+    )
+    overhead = seconds["enabled"] / seconds["disabled"] - 1.0
+    tasks = PROC_SWEEP_REPEATS * (PROC_ROWS // (1 << 17))
+    text = format_table(
+        f"Cross-process telemetry bridge cost ({tasks} proc tasks per "
+        f"sweep, {PROC_WORKERS} workers)",
+        ["variant", "seconds", "overhead"],
+        [
+            ["proc scan, telemetry disabled", seconds["disabled"], "-"],
+            ["proc scan, tracing+metrics enabled", seconds["enabled"],
+             f"{overhead * 100:+.2f}%"],
+        ],
+    )
+    emit(results_dir, "obs_proc_overhead.txt", text)
+    # The bridge gate: worker-side capture plus parent-side re-parenting
+    # and metric folding must cost under 5% of a proc-dispatched scan.
+    assert overhead < 0.05, (
+        f"the telemetry bridge makes proc-dispatched scans "
+        f"{overhead * 100:.2f}% slower than with telemetry off (gate: <5%)"
     )

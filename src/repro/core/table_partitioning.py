@@ -48,6 +48,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import InvalidParameterError, InvalidTableError
+from ..obs import metrics as obs_metrics
 from .index_base import BaseIndex
 from .kdtree import KDTree
 from .metrics import PhaseTimer, QueryStats
@@ -199,11 +200,63 @@ class ShardedIndex(BaseIndex):
         ]
         inner = self.indexes[0].name
         self.name = f"Sharded[{inner}x{len(self.shards)}]"
+        #: Generation-keyed cache of per-shard labeled instrument handles
+        #: (same pattern as the kernel and serve layers): one registry
+        #: lookup per shard per reset, not per query.
+        self._shard_metric_handles: Optional[Tuple[int, List[dict]]] = None
         self.size_threshold = getattr(self.indexes[0], "size_threshold", None)
         # The scheduler prices refinement slices through the index's cost
         # model; per-row prices barely vary across same-width shards, so
         # the first shard's model prices the whole group.
         self.cost_model = getattr(self.indexes[0], "cost_model", None)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _shard_metrics(self) -> Optional[List[dict]]:
+        """Per-shard labeled instrument handles, or ``None`` while the
+        metrics plane is off.  Entries align with ``self.shards``."""
+        if not obs_metrics.ENABLED:
+            return None
+        registry = obs_metrics.REGISTRY
+        cached = self._shard_metric_handles
+        if cached is not None and cached[0] == registry.generation:
+            return cached[1]
+        handles: List[dict] = []
+        for shard in self.shards:
+            labels = {"index": self.name, "shard": shard.shard_id}
+            handles.append(
+                {
+                    "scans": registry.counter("shard.scans", **labels),
+                    "pruned": registry.counter("shard.zone_pruned", **labels),
+                    "refine_slices": registry.counter(
+                        "shard.refine_slices", **labels
+                    ),
+                    "refine_rows": registry.counter(
+                        "shard.refine_rows", **labels
+                    ),
+                    "rows_to_converge": registry.gauge(
+                        "shard.rows_to_converge", **labels
+                    ),
+                    "open_pieces": registry.gauge(
+                        "shard.open_pieces", **labels
+                    ),
+                    "converged": registry.gauge("shard.converged", **labels),
+                }
+            )
+        self._shard_metric_handles = (registry.generation, handles)
+        return handles
+
+    def _publish_shard_progress(self, handles: List[dict]) -> None:
+        """Refresh the per-shard convergence gauges from inner-index state."""
+        for position, index in enumerate(self.indexes):
+            gauges = handles[position]
+            estimate = index.convergence_rows_estimate
+            if estimate is not None:
+                gauges["rows_to_converge"].set(estimate)
+            open_pieces = index.open_piece_count
+            if open_pieces is not None:
+                gauges["open_pieces"].set(open_pieces)
+            gauges["converged"].set(int(index.converged))
 
     # -- query ---------------------------------------------------------------
 
@@ -211,12 +264,19 @@ class ShardedIndex(BaseIndex):
         from ..parallel import config as parallel_config
         from ..parallel import procpool
 
+        handles = self._shard_metrics()
         survivors: List[Tuple[Shard, BaseIndex]] = []
-        for shard, index in zip(self.shards, self.indexes):
+        for position, (shard, index) in enumerate(
+            zip(self.shards, self.indexes)
+        ):
             if shard.intersects(query):
                 survivors.append((shard, index))
+                if handles is not None:
+                    handles[position]["scans"].inc()
             else:
                 stats.pruned += 1
+                if handles is not None:
+                    handles[position]["pruned"].inc()
         if not survivors:
             return np.empty(0, dtype=np.int64)
         workers = parallel_config.get_workers()
@@ -246,6 +306,8 @@ class ShardedIndex(BaseIndex):
             stats.merge(shard_stats)
             if local_ids.size:
                 parts.append(local_ids + shard.row_offset)
+        if handles is not None:
+            self._publish_shard_progress(handles)
         if not parts:
             return np.empty(0, dtype=np.int64)
         if len(parts) == 1:
@@ -286,18 +348,26 @@ class ShardedIndex(BaseIndex):
         finishes creation through its own queries).
         """
         refinable = [
-            index
-            for index in self.indexes
+            (position, index)
+            for position, index in enumerate(self.indexes)
             if getattr(index, "phase", None) == REFINEMENT
         ]
         if not refinable or budget_rows <= 0:
             return 0
+        handles = self._shard_metrics()
         share, remainder = divmod(int(budget_rows), len(refinable))
         used = 0
-        for position, index in enumerate(refinable):
-            grant = share + (remainder if position == 0 else 0)
+        for slot, (position, index) in enumerate(refinable):
+            grant = share + (remainder if slot == 0 else 0)
             if grant > 0:
-                used += index._refine_step(grant, query, stats)
+                step_used = index._refine_step(grant, query, stats)
+                used += step_used
+                if handles is not None:
+                    handles[position]["refine_slices"].inc()
+                    if step_used:
+                        handles[position]["refine_rows"].inc(step_used)
+        if handles is not None:
+            self._publish_shard_progress(handles)
         return used
 
     # -- aggregate state -----------------------------------------------------

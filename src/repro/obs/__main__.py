@@ -7,6 +7,7 @@ Subcommands::
     convergence  piece-count / max-piece-size decay toward the threshold
     diff         compare two traces (e.g. reference vs fused kernels)
     top          live dashboard over a serve metrics endpoint
+    procs        process-tier telemetry report from a metrics scrape
 
 Typical round trip::
 
@@ -21,6 +22,8 @@ Typical round trip::
 Live serving (server started with ``--metrics-port 9464``)::
 
     python -m repro.obs top --port 9464
+    python -m repro.obs procs --port 9464
+    python -m repro.obs procs --file metrics-scrape.txt
 """
 
 from __future__ import annotations
@@ -122,16 +125,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="live dashboard over a serve metrics endpoint",
         add_help=False,
     )
+    commands.add_parser(
+        "procs",
+        help="process-tier telemetry report from a metrics scrape",
+        add_help=False,
+    )
 
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
-    # `top` owns its own argparse (it is also a standalone module); hand
-    # the remaining arguments straight through.
+    # `top` and `procs` own their own argparse (they are also standalone
+    # modules); hand the remaining arguments straight through.
     if argv and argv[0] == "top":
         from .top import main as top_main
 
         return top_main(argv[1:])
+    if argv and argv[0] == "procs":
+        from .procs import main as procs_main
+
+        return procs_main(argv[1:])
 
     args = parser.parse_args(argv)
     if args.command == "record":

@@ -71,6 +71,8 @@ class TraceSummary:
     queries: List[QuerySummary] = field(default_factory=list)
     kernels: Dict[str, Dict[str, float]] = field(default_factory=dict)
     events: Dict[str, int] = field(default_factory=dict)
+    #: Per-op ``proc.task`` rollup: {"tasks", "seconds", "pids" (set)}.
+    workers: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def indexes(self) -> List[str]:
@@ -106,6 +108,14 @@ def summarize(records: Sequence[Dict[str, object]]) -> TraceSummary:
     Spans are matched to their enclosing ``query`` span by walking the
     parent chain, so extra nesting levels (``session.query`` wrappers,
     future span kinds) do not break attribution.
+
+    Multi-process traces are first-class: worker span ids are namespaced
+    by pid (see :data:`repro.obs.trace.ID_PID_SHIFT`) so ``by_id`` never
+    collides across processes, and a dangling ``parent`` pointing at a
+    span the trace does not contain (e.g. a worker record whose parent
+    was dropped) simply terminates the ancestor walk instead of raising.
+    ``proc.task`` root spans shipped back by workers are rolled up per
+    op into :attr:`TraceSummary.workers`.
     """
     summary = TraceSummary()
     spans: List[Dict[str, object]] = []
@@ -166,6 +176,16 @@ def summarize(records: Sequence[Dict[str, object]]) -> TraceSummary:
             entry["count"] += 1
             entry["seconds"] += float(record.get("dur", 0.0))
             entry["rows"] += int(attrs.get("rows", 0))
+        elif name == "proc.task":
+            attrs = record.get("attrs") or {}
+            op = str(attrs.get("op", "?"))
+            entry = summary.workers.setdefault(
+                op, {"tasks": 0, "seconds": 0.0, "pids": set()}
+            )
+            entry["tasks"] += 1
+            entry["seconds"] += float(record.get("dur", 0.0))
+            if attrs.get("pid") is not None:
+                entry["pids"].add(attrs["pid"])
     summary.queries = sorted(queries.values(), key=lambda q: (q.number, q.span_id))
     return summary
 
@@ -252,6 +272,17 @@ def render_report(
                 [
                     [key, entry["count"], entry["seconds"], entry["rows"]]
                     for key, entry in sorted(summary.kernels.items())
+                ],
+            )
+        )
+    if summary.workers:
+        sections.append(
+            format_table(
+                "Worker tasks (proc tier)",
+                ["op", "tasks", "seconds", "workers"],
+                [
+                    [op, entry["tasks"], entry["seconds"], len(entry["pids"])]
+                    for op, entry in sorted(summary.workers.items())
                 ],
             )
         )

@@ -34,7 +34,14 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    split_key,
+)
 
 __all__ = [
     "CONTENT_TYPE",
@@ -61,17 +68,9 @@ def _family(name: str) -> str:
     return PREFIX + _NAME_OK.sub("_", name.replace(".", "_"))
 
 
-def _split_key(key: str) -> Tuple[str, Dict[str, str]]:
-    """Invert the registry's ``name{k=v,...}`` key rendering."""
-    if not key.endswith("}") or "{" not in key:
-        return key, {}
-    name, raw = key[:-1].split("{", 1)
-    labels: Dict[str, str] = {}
-    for part in raw.split(","):
-        if "=" in part:
-            label, value = part.split("=", 1)
-            labels[label] = value
-    return name, labels
+#: Invert the registry's ``name{k=v,...}`` key rendering (now shared
+#: with the cross-process bridge; kept under the old name for callers).
+_split_key = split_key
 
 
 def _escape_value(value: str) -> str:

@@ -40,6 +40,7 @@ __all__ = [
     "diff",
     "enable",
     "disable",
+    "split_key",
 ]
 
 #: Fast-path flag: call sites skip all metric work while this is False.
@@ -175,6 +176,36 @@ class Histogram:
         with self._lock:
             return self.bounds, list(self.buckets), self.count, self.total
 
+    def merge_snapshot(self, snap: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Bucket keys are matched by their rendered bound (``repr(bound)``
+        / ``"+inf"``), so merging only makes sense between histograms
+        built with the same bounds — which holds for the cross-process
+        bridge, where worker and parent run the same instrumented code.
+        A snapshot bucket whose bound is unknown here lands in the
+        overflow bucket rather than being dropped, keeping count and
+        bucket-sum consistent."""
+        if not snap or not snap.get("count"):
+            return
+        rendered = {repr(bound): i for i, bound in enumerate(self.bounds)}
+        overflow = len(self.bounds)
+        with self._lock:
+            self.count += snap["count"]
+            self.total += snap.get("sum", 0.0)
+            snap_min = snap.get("min")
+            if snap_min is not None and (
+                self.minimum is None or snap_min < self.minimum
+            ):
+                self.minimum = snap_min
+            snap_max = snap.get("max")
+            if snap_max is not None and (
+                self.maximum is None or snap_max > self.maximum
+            ):
+                self.maximum = snap_max
+            for label, n in (snap.get("buckets") or {}).items():
+                self.buckets[rendered.get(label, overflow)] += n
+
     def quantile(self, q: float) -> Optional[float]:
         """Bucket-resolution quantile estimate (upper bound of the bucket
         holding the ``q``-th observation); ``None`` while empty."""
@@ -198,6 +229,23 @@ def _key(name: str, labels: Dict[str, object]) -> str:
         return name
     rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{rendered}}}"
+
+
+def split_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert the ``name{k=v,...}`` key rendering of :func:`_key`.
+
+    Used by the Prometheus exporter and by the cross-process bridge,
+    which ships worker metrics as flat registry keys and re-creates the
+    labeled instruments on the parent side."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, raw = key[:-1].split("{", 1)
+    labels: Dict[str, str] = {}
+    for part in raw.split(","):
+        if "=" in part:
+            label, value = part.split("=", 1)
+            labels[label] = value
+    return name, labels
 
 
 class MetricsRegistry:

@@ -1,0 +1,292 @@
+"""Cross-process telemetry bridge: worker-side capture, parent-side absorb.
+
+The tracer (:mod:`.trace`) and metrics registry (:mod:`.metrics`) are
+process-local, so everything a :mod:`repro.parallel.procpool` worker
+does — kernel calls, piece scans, partition advances — is invisible to
+the parent's observability plane.  This module closes that gap without
+any extra IPC channel: telemetry piggybacks on the task results that
+already travel back through the pool.
+
+Protocol
+--------
+*Parent, at fan-out* — :func:`request` builds one small dict per fan-out
+(shipped to every task of that fan-out) recording which planes are live
+and a ``(submit_unix, submit_trace)`` clock pair; ``None`` when both
+planes are off, so the disabled path ships nothing and the workers skip
+all capture.
+
+*Worker, per task* — :class:`WorkerCapture` wraps the task body.  It
+re-uses the real instruments: a persistent per-process
+:class:`~.trace.Tracer` over a swappable in-memory sink (persistent so
+the pid-namespaced span-id counter — see ``trace.ID_PID_SHIFT`` — keeps
+rising across tasks, realising the ``(pid, task)`` namespace), and the
+worker's own :data:`~.metrics.REGISTRY`, reset at task start so the
+collected values are exactly this task's deltas.  Because the genuine
+``ENABLED`` flags flip on, every existing call site (kernel spans,
+kernel latency histograms, partition events) feeds the capture with no
+code changes.  The task body runs inside a ``proc.task`` root span
+carrying the worker's ``QueryStats``.
+
+*Parent, at merge* — :func:`absorb` re-bases worker timestamps into the
+parent's trace clock (both processes share ``time.time()``; the worker
+records a ``(worker_start_unix, t0)`` pair next to the parent's
+``(submit_unix, submit_trace)`` pair, which pins the offset between the
+two perf-counter origins), re-parents the worker's root spans under the
+span that funded the fan-out — worker-internal parent links are kept
+as-is, their pid-namespaced ids cannot collide with parent ids — and
+folds the metric deltas into the live registry by kind (counters add,
+gauges last-write, histograms bucket-merge).  It also feeds the
+proc-pool health surface measured by the round trip itself::
+
+    parallel.proc_dispatch_seconds{op=...}   submit -> task start
+                                             (pickle + queue wait)
+    parallel.proc_task_seconds{op=...}       task body wall time
+    parallel.proc_return_seconds{op=...}     task end -> result in hand
+                                             (result pickle + IPC back)
+    parallel.proc_tasks_done{op=...}         completed proc tasks
+
+Determinism note: the bridge is observe-only.  Task *results* and
+``QueryStats`` merge exactly as before; a payload is a third tuple
+element that exists only when a request was shipped, so direct callers
+of the task functions see the historical shapes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from . import metrics as obs_metrics
+from . import trace as obs_trace
+from .sink import ListSink
+
+__all__ = [
+    "WorkerCapture",
+    "absorb",
+    "install_worker_collector",
+    "request",
+]
+
+#: The persistent worker-side tracer (one per worker process).  Created
+#: by :func:`install_worker_collector` (pool initializer) or lazily by
+#: the first captured task; never replaced, so its span-id counter is
+#: monotonic for the life of the worker.
+_WORKER_TRACER: Optional[obs_trace.Tracer] = None
+
+
+def install_worker_collector() -> obs_trace.Tracer:
+    """Create (or return) this process's persistent capture tracer.
+
+    Called from the pool initializer so the pid-namespaced id counter is
+    pinned before the first task; safe to call again (idempotent)."""
+    global _WORKER_TRACER
+    if _WORKER_TRACER is None:
+        _WORKER_TRACER = obs_trace.Tracer(
+            ListSink(), meta={"pid": os.getpid(), "role": "proc-worker"}
+        )
+    return _WORKER_TRACER
+
+
+# ------------------------------------------------------------ parent side
+
+def request() -> Optional[Dict[str, Any]]:
+    """The telemetry request to ship with a proc fan-out's tasks.
+
+    ``None`` (ship nothing, capture nothing) unless tracing or metrics
+    is live in the parent right now."""
+    trace_on = obs_trace.ENABLED
+    metrics_on = obs_metrics.ENABLED
+    if not (trace_on or metrics_on):
+        return None
+    return {
+        "trace": trace_on,
+        "metrics": metrics_on,
+        "submit_unix": time.time(),
+        "submit_trace": obs_trace.TRACER.now() if trace_on else None,
+    }
+
+
+def absorb(
+    payload: Optional[Dict[str, Any]],
+    parent_id: Optional[int] = None,
+    op: Optional[str] = None,
+) -> None:
+    """Fold one completed task's telemetry payload into the live planes.
+
+    ``parent_id`` is the span that funded the fan-out (captured on the
+    dispatching thread before submit); the worker's root spans are
+    re-parented under it.  No-op on ``None`` payloads (task ran with no
+    request, or the plane was off)."""
+    if payload is None:
+        return
+    received_unix = time.time()
+    op_label = op or payload.get("op") or "task"
+
+    records = payload.get("records")
+    if records and obs_trace.ENABLED:
+        # Re-base worker trace time onto the parent's clock: the worker
+        # stamped (worker_start_unix, t0) back-to-back, the parent
+        # stamped (submit_unix, submit_trace) at fan-out, and both
+        # processes share time.time() — so a worker ts t happened at
+        # parent trace time  submit_trace + (worker_start_unix -
+        # submit_unix) + (t - t0).
+        submit_trace = payload.get("submit_trace")
+        if submit_trace is not None:
+            shift = (
+                submit_trace
+                + (payload["worker_start_unix"] - payload["submit_unix"])
+                - payload["t0"]
+            )
+            rebased: List[Dict[str, Any]] = []
+            for record in records:
+                record = dict(record)
+                record["ts"] = round(record.get("ts", 0.0) + shift, 9)
+                if record.get("parent") is None:
+                    record["parent"] = parent_id
+                rebased.append(record)
+            obs_trace.TRACER.ingest(rebased)
+
+    if obs_metrics.ENABLED:
+        registry = obs_metrics.REGISTRY
+        for key, kind, snap in payload.get("metrics") or ():
+            name, labels = obs_metrics.split_key(key)
+            if kind == "counter":
+                if snap:
+                    registry.counter(name, **labels).inc(snap)
+            elif kind == "gauge":
+                if snap is not None:
+                    registry.gauge(name, **labels).set(snap)
+            elif kind == "histogram":
+                registry.histogram(name, **labels).merge_snapshot(snap)
+        registry.histogram(
+            "parallel.proc_dispatch_seconds", op=op_label
+        ).observe(
+            max(0.0, payload["worker_start_unix"] - payload["submit_unix"])
+        )
+        registry.histogram(
+            "parallel.proc_task_seconds", op=op_label
+        ).observe(payload["task_wall"])
+        registry.histogram(
+            "parallel.proc_return_seconds", op=op_label
+        ).observe(max(0.0, received_unix - payload["worker_end_unix"]))
+        registry.counter("parallel.proc_tasks_done", op=op_label).inc()
+
+
+# ------------------------------------------------------------ worker side
+
+class WorkerCapture:
+    """Captures one proc-task's telemetry inside the worker process.
+
+    Usage (see the task bodies in :mod:`repro.parallel.procpool`)::
+
+        capture = WorkerCapture(telemetry, op="scan", stats=worker_stats)
+        capture.begin()
+        try:
+            ...task body...
+        finally:
+            payload = capture.finish()
+
+    ``begin``/``finish`` are no-ops when the request is ``None``
+    (``finish`` then returns ``None``), so the uninstrumented path costs
+    two attribute checks.  ``finish`` always restores the worker to the
+    telemetry-off state, even when the body raised."""
+
+    __slots__ = (
+        "request",
+        "op",
+        "stats",
+        "attrs",
+        "_span",
+        "_sink",
+        "_trace_on",
+        "_metrics_on",
+        "_start_unix",
+        "_t0",
+    )
+
+    def __init__(
+        self,
+        request: Optional[Dict[str, Any]],
+        op: str,
+        stats=None,
+        **attrs: Any,
+    ) -> None:
+        self.request = request
+        self.op = op
+        self.stats = stats
+        self.attrs = attrs
+        self._span = None
+        self._sink: Optional[ListSink] = None
+        self._trace_on = bool(request and request.get("trace"))
+        self._metrics_on = bool(request and request.get("metrics"))
+        self._start_unix = 0.0
+        self._t0 = 0.0
+
+    def begin(self) -> None:
+        if self.request is None:
+            return
+        if self._metrics_on:
+            obs_metrics.REGISTRY.reset()
+            obs_metrics.enable()
+        if self._trace_on:
+            tracer = install_worker_collector()
+            # Fresh per-task sink on the persistent tracer: records are
+            # this task's, ids keep rising across tasks.
+            self._sink = tracer.sink = ListSink()
+            obs_trace.install(tracer)
+            # Clock pair: trace time and unix time at (as close as
+            # possible to) the same instant, for parent-side re-basing.
+            self._t0 = tracer.now()
+        self._start_unix = time.time()
+        if self._trace_on:
+            self._span = obs_trace.TRACER.span(
+                "proc.task",
+                stats=self.stats,
+                parent=None,
+                op=self.op,
+                pid=os.getpid(),
+                **self.attrs,
+            ).__enter__()
+
+    def finish(self) -> Optional[Dict[str, Any]]:
+        if self.request is None:
+            return None
+        end_unix = time.time()
+        records: List[Dict[str, Any]] = []
+        if self._trace_on:
+            if self._span is not None:
+                self._span.__exit__()
+                self._span = None
+            obs_trace.uninstall()
+            if self._sink is not None:
+                records = [
+                    record
+                    for record in self._sink.records
+                    if record.get("type") != "meta"
+                ]
+                self._sink = None
+        metric_deltas = []
+        if self._metrics_on:
+            obs_metrics.disable()
+            for key, metric in obs_metrics.REGISTRY.items():
+                snap = metric.snapshot()
+                if metric.kind == "counter" and not snap:
+                    continue
+                if metric.kind == "gauge" and snap is None:
+                    continue
+                if metric.kind == "histogram" and not snap["count"]:
+                    continue
+                metric_deltas.append((key, metric.kind, snap))
+        return {
+            "pid": os.getpid(),
+            "op": self.op,
+            "records": records,
+            "metrics": metric_deltas,
+            "submit_unix": self.request["submit_unix"],
+            "submit_trace": self.request.get("submit_trace"),
+            "worker_start_unix": self._start_unix,
+            "worker_end_unix": end_unix,
+            "task_wall": end_unix - self._start_unix,
+            "t0": self._t0,
+        }

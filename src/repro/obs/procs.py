@@ -1,0 +1,196 @@
+"""``python -m repro.obs procs`` — process-tier telemetry report.
+
+One-shot summary of the cross-process execution plane from a single
+Prometheus scrape (live endpoint or a saved exposition file): proc-pool
+health (worker liveness, task-queue depth, per-op dispatch/task/return
+latency from the bridge's round-trip histograms), shared-memory
+residency, and the per-shard telemetry of every sharded index.
+
+Like the ``top`` dashboard, rendering is a pure function of a
+:class:`~repro.obs.export.Scrape` (:func:`render_procs`), so tests feed
+it synthetic multi-process scrapes without a server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .export import Scrape, parse_exposition
+from .top import (
+    _fmt_bytes,
+    _fmt_seconds,
+    _quantile_matching,
+    _shard_sort,
+    _sum_matching,
+    fetch_scrape,
+)
+
+__all__ = ["render_procs", "main"]
+
+
+def _op_mean(scrape: Scrape, family: str, op: str) -> Optional[float]:
+    count = _sum_matching(scrape, family + "_count", op=op)
+    if not count:
+        return None
+    return _sum_matching(scrape, family + "_sum", op=op) / count
+
+
+def render_procs(scrape: Scrape) -> str:
+    """Render the proc-tier report from one scrape."""
+    lines: List[str] = []
+    lines.append("repro obs procs — process-tier telemetry")
+    lines.append("")
+
+    # ---- pool health -----------------------------------------------------
+    expected = scrape.get("repro_parallel_proc_workers_expected", default=0.0)
+    alive = scrape.get("repro_parallel_proc_workers_alive", default=0.0)
+    inflight = scrape.get("repro_parallel_proc_tasks_inflight", default=0.0)
+    ops = sorted(set(scrape.label_values("repro_parallel_proc_tasks_done", "op")))
+    total_done = sum(
+        scrape.get("repro_parallel_proc_tasks_done", default=0.0, op=op)
+        for op in ops
+    )
+    lines.append("process pool")
+    lines.append("-" * 72)
+    if expected or ops:
+        health = "healthy" if alive >= expected else "DEGRADED"
+        lines.append(
+            f"  workers: {int(alive)}/{int(expected)} alive ({health})"
+            f"   tasks: {int(total_done)} done, {int(inflight)} in flight"
+        )
+    else:
+        lines.append("  (no process-tier activity in this scrape)")
+    if ops:
+        lines.append("")
+        lines.append(
+            f"  {'OP':<16} {'TASKS':>8} {'DISPATCH':>10} {'TASK':>10} "
+            f"{'RETURN':>10} {'TASK P99':>10}"
+        )
+        for op in ops:
+            done = scrape.get(
+                "repro_parallel_proc_tasks_done", default=0.0, op=op
+            )
+            dispatch = _op_mean(
+                scrape, "repro_parallel_proc_dispatch_seconds", op
+            )
+            task = _op_mean(scrape, "repro_parallel_proc_task_seconds", op)
+            ret = _op_mean(scrape, "repro_parallel_proc_return_seconds", op)
+            p99 = _quantile_matching(
+                scrape, "repro_parallel_proc_task_seconds", 0.99, op=op
+            )
+            lines.append(
+                f"  {op:<16} {done:>8.0f} {_fmt_seconds(dispatch):>10} "
+                f"{_fmt_seconds(task):>10} {_fmt_seconds(ret):>10} "
+                f"{_fmt_seconds(p99):>10}"
+            )
+        lines.append("")
+        lines.append(
+            "  dispatch = submit -> task start (pickle + queue wait), "
+            "return = task end -> result in hand; means per op."
+        )
+    lines.append("")
+
+    # ---- shared memory ---------------------------------------------------
+    resident = scrape.get("repro_parallel_shm_resident_bytes", default=None)
+    segments = scrape.get("repro_parallel_shm_segments", default=0.0)
+    lines.append("shared memory")
+    lines.append("-" * 72)
+    if resident is None:
+        lines.append("  (no shm residency gauge in this scrape)")
+    else:
+        lines.append(
+            f"  resident: {_fmt_bytes(resident)} in "
+            f"{int(segments)} segment(s)"
+        )
+    lines.append("")
+
+    # ---- shards ----------------------------------------------------------
+    per_index: Dict[str, List[str]] = {}
+    for key in scrape.series("repro_shard_scans"):
+        labels = dict(key)
+        per_index.setdefault(labels.get("index", "?"), []).append(
+            labels.get("shard", "?")
+        )
+    lines.append("sharded indexes")
+    lines.append("-" * 72)
+    if not per_index:
+        lines.append("  (no per-shard telemetry in this scrape)")
+    for index in sorted(per_index):
+        lines.append(f"  {index}")
+        lines.append(
+            f"    {'SHARD':>5} {'SCANS':>7} {'PRUNED':>7} {'SLICES':>7} "
+            f"{'REF-ROWS':>10} {'ROWS LEFT':>11} {'PIECES':>7}  STATE"
+        )
+        shards = sorted(set(per_index[index]), key=_shard_sort)
+        totals = {"scans": 0.0, "pruned": 0.0, "rows": 0.0}
+        for shard in shards:
+            want = {"index": index, "shard": shard}
+            scans = scrape.get("repro_shard_scans", default=0.0, **want)
+            pruned = scrape.get("repro_shard_zone_pruned", default=0.0, **want)
+            slices = scrape.get(
+                "repro_shard_refine_slices", default=0.0, **want
+            )
+            refined = scrape.get("repro_shard_refine_rows", default=0.0, **want)
+            remaining = scrape.get(
+                "repro_shard_rows_to_converge", default=0.0, **want
+            )
+            pieces = scrape.get("repro_shard_open_pieces", default=0.0, **want)
+            converged = scrape.get(
+                "repro_shard_converged", default=0.0, **want
+            )
+            totals["scans"] += scans
+            totals["pruned"] += pruned
+            totals["rows"] += remaining
+            state = "converged" if converged else "refining"
+            lines.append(
+                f"    {shard:>5} {scans:>7.0f} {pruned:>7.0f} {slices:>7.0f} "
+                f"{refined:>10.0f} {remaining:>11.0f} {pieces:>7.0f}  {state}"
+            )
+        prune_rate = (
+            totals["pruned"] / (totals["scans"] + totals["pruned"])
+            if totals["scans"] + totals["pruned"]
+            else 0.0
+        )
+        lines.append(
+            f"    total: {totals['scans']:.0f} shard scans, "
+            f"{totals['pruned']:.0f} zone-pruned "
+            f"({prune_rate * 100:.1f}%), "
+            f"{totals['rows']:.0f} rows to converge"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs procs",
+        description="Process-tier telemetry report from a metrics scrape.",
+    )
+    parser.add_argument(
+        "--url", default=None, help="endpoint URL (overrides --host/--port)"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9464)
+    parser.add_argument(
+        "--file",
+        default=None,
+        help="render from a saved exposition file instead of scraping",
+    )
+    args = parser.parse_args(argv)
+    if args.file is not None:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            scrape = parse_exposition(handle.read())
+    else:
+        url = args.url or f"http://{args.host}:{args.port}/metrics"
+        try:
+            scrape = fetch_scrape(url)
+        except OSError as error:
+            sys.stderr.write(f"scrape of {url} failed: {error}\n")
+            return 1
+    sys.stdout.write(render_procs(scrape))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

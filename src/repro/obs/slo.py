@@ -74,6 +74,15 @@ class SLOConfig:
     lock_wait_critical_seconds:
         A single snapshot-lock wait longer than this is runaway
         (critical — writer preference or slice sizing is broken).
+    worker_stall_seconds:
+        Proc-pool pathology window: a dead worker process fires
+        immediately, and proc tasks pending with the completion counter
+        frozen for this long fire too (critical — the process tier is
+        wedged; see ``parallel.procpool.health_snapshot``).
+    shm_leak_seconds:
+        Shared-memory bytes resident while nothing legitimately pins
+        them (no armed proc tier, no shm-backed table) for this long is
+        a leak (critical — an owner finalizer or release was missed).
     watchdog_interval_seconds:
         Probe period of the watchdog thread.
     max_events:
@@ -88,6 +97,8 @@ class SLOConfig:
     starvation_seconds: float = 10.0
     stall_seconds: float = 10.0
     lock_wait_critical_seconds: float = 1.0
+    worker_stall_seconds: float = 10.0
+    shm_leak_seconds: float = 10.0
     watchdog_interval_seconds: float = 1.0
     max_events: int = 256
 
@@ -322,6 +333,18 @@ class Watchdog:
          "allocations": {tenant: float}, # scheduler model-seconds ledger
          "max_lock_wait": float}         # worst lock wait since last probe
 
+    Optional keys extend coverage to the process tier (absent keys
+    disable the corresponding detectors, so pre-existing probes keep
+    working unchanged)::
+
+        {"proc": {...},                  # procpool.health_snapshot()
+         "shm_resident_bytes": int,      # shm.resident_bytes()
+         "shm_expected": bool}           # is residency legitimate now?
+
+    ``shm_expected`` is the server's own judgement (proc tier armed, or
+    a registered table shm-backed); bytes resident while it is False for
+    ``shm_leak_seconds`` are a leak.
+
     The watchdog only *compares successive probes* — all pathology
     definitions are "no progress across N seconds", so it needs no
     access to server internals beyond this snapshot.
@@ -343,6 +366,12 @@ class Watchdog:
         self._slices_changed_at: float = clock()
         self._alloc_changed_at: Dict[str, float] = {}
         self._last_alloc: Dict[str, float] = {}
+        # Proc-tier progress clock: when the pool's task-completion
+        # counter last moved, and since when shm bytes have been
+        # resident without a legitimate owner.
+        self._last_proc_done: Optional[int] = None
+        self._proc_done_changed_at: float = clock()
+        self._shm_unexpected_since: Optional[float] = None
         # Pathologies report once per continuous episode, not per probe.
         self._active: set = set()
 
@@ -436,6 +465,56 @@ class Watchdog:
             "critical",
             max_wait_seconds=round(max_lock_wait, 4),
         )
+
+        # Process-tier health: a dead worker fires immediately; tasks
+        # pending with the completion counter frozen fires after
+        # worker_stall_seconds.
+        proc = state.get("proc")
+        if proc:
+            expected = int(proc.get("expected", 0))
+            alive = int(proc.get("alive", 0))
+            pending = int(proc.get("pending", 0))
+            done = int(proc.get("done", 0))
+            if self._last_proc_done is None or done != self._last_proc_done:
+                self._proc_done_changed_at = now
+            self._last_proc_done = done
+            worker_dead = expected > 0 and alive < expected
+            queue_frozen = (
+                pending > 0
+                and now - self._proc_done_changed_at
+                >= config.worker_stall_seconds
+            )
+            self._episode(
+                worker_dead or queue_frozen,
+                "worker_stalled",
+                "critical",
+                expected=expected,
+                alive=alive,
+                pending=pending,
+                idle_seconds=round(now - self._proc_done_changed_at, 3),
+            )
+
+        # Shared-memory leak: bytes resident with no legitimate owner
+        # (proc tier disarmed, no shm-backed table) for shm_leak_seconds.
+        shm_resident = state.get("shm_resident_bytes")
+        if shm_resident is not None:
+            if shm_resident > 0 and not state.get("shm_expected", False):
+                if self._shm_unexpected_since is None:
+                    self._shm_unexpected_since = now
+            else:
+                self._shm_unexpected_since = None
+            unowned_since = self._shm_unexpected_since
+            self._episode(
+                unowned_since is not None
+                and now - unowned_since >= config.shm_leak_seconds,
+                "shm_leak",
+                "critical",
+                resident_bytes=int(shm_resident),
+                unowned_seconds=round(
+                    now - (unowned_since if unowned_since is not None else now),
+                    3,
+                ),
+            )
 
         # Burn-rate tiers: warnings only (transient spikes self-heal).
         for tenant, slo in self.engine.snapshot().items():

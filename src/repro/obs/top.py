@@ -107,6 +107,22 @@ def _bar(fraction: float, width: int = 20) -> str:
     return "#" * filled + "." * (width - filled)
 
 
+def _fmt_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}GiB"
+
+
+def _shard_sort(shard: str):
+    """Numeric shard ids sort numerically, anything else after."""
+    try:
+        return (0, int(shard))
+    except (TypeError, ValueError):
+        return (1, str(shard))
+
+
 def _tenants(scrape: Scrape) -> List[str]:
     names = set(scrape.label_values("repro_serve_queries", "tenant"))
     names.update(scrape.label_values("repro_slo_requests_total", "tenant"))
@@ -249,6 +265,119 @@ def render_dashboard(
                 f"{current.get('repro_scheduler_slices', tenant=tenant):>8.0f} "
                 f"{current.get('repro_scheduler_rows', tenant=tenant):>12.0f} "
                 f"{current.get('repro_scheduler_model_seconds', tenant=tenant):>11.4f}"
+            )
+        lines.append("")
+
+    # ---- proc-pool workers ----------------------------------------------
+    worker_ops = sorted(
+        set(current.label_values("repro_parallel_proc_tasks_done", "op"))
+    )
+    expected = current.get("repro_parallel_proc_workers_expected", default=0.0)
+    if worker_ops or expected:
+        alive = current.get("repro_parallel_proc_workers_alive", default=0.0)
+        inflight = current.get(
+            "repro_parallel_proc_tasks_inflight", default=0.0
+        )
+        code = _GREEN if alive >= expected else _RED
+        lines.append(
+            paint(_BOLD, "WORKERS  ")
+            + paint(code, f"{int(alive)}/{int(expected)} alive")
+            + f"   inflight {int(inflight)}"
+            + "   shm "
+            + _fmt_bytes(
+                current.get("repro_parallel_shm_resident_bytes", default=0.0)
+            )
+            + f" in {int(current.get('repro_parallel_shm_segments', default=0.0))} seg"
+        )
+        if worker_ops:
+            lines.append(
+                paint(
+                    _BOLD,
+                    f"{'PROC-OP':<16} {'TASKS':>8} {'RATE/S':>8} "
+                    f"{'DISPATCH':>9} {'TASK P50':>9} {'RETURN':>9}",
+                )
+            )
+            for op in worker_ops:
+                done = current.get(
+                    "repro_parallel_proc_tasks_done", default=0.0, op=op
+                )
+                if previous is not None and elapsed > 0:
+                    before = previous.get(
+                        "repro_parallel_proc_tasks_done", default=0.0, op=op
+                    )
+                    rate = max(0.0, done - before) / elapsed
+                else:
+                    rate = 0.0
+                dispatch = _quantile_matching(
+                    current, "repro_parallel_proc_dispatch_seconds", 0.5, op=op
+                )
+                task = _quantile_matching(
+                    current, "repro_parallel_proc_task_seconds", 0.5, op=op
+                )
+                ret = _quantile_matching(
+                    current, "repro_parallel_proc_return_seconds", 0.5, op=op
+                )
+                lines.append(
+                    f"{op:<16} {done:>8.0f} {rate:>8.1f} "
+                    f"{_fmt_seconds(dispatch):>9} {_fmt_seconds(task):>9} "
+                    f"{_fmt_seconds(ret):>9}"
+                )
+        lines.append("")
+
+    # ---- shards ----------------------------------------------------------
+    shard_keys = sorted(
+        {
+            (dict(key).get("index", "?"), dict(key).get("shard", "?"))
+            for key in current.series("repro_shard_scans")
+        },
+        key=lambda pair: (pair[0], _shard_sort(pair[1])),
+    )
+    if shard_keys:
+        lines.append(
+            paint(
+                _BOLD,
+                f"{'SHARD':<24} {'SCANS':>7} {'PRUNED':>7} "
+                f"{'REFINED':>9} {'ROWS LEFT':>11}  PROGRESS",
+            )
+        )
+        peaks = peak_rows if peak_rows is not None else {}
+        for index, shard in shard_keys:
+            label = f"{index}#{shard}"
+            scans = current.get(
+                "repro_shard_scans", default=0.0, index=index, shard=shard
+            )
+            pruned = current.get(
+                "repro_shard_zone_pruned",
+                default=0.0,
+                index=index,
+                shard=shard,
+            )
+            refined = current.get(
+                "repro_shard_refine_rows",
+                default=0.0,
+                index=index,
+                shard=shard,
+            )
+            remaining = current.get(
+                "repro_shard_rows_to_converge",
+                default=0.0,
+                index=index,
+                shard=shard,
+            )
+            converged = current.get(
+                "repro_shard_converged", default=0.0, index=index, shard=shard
+            )
+            peak = max(peaks.get(label, 0.0), remaining)
+            peaks[label] = peak
+            done = 1.0 - (remaining / peak) if peak > 0 else 1.0
+            state = (
+                paint(_GREEN, "converged")
+                if converged
+                else f"[{_bar(done)}] {done * 100:5.1f}%"
+            )
+            lines.append(
+                f"{label:<24} {scans:>7.0f} {pruned:>7.0f} "
+                f"{refined:>9.0f} {remaining:>11.0f}  {state}"
             )
         lines.append("")
 

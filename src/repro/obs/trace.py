@@ -48,20 +48,30 @@ stack; span-id allocation and sink writes are serialised with one lock.
 Cross-thread nesting does not happen implicitly — a fan-out captures its
 current span id and passes it as the explicit ``parent`` of each worker
 span.
+
+Processes: span ids are namespaced by the allocating PID
+(``pid << ID_PID_SHIFT | counter``), so records emitted by pool worker
+processes (shipped back over the cross-process bridge,
+:mod:`repro.obs.procbridge`) or JSONL files merged from several
+processes can never collide — the parent re-parents a worker's root
+spans without rewriting any id.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 __all__ = [
     "COUNTER_FIELDS",
     "ENABLED",
+    "ID_PID_SHIFT",
     "TRACER",
     "Span",
     "Tracer",
+    "id_pid",
     "install",
     "uninstall",
 ]
@@ -76,6 +86,18 @@ TRACER: Optional["Tracer"] = None
 
 #: Sentinel distinguishing "no parent passed" from "parent=None (root)".
 _UNSET = object()
+
+#: Span-id layout: ``pid << ID_PID_SHIFT | per-process counter``.  32
+#: bits of counter space per process (4 billion spans) before ids from
+#: the same pid could wrap into a neighbour's namespace; Python ints are
+#: arbitrary-precision, so large pids just widen the id.
+ID_PID_SHIFT = 32
+
+
+def id_pid(span_id: int) -> int:
+    """The pid that allocated ``span_id`` (its namespace)."""
+    return span_id >> ID_PID_SHIFT
+
 
 #: QueryStats work counters whose per-span deltas spans record.
 COUNTER_FIELDS = (
@@ -222,7 +244,9 @@ class Tracer:
         self.meta = dict(meta or {})
         self._local = threading.local()
         self._lock = threading.Lock()
-        self._next_id = 0
+        # Ids are pid-namespaced so traces merged from several processes
+        # (the proc-tier bridge, concatenated JSONL files) never collide.
+        self._next_id = os.getpid() << ID_PID_SHIFT
         self._origin = time.perf_counter()
         sink.write({"type": "meta", "version": 1, "meta": self.meta})
 
@@ -302,6 +326,17 @@ class Tracer:
         }
         with self._lock:
             self.sink.write(record)
+
+    def ingest(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Write already-formed records (e.g. spans shipped back from a
+        worker process) to the sink.
+
+        The records' ids must come from another pid's namespace (see
+        ``ID_PID_SHIFT``) — they are written as-is, under the sink lock,
+        interleaving safely with live spans."""
+        with self._lock:
+            for record in records:
+                self.sink.write(record)
 
     @property
     def current_span(self) -> Optional[Span]:

@@ -52,6 +52,7 @@ import numpy as np
 
 from .. import kernels
 from ..obs import metrics as obs_metrics
+from ..obs import procbridge
 from ..obs import trace as obs_trace
 from . import config, procpool, shm
 
@@ -219,8 +220,11 @@ def _scan_range_procs(
     """
     ranges = _morsel_ranges(start, end, config.MORSEL_ROWS)
     backend_name = kernels.current_backend().name
+    parent = _parent_span_id()
+    telemetry = procbridge.request()
     _note_fanout("proc_scan", len(ranges), procs)
     pool = procpool.proc_pool()
+    procpool.note_submitted(len(ranges))
     futures = [
         pool.submit(
             procpool.scan_range_task,
@@ -231,14 +235,29 @@ def _scan_range_procs(
             query,
             check_low,
             check_high,
+            telemetry,
         )
         for morsel_start, morsel_end in ranges
     ]
     parts: List[np.ndarray] = []
-    for future in futures:
-        positions, worker_stats = future.result()
-        stats.merge(worker_stats)
-        parts.append(positions)
+    received = 0
+    try:
+        for future in futures:
+            result = future.result()
+            procpool.note_done()
+            received += 1
+            if telemetry is None:
+                positions, worker_stats = result
+            else:
+                positions, worker_stats, payload = result
+                procbridge.absorb(payload, parent, op="proc_scan")
+            stats.merge(worker_stats)
+            parts.append(positions)
+    finally:
+        if received != len(futures):  # failed fan-out: settle the ledger
+            procpool.note_done(len(futures) - received)
+        if obs_metrics.ENABLED:
+            procpool.publish_health()
     return _concat(parts)
 
 
@@ -376,8 +395,11 @@ def _scan_pieces_procs(
     if len(chunks) < 2:
         return None  # not worth a process hop; caller falls through
     backend_name = kernels.current_backend().name
+    parent = _parent_span_id()
+    telemetry = procbridge.request()
     _note_fanout("proc_piece_scan", len(chunks), procs)
     pool = procpool.proc_pool()
+    procpool.note_submitted(len(chunks))
     futures = [
         pool.submit(
             procpool.scan_pieces_task,
@@ -386,14 +408,29 @@ def _scan_pieces_procs(
             rowid_handle,
             [procpool.piece_spec(match) for match in chunk],
             query,
+            telemetry,
         )
         for chunk in chunks
     ]
     parts: List[np.ndarray] = []
-    for future in futures:
-        chunk_parts, worker_stats = future.result()
-        stats.merge(worker_stats)
-        parts.extend(chunk_parts)
+    received = 0
+    try:
+        for future in futures:
+            result = future.result()
+            procpool.note_done()
+            received += 1
+            if telemetry is None:
+                chunk_parts, worker_stats = result
+            else:
+                chunk_parts, worker_stats, payload = result
+                procbridge.absorb(payload, parent, op="proc_piece_scan")
+            stats.merge(worker_stats)
+            parts.extend(chunk_parts)
+    finally:
+        if received != len(futures):  # failed fan-out: settle the ledger
+            procpool.note_done(len(futures) - received)
+        if obs_metrics.ENABLED:
+            procpool.publish_health()
     return parts
 
 
@@ -490,8 +527,11 @@ def _advance_jobs_procs(pairs, procs):
         if handles is None:
             return None
         shipped.append((piece, grant, job, handles))
+    parent = _parent_span_id()
+    telemetry = procbridge.request()
     _note_fanout("proc_refine", len(shipped), procs)
     pool = procpool.proc_pool()
+    procpool.note_submitted(len(shipped))
     futures = []
     for position, (piece, grant, job, handles) in enumerate(shipped):
         owner = f"refine-proc-{position}"
@@ -512,18 +552,33 @@ def _advance_jobs_procs(pairs, procs):
                     job.lo,
                     job.hi,
                     grant,
+                    telemetry,
                 ),
             )
         )
     results = []
-    for piece, job, owner, future in futures:
-        try:
-            used, lo, hi, done = future.result()
-        finally:
-            config.release_piece(piece, owner)
-        job.lo = lo
-        job.hi = hi
-        job.done = done
-        job._paused = not done
-        results.append(used)
+    received = 0
+    try:
+        for piece, job, owner, future in futures:
+            try:
+                result = future.result()
+                procpool.note_done()
+                received += 1
+            finally:
+                config.release_piece(piece, owner)
+            if telemetry is None:
+                used, lo, hi, done = result
+            else:
+                used, lo, hi, done, payload = result
+                procbridge.absorb(payload, parent, op="proc_refine")
+            job.lo = lo
+            job.hi = hi
+            job.done = done
+            job._paused = not done
+            results.append(used)
+    finally:
+        if received != len(futures):  # failed fan-out: settle the ledger
+            procpool.note_done(len(futures) - received)
+        if obs_metrics.ENABLED:
+            procpool.publish_health()
     return results

@@ -49,7 +49,7 @@ import os
 import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -63,12 +63,24 @@ __all__ = [
     "shutdown_procs",
     "in_proc_worker",
     "warm_up",
+    "health_snapshot",
+    "publish_health",
+    "note_submitted",
+    "note_done",
 ]
 
 _LOCK = threading.RLock()
 _PROCS = 1
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_PROCS = 0
+
+# Lifetime task accounting (parent side), fed by the executor around
+# every proc fan-out: pending = submitted - done is the task-queue
+# depth the health surface and the SLO watchdog's worker_stalled
+# detector read.
+_COUNT_LOCK = threading.Lock()
+_SUBMITTED = 0
+_DONE = 0
 
 #: True in a pool worker *process* (set by the initializer).  Unlike the
 #: thread-tier flag this is process-wide: the whole child exists to run
@@ -120,9 +132,13 @@ def _worker_init() -> None:
     global _IN_PROC_WORKER
     _IN_PROC_WORKER = True
     from . import config
+    from ..obs import procbridge
 
     config.set_workers(1)
     set_process_workers(1)
+    # Pin this worker's telemetry collector (and with it the
+    # pid-namespaced span-id counter) before the first task arrives.
+    procbridge.install_worker_collector()
 
 
 def _start_context():
@@ -178,6 +194,64 @@ def _warm_task() -> int:
     return os.getpid()
 
 
+def note_submitted(n: int = 1) -> None:
+    """Record ``n`` proc tasks handed to the pool (executor fan-outs)."""
+    global _SUBMITTED
+    with _COUNT_LOCK:
+        _SUBMITTED += n
+
+
+def note_done(n: int = 1) -> None:
+    """Record ``n`` proc-task results received back."""
+    global _DONE
+    with _COUNT_LOCK:
+        _DONE += n
+
+
+def health_snapshot() -> dict:
+    """Point-in-time pool health: configured/expected/alive worker
+    counts plus lifetime task accounting.
+
+    ``alive`` inspects the pool's worker processes (0 while no pool is
+    materialised — the pool is lazy); ``pending`` is the submitted-but-
+    unreturned task depth.  Read by the metrics surface
+    (:func:`publish_health`), the serve watchdog probe, and tests.
+    """
+    with _LOCK:
+        pool = _POOL
+        expected = _POOL_PROCS
+    alive = 0
+    if pool is not None:
+        processes = getattr(pool, "_processes", None) or {}
+        alive = sum(
+            1 for process in list(processes.values()) if process.is_alive()
+        )
+    with _COUNT_LOCK:
+        submitted, done = _SUBMITTED, _DONE
+    return {
+        "procs": _PROCS,
+        "expected": expected,
+        "alive": alive,
+        "submitted": submitted,
+        "done": done,
+        "pending": max(0, submitted - done),
+    }
+
+
+def publish_health() -> dict:
+    """Snapshot pool health and (when metrics are live) publish it as
+    gauges; returns the snapshot either way."""
+    health = health_snapshot()
+    from ..obs import metrics as obs_metrics
+
+    if obs_metrics.ENABLED:
+        registry = obs_metrics.REGISTRY
+        registry.gauge("parallel.proc_workers_expected").set(health["expected"])
+        registry.gauge("parallel.proc_workers_alive").set(health["alive"])
+        registry.gauge("parallel.proc_tasks_inflight").set(health["pending"])
+    return health
+
+
 atexit.register(shutdown_procs)
 
 
@@ -231,18 +305,29 @@ def scan_range_task(
     query,
     check_low,
     check_high,
+    telemetry=None,
 ):
     from .. import kernels
     from ..core.metrics import QueryStats
+    from ..obs.procbridge import WorkerCapture
 
     columns = [shm.attach(handle) for handle in handles]
     worker_stats = QueryStats()
     backend = kernels.thread_instance(backend_name)
-    with kernels.pinned(backend):
-        positions = kernels.range_scan(
-            columns, start, end, query, worker_stats, check_low, check_high
-        )
-    return positions, worker_stats
+    capture = WorkerCapture(
+        telemetry, op="scan", stats=worker_stats, start=start, rows=end - start
+    )
+    capture.begin()
+    try:
+        with kernels.pinned(backend):
+            positions = kernels.range_scan(
+                columns, start, end, query, worker_stats, check_low, check_high
+            )
+    finally:
+        payload = capture.finish()
+    if telemetry is None:
+        return positions, worker_stats
+    return positions, worker_stats, payload
 
 
 def scan_pieces_task(
@@ -251,24 +336,41 @@ def scan_pieces_task(
     rowid_handle: shm.ArrayHandle,
     specs: Sequence[tuple],
     query,
+    telemetry=None,
 ):
     from .. import kernels
     from ..core.index_base import IndexTable
     from ..core.metrics import QueryStats
+    from ..obs.procbridge import WorkerCapture
 
     columns = [shm.attach(handle) for handle in column_handles]
     rowids = shm.attach(rowid_handle)
     index_table = IndexTable(columns, rowids)
     worker_stats = QueryStats()
     backend = kernels.thread_instance(backend_name)
+    capture = WorkerCapture(
+        telemetry,
+        op="piece_scan",
+        stats=worker_stats,
+        pieces=len(specs),
+        rows=sum(end - start for start, end, *_ in specs),
+    )
+    capture.begin()
     parts: List[np.ndarray] = []
-    with kernels.pinned(backend):
-        for start, end, zone_lo, zone_hi, check_low, check_high in specs:
-            match = _MatchShim(
-                _PieceShim(start, end, zone_lo, zone_hi), check_low, check_high
-            )
-            parts.append(index_table.scan_piece(match, query, worker_stats))
-    return parts, worker_stats
+    try:
+        with kernels.pinned(backend):
+            for start, end, zone_lo, zone_hi, check_low, check_high in specs:
+                match = _MatchShim(
+                    _PieceShim(start, end, zone_lo, zone_hi),
+                    check_low,
+                    check_high,
+                )
+                parts.append(index_table.scan_piece(match, query, worker_stats))
+    finally:
+        payload = capture.finish()
+    if telemetry is None:
+        return parts, worker_stats
+    return parts, worker_stats, payload
 
 
 def advance_task(
@@ -281,7 +383,8 @@ def advance_task(
     lo: int,
     hi: int,
     grant: int,
-) -> Tuple[int, int, int, bool]:
+    telemetry=None,
+):
     """Advance a paused IncrementalPartition over the shared arrays.
 
     The swaps mutate shared memory directly; only the pointer state
@@ -289,6 +392,7 @@ def advance_task(
     """
     from .. import kernels
     from ..core.partition import IncrementalPartition
+    from ..obs.procbridge import WorkerCapture
 
     arrays = [shm.attach(handle) for handle in handles]
     job = IncrementalPartition(arrays, start, end, key_index, pivot)
@@ -296,9 +400,16 @@ def advance_task(
     job.hi = hi
     job.done = lo >= hi
     backend = kernels.thread_instance(backend_name)
-    with kernels.pinned(backend):
-        used = job.advance(grant)
-    return used, job.lo, job.hi, job.done
+    capture = WorkerCapture(telemetry, op="refine", start=start, grant=grant)
+    capture.begin()
+    try:
+        with kernels.pinned(backend):
+            used = job.advance(grant)
+    finally:
+        payload = capture.finish()
+    if telemetry is None:
+        return used, job.lo, job.hi, job.done
+    return used, job.lo, job.hi, job.done, payload
 
 
 # --------------------------------------------------------------- env setup

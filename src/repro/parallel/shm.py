@@ -38,6 +38,7 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+import warnings
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -57,6 +58,8 @@ __all__ = [
     "attach",
     "live_segments",
     "release_all",
+    "resident_bytes",
+    "telemetry_snapshot",
 ]
 
 #: Prefix of every segment this module creates; the leak checker keys
@@ -137,6 +140,7 @@ class SharedBlock:
             _BLOCKS[shm.name] = self
         for array, handle in zip(arrays, handles):
             _register(array, handle)
+        _publish_telemetry()
 
     @staticmethod
     def _layout(
@@ -205,6 +209,7 @@ class SharedBlock:
             self.shm.unlink()
         except FileNotFoundError:
             pass
+        _publish_telemetry()
 
 
 def share_arrays(arrays: Sequence[np.ndarray]) -> SharedBlock:
@@ -310,4 +315,64 @@ def release_all() -> None:
         block.release()
 
 
+def resident_bytes() -> int:
+    """Total bytes of shm segments this process owns and has not
+    released — what this process currently pins in ``/dev/shm``."""
+    with _LOCK:
+        return sum(block.shm.size for block in _BLOCKS.values())
+
+
+def telemetry_snapshot() -> Dict[str, int]:
+    """Owner-side shm residency: live segment count and resident bytes.
+
+    Read by the serve watchdog probe (the ``shm_leak`` detector) and
+    published as gauges by :func:`_publish_telemetry` on every segment
+    create/release."""
+    with _LOCK:
+        segments = len(_BLOCKS)
+        total = sum(block.shm.size for block in _BLOCKS.values())
+    return {"segments": segments, "resident_bytes": total}
+
+
+def _publish_telemetry() -> None:
+    """Refresh the shm residency gauges (cheap no-op while metrics are
+    off; create/release are never on a per-row hot path)."""
+    try:
+        from ..obs import metrics as obs_metrics
+    except ImportError:  # interpreter shutdown (finalizer-driven release)
+        return
+
+    if obs_metrics.ENABLED:
+        snap = telemetry_snapshot()
+        registry = obs_metrics.REGISTRY
+        registry.gauge("parallel.shm_segments").set(snap["segments"])
+        registry.gauge("parallel.shm_resident_bytes").set(
+            snap["resident_bytes"]
+        )
+
+
+def _warn_leaked() -> None:
+    """Atexit leak alarm: anything still registered here was never
+    released by its owner's finalizer or an explicit ``release()``.
+
+    Runs before :func:`release_all` (registered first, atexit is LIFO),
+    which still reclaims the segments — the warning is the signal that
+    the lifecycle hook that should have fired earlier did not."""
+    with _LOCK:
+        leaked = {
+            name: block.shm.size for name, block in sorted(_BLOCKS.items())
+        }
+    if leaked:
+        total = sum(leaked.values())
+        warnings.warn(
+            f"{len(leaked)} shared-memory segment(s) ({total} bytes) "
+            f"still resident at interpreter exit: {', '.join(leaked)} — "
+            f"released by the atexit sweep, but an owner finalizer or "
+            f"explicit release() should have run first",
+            ResourceWarning,
+            stacklevel=2,
+        )
+
+
 atexit.register(release_all)
+atexit.register(_warn_leaked)

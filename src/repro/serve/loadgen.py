@@ -52,6 +52,7 @@ from .report import (
     SoakReport,
     phase_breakdown_from_trace,
     render_report,
+    worker_shard_summary,
 )
 
 __all__ = [
@@ -95,6 +96,8 @@ class SoakConfig:
     delta: float = 0.2
     host: Optional[str] = None  # None = spawn in-process
     port: int = 0
+    procs: int = 1  # >1 arms the process tier for the spawned server
+    shards: int = 1  # range shards per session index
     trace_path: Optional[str] = None
     metrics_port: Optional[int] = None  # spawn an exporter (0 = ephemeral)
     scrape_path: Optional[str] = None  # write the final scrape here
@@ -117,6 +120,8 @@ class SoakConfig:
             "technique": self.technique,
             "size_threshold": self.size_threshold,
             "delta": self.delta,
+            "procs": self.procs,
+            "shards": self.shards,
             "server": "spawned in-process" if self.host is None else (
                 f"{self.host}:{self.port}"
             ),
@@ -299,8 +304,10 @@ def run_soak(config: SoakConfig, log: Callable[[str], None] = print) -> SoakRepo
     handle = None
     metrics_url: Optional[str] = None
     last_scrape: Optional[str] = None
+    procs_restore: Optional[int] = None
     if config.host is None:
         from .. import obs
+        from ..parallel import procpool
         from .admission import AdmissionCaps
         from .server import IndexServer, ServerThread
 
@@ -309,10 +316,19 @@ def run_soak(config: SoakConfig, log: Callable[[str], None] = print) -> SoakRepo
                 path=config.trace_path,
                 meta={"source": "serve-soak", "seed": config.seed},
             )
+        if config.procs > 1:
+            procs_restore = procpool.get_process_workers()
+            procpool.set_process_workers(config.procs)
+            pids = procpool.warm_up()
+            log(
+                f"loadgen: proc tier armed — {len(pids)} workers "
+                f"(pids {', '.join(str(pid) for pid in pids)})"
+            )
         server = IndexServer(
             technique=config.technique,
             size_threshold=config.size_threshold,
             delta=config.delta,
+            shards=config.shards,
             caps=AdmissionCaps(
                 max_sessions=max(64, config.clients * 2),
                 max_sessions_per_tenant=8,
@@ -429,6 +445,20 @@ def run_soak(config: SoakConfig, log: Callable[[str], None] = print) -> SoakRepo
                 from .. import obs
 
                 obs.disable()
+        if procs_restore is not None:
+            from ..parallel import procpool
+
+            # Shared table segments are finalizer-owned by their tables;
+            # the shm gauge / atexit leak warning covers anything that
+            # outlives them.
+            procpool.shutdown_procs()
+            procpool.set_process_workers(procs_restore)
+    if last_scrape is not None:
+        from ..obs.export import parse_exposition
+
+        report.worker_shard = worker_shard_summary(
+            parse_exposition(last_scrape)
+        )
     if config.scrape_path is not None and last_scrape is not None:
         with open(config.scrape_path, "w") as scrape_file:
             scrape_file.write(last_scrape)
@@ -532,6 +562,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="arm the process-worker tier for the spawned server "
+        "(>1 spawns a proc pool and shm-shares registered tables)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="range shards per session index (spawned server only)",
+    )
+    parser.add_argument(
         "--report",
         default="STRESS_TEST_REPORT.md",
         help="where the verdict report goes ('-' = stdout only)",
@@ -570,6 +613,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "process-global); ignoring --trace"
         )
         args.trace = None
+    if args.host is not None and (args.procs > 1 or args.shards > 1):
+        print(
+            "loadgen: --procs/--shards configure the spawned server; "
+            "ignoring them for an external --host"
+        )
+        args.procs = 1
+        args.shards = 1
     if args.host is not None and args.scrape and args.metrics_port is None:
         print(
             "loadgen: --scrape against an external server needs "
@@ -592,6 +642,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         delta=args.delta,
         host=args.host,
         port=args.port,
+        procs=args.procs,
+        shards=args.shards,
         trace_path=args.trace,
         metrics_port=args.metrics_port,
         scrape_path=args.scrape,
@@ -606,6 +658,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"--seed {args.seed}",
                     f"--checkpoint-seconds {args.checkpoint_seconds:g}",
                 ]
+                + (
+                    [f"--procs {args.procs}", f"--shards {args.shards}"]
+                    if args.procs > 1 or args.shards > 1
+                    else []
+                )
             )
         ),
     )

@@ -25,6 +25,7 @@ __all__ = [
     "CheckpointOutcome",
     "SoakReport",
     "phase_breakdown_from_trace",
+    "worker_shard_summary",
     "render_report",
 ]
 
@@ -79,6 +80,100 @@ def phase_breakdown_from_trace(path: str) -> Dict[str, Dict[str, float]]:
     return totals
 
 
+def worker_shard_summary(scrape) -> Optional[Dict[str, object]]:
+    """Distill worker/shard telemetry from a final exporter scrape.
+
+    Takes a :class:`repro.obs.export.Scrape` and returns the evidence the
+    report's worker/shard section renders — proc-pool task totals and
+    per-op round-trip means, shared-memory residency at scrape time, and
+    each sharded index's convergence progress — or ``None`` when the run
+    never touched the proc tier or a sharded table.
+    """
+    from ..obs.top import _shard_sort
+
+    def total(family: str) -> float:
+        return sum(scrape.series(family).values())
+
+    ops = sorted(set(scrape.label_values(
+        "repro_parallel_proc_tasks_done", "op")))
+    workers: Optional[Dict[str, object]] = None
+    if ops or scrape.get("repro_parallel_proc_workers_expected", default=0.0):
+        per_op: Dict[str, Dict[str, float]] = {}
+        for op in ops:
+            count = scrape.get(
+                "repro_parallel_proc_dispatch_seconds_count",
+                default=0.0, op=op,
+            )
+            entry = {
+                "tasks": scrape.get(
+                    "repro_parallel_proc_tasks_done", default=0.0, op=op
+                ),
+                "dispatch_ms": (
+                    1000.0 * scrape.get(
+                        "repro_parallel_proc_dispatch_seconds_sum",
+                        default=0.0, op=op,
+                    ) / count if count else 0.0
+                ),
+                "task_ms": (
+                    1000.0 * scrape.get(
+                        "repro_parallel_proc_task_seconds_sum",
+                        default=0.0, op=op,
+                    ) / count if count else 0.0
+                ),
+                "return_ms": (
+                    1000.0 * scrape.get(
+                        "repro_parallel_proc_return_seconds_sum",
+                        default=0.0, op=op,
+                    ) / count if count else 0.0
+                ),
+            }
+            per_op[op] = entry
+        workers = {
+            "expected": int(scrape.get(
+                "repro_parallel_proc_workers_expected", default=0.0)),
+            "alive": int(scrape.get(
+                "repro_parallel_proc_workers_alive", default=0.0)),
+            "inflight": int(scrape.get(
+                "repro_parallel_proc_tasks_inflight", default=0.0)),
+            "tasks_done": int(total("repro_parallel_proc_tasks_done")),
+            "per_op": per_op,
+            "shm_resident_bytes": scrape.get(
+                "repro_parallel_shm_resident_bytes", default=0.0),
+            "shm_segments": int(scrape.get(
+                "repro_parallel_shm_segments", default=0.0)),
+        }
+
+    shard_keys = sorted(
+        (
+            (dict(key).get("index", "?"), dict(key).get("shard", "?"))
+            for key in scrape.series("repro_shard_scans")
+        ),
+        key=lambda pair: (pair[0], _shard_sort(pair[1])),
+    )
+    shards: List[Dict[str, object]] = []
+    for index, shard in shard_keys:
+        want = {"index": index, "shard": shard}
+        shards.append({
+            "index": index,
+            "shard": shard,
+            "scans": scrape.get("repro_shard_scans", default=0.0, **want),
+            "pruned": scrape.get(
+                "repro_shard_zone_pruned", default=0.0, **want),
+            "refine_slices": scrape.get(
+                "repro_shard_refine_slices", default=0.0, **want),
+            "refine_rows": scrape.get(
+                "repro_shard_refine_rows", default=0.0, **want),
+            "rows_to_converge": scrape.get(
+                "repro_shard_rows_to_converge", default=0.0, **want),
+            "converged": bool(scrape.get(
+                "repro_shard_converged", default=0.0, **want)),
+        })
+
+    if workers is None and not shards:
+        return None
+    return {"workers": workers, "shards": shards}
+
+
 @dataclass
 class ClientOutcome:
     """Everything one simulated client observed."""
@@ -127,6 +222,10 @@ class SoakReport:
     watchdog_events: List[Dict[str, object]] = field(default_factory=list)
     phase_breakdown: Optional[Dict[str, Dict[str, float]]] = None
     scrape_path: Optional[str] = None
+    # Worker/shard telemetry distilled from the final scrape (see
+    # :func:`worker_shard_summary`); ``None`` when the run stayed on the
+    # thread tier with unsharded tables.
+    worker_shard: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------- verdict
 
@@ -346,6 +445,68 @@ def render_report(report: SoakReport) -> str:
             )
     else:
         out("_No trace recorded (run with `--trace` for the breakdown)._")
+    out("")
+
+    out("## Worker / shard telemetry")
+    out("")
+    if report.worker_shard:
+        workers = report.worker_shard.get("workers")
+        shards = report.worker_shard.get("shards") or []
+        if workers:
+            out(
+                "Process-tier execution observed via the cross-process "
+                "telemetry bridge (dispatch = submit to task start, "
+                "return = task end to result in hand; means per op):"
+            )
+            out("")
+            out(
+                f"Workers: {workers['alive']}/{workers['expected']} alive, "
+                f"{workers['tasks_done']} tasks done, "
+                f"{workers['inflight']} in flight at final scrape. "
+                f"Shared memory at final scrape: "
+                f"{workers['shm_resident_bytes']:.0f} bytes in "
+                f"{workers['shm_segments']} segment(s)."
+            )
+            out("")
+            per_op = workers.get("per_op") or {}
+            if per_op:
+                out("| op | tasks | dispatch ms | task ms | return ms |")
+                out("|---|---|---|---|---|")
+                for op in sorted(per_op):
+                    entry = per_op[op]
+                    out(
+                        f"| {op} | {int(entry['tasks'])} "
+                        f"| {entry['dispatch_ms']:.3f} "
+                        f"| {entry['task_ms']:.3f} "
+                        f"| {entry['return_ms']:.3f} |"
+                    )
+                out("")
+        if shards:
+            out(
+                "Per-shard convergence of the range-sharded tables (zone "
+                "pruning skips shards whose min/max excludes the query):"
+            )
+            out("")
+            out(
+                "| index | shard | scans | zone-pruned | refine slices | "
+                "rows refined | rows to converge | state |"
+            )
+            out("|---|---|---|---|---|---|---|---|")
+            for shard in shards:
+                out(
+                    f"| {shard['index']} | {shard['shard']} "
+                    f"| {shard['scans']:.0f} | {shard['pruned']:.0f} "
+                    f"| {shard['refine_slices']:.0f} "
+                    f"| {shard['refine_rows']:.0f} "
+                    f"| {shard['rows_to_converge']:.0f} "
+                    f"| {'converged' if shard['converged'] else 'refining'} |"
+                )
+            out("")
+    else:
+        out(
+            "_No proc-tier or shard telemetry in this run (serve with "
+            "`--procs`/`--shards` to exercise the cross-process bridge)._"
+        )
     out("")
 
     out("## Watchdog events")

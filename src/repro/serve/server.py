@@ -69,6 +69,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.export import MetricsExporter, render_exposition
 from ..obs.slo import SLOConfig, SLOEngine, Watchdog
+from ..parallel import procpool, shm as parallel_shm
 from ..session import TECHNIQUES, resolve_group_query
 from .admission import AdmissionCaps, AdmissionControl, AdmissionError
 from .locks import PieceSnapshotLock
@@ -286,6 +287,11 @@ class IndexServer:
                 encoded = encode_table(spec.build_columns())
             else:
                 encoded = encode_table(columns)
+            if procpool.get_process_workers() > 1:
+                # Same arming the session layer does at register():
+                # columns move to shared memory so every index built on
+                # this table can fan its scans out over the process pool.
+                encoded.table.share()
             self._tables[name] = _SharedTable(encoded=encoded, spec=spec)
             table = encoded.table
             return {
@@ -661,6 +667,26 @@ class IndexServer:
             int(bucket["indexes"]) - int(bucket["converged"])
             for bucket in allocations.values()
         )
+        # Process-tier health rides on the same probe: pool liveness /
+        # task-queue depth for the worker_stalled detector, shm residency
+        # (plus whether residency is currently legitimate) for shm_leak.
+        proc_health = procpool.publish_health()
+        shm_snapshot = parallel_shm.telemetry_snapshot()
+        # Residency is legitimate while the proc tier is armed (any owner
+        # in this process may be staging columns) or a registered table
+        # is still shm-backed from an earlier arming.
+        shm_expected = (
+            procpool.get_process_workers() > 1 or procpool.in_proc_worker()
+        )
+        if not shm_expected and shm_snapshot["segments"]:
+            with self._lock:
+                tables = [
+                    shared.encoded.table for shared in self._tables.values()
+                ]
+            for table in tables:
+                if parallel_shm.handles_of(table.columns()) is not None:
+                    shm_expected = True
+                    break
         return {
             "slices_run": self.scheduler.slices_run,
             "unconverged": unconverged,
@@ -669,6 +695,9 @@ class IndexServer:
                 for tenant, bucket in allocations.items()
             },
             "max_lock_wait": max_wait,
+            "proc": proc_health,
+            "shm_resident_bytes": shm_snapshot["resident_bytes"],
+            "shm_expected": shm_expected,
         }
 
     def metrics_exposition(self) -> str:

@@ -1,0 +1,722 @@
+"""Cross-process telemetry: the proc tier visible to tracing/metrics.
+
+The load-bearing claims of the bridge (:mod:`repro.obs.procbridge`):
+
+* span ids are namespaced by pid, so records from any number of worker
+  processes merge into one trace without collisions, and the offline
+  aggregator tolerates (and attributes across) multi-process parent
+  chains;
+* a query executed on the proc tier produces the same phase-span
+  taxonomy as the serial run, with worker-executed spans re-parented
+  under the funding query's spans;
+* worker metric deltas folded into the parent registry equal the serial
+  counter totals — no metered work goes missing in either direction;
+* the new surfaces render: proc-pool health and per-shard telemetry in
+  ``obs top`` / ``obs procs`` from a synthetic two-process scrape, and
+  the SLO watchdog's ``worker_stalled`` / ``shm_leak`` criticals fire
+  edge-triggered from injected probes.
+
+Pool lifecycle mirrors ``test_procs.py``: workers stay warm across
+tests, the module teardown joins them and asserts no shm segment leaked.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.core.metrics import QueryStats
+from repro.core.query import RangeQuery
+from repro.fuzz import BACKENDS, FuzzCase, build_workload, make_backend
+from repro.obs import metrics as obs_metrics
+from repro.obs.aggregate import render_report, summarize
+from repro.obs.export import parse_exposition
+from repro.obs.metrics import Histogram
+from repro.obs.procbridge import absorb, install_worker_collector, request
+from repro.obs.procs import render_procs
+from repro.obs.sink import ListSink
+from repro.obs.slo import SLOConfig, SLOEngine, Watchdog
+from repro.obs.top import render_dashboard
+from repro.obs.trace import ID_PID_SHIFT, Tracer, id_pid
+from repro.parallel import config as par_config
+from repro.parallel import executor, procpool, shm
+
+
+@pytest.fixture(autouse=True)
+def telemetry_reset():
+    """Planes off, registry empty, worker counts/thresholds restored."""
+    procs = procpool.get_process_workers()
+    workers = par_config.get_workers()
+    morsel, floor = par_config.MORSEL_ROWS, par_config.MIN_PARALLEL_ROWS
+    obs.disable()
+    obs_metrics.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs_metrics.REGISTRY.reset()
+    procpool.set_process_workers(procs)
+    par_config.set_workers(workers)
+    par_config.MORSEL_ROWS = morsel
+    par_config.MIN_PARALLEL_ROWS = floor
+
+
+@pytest.fixture(scope="module", autouse=True)
+def pool_lifecycle():
+    yield
+    procpool.set_process_workers(1)
+    procpool.shutdown_procs()
+    gc.collect()
+    assert shm.live_segments() == []
+
+
+def lower_thresholds():
+    par_config.MORSEL_ROWS = 256
+    par_config.MIN_PARALLEL_ROWS = 256
+
+
+# ------------------------------------------------------- span-id namespace
+
+class TestSpanIdNamespace:
+    def test_ids_carry_this_process_pid(self):
+        tracer = Tracer(ListSink())
+        with tracer.span("a"):
+            pass
+        tracer.record_span("b", start=0.0, duration=0.1)
+        spans = [r for r in tracer.sink.records if r.get("type") == "span"]
+        assert len(spans) == 2
+        for record in spans:
+            assert id_pid(record["id"]) == os.getpid()
+        # Both allocation sites draw from one monotonic counter.
+        assert spans[0]["id"] != spans[1]["id"]
+
+    def test_id_pid_inverts_the_shift(self):
+        assert id_pid((4242 << ID_PID_SHIFT) | 17) == 4242
+
+    def test_two_processes_cannot_collide(self):
+        # Simulate the second process by planting its pid prefix the way
+        # Tracer.__init__ does.
+        ours = Tracer(ListSink())
+        theirs = Tracer(ListSink())
+        theirs._next_id = 99999 << ID_PID_SHIFT
+        with ours.span("a"):
+            pass
+        with theirs.span("a"):
+            pass
+        mine = ours.sink.records[-1]["id"]
+        other = theirs.sink.records[-1]["id"]
+        assert mine != other
+        assert id_pid(mine) != id_pid(other)
+
+    def test_ingest_appends_foreign_records(self):
+        tracer = Tracer(ListSink())
+        foreign = [
+            {"type": "span", "name": "proc.task", "id": 7, "parent": None,
+             "ts": 0.0, "dur": 0.1, "attrs": {}, "counters": {}},
+            {"type": "span", "name": "kernel", "id": 8, "parent": 7,
+             "ts": 0.0, "dur": 0.05, "attrs": {}, "counters": {}},
+        ]
+        tracer.ingest(foreign)
+        assert foreign[0] in tracer.sink.records
+        assert foreign[1] in tracer.sink.records
+
+    def test_worker_collector_is_persistent_and_idempotent(self):
+        first = install_worker_collector()
+        assert install_worker_collector() is first
+
+
+# ------------------------------------------------------- histogram merging
+
+class TestHistogramMerge:
+    def test_merge_snapshot_equals_direct_observation(self):
+        source = Histogram("h")
+        for value in (1e-5, 3e-4, 0.002, 0.002, 5.0, 99.0):
+            source.observe(value)
+        target = Histogram("h")
+        target.observe(0.5)
+        target.merge_snapshot(source.snapshot())
+
+        direct = Histogram("h")
+        for value in (1e-5, 3e-4, 0.002, 0.002, 5.0, 99.0, 0.5):
+            direct.observe(value)
+        assert target.snapshot() == direct.snapshot()
+
+    def test_empty_snapshot_is_a_noop(self):
+        target = Histogram("h")
+        target.observe(1.0)
+        before = target.snapshot()
+        target.merge_snapshot({"count": 0, "sum": 0.0, "buckets": {}})
+        target.merge_snapshot(None)
+        assert target.snapshot() == before
+
+
+# ------------------------------------------- synthetic multi-process trace
+
+def _span(span_id, name, parent=None, ts=0.0, dur=0.01, **attrs):
+    return {
+        "type": "span", "name": name, "id": span_id, "parent": parent,
+        "ts": ts, "dur": dur, "attrs": attrs, "counters": {},
+    }
+
+
+class TestMultiProcessAggregation:
+    """``summarize`` over a trace whose records span two pids."""
+
+    def _records(self):
+        parent, worker = 100 << ID_PID_SHIFT, 200 << ID_PID_SHIFT
+        query = _span(parent + 1, "query", dur=1.0,
+                      index="GPKD", query_number=0)
+        return [
+            {"type": "meta", "meta": {"pid": 100}},
+            query,
+            _span(parent + 2, "phase", parent=parent + 1, dur=0.25,
+                  phase="scan"),
+            # Worker roots re-parented under the query's scan phase ...
+            _span(worker + 1, "proc.task", parent=parent + 2, dur=0.2,
+                  op="proc_scan", pid=200),
+            _span(worker + 5, "proc.task", parent=parent + 2, dur=0.1,
+                  op="proc_scan", pid=200),
+            # ... with worker-internal parent links kept as-is.
+            _span(worker + 2, "kernel", parent=worker + 1, dur=0.15,
+                  backend="numpy", op="range_scan", rows=500),
+            _span(worker + 3, "phase", parent=worker + 1, dur=0.15,
+                  phase="scan"),
+            # A second worker process, and a dangling parent (its owner
+            # was never shipped): both must be tolerated.
+            _span((300 << ID_PID_SHIFT) + 1, "proc.task",
+                  parent=parent + 1, dur=0.05, op="proc_refine", pid=300),
+            _span((400 << ID_PID_SHIFT) + 9, "kernel",
+                  parent=(400 << ID_PID_SHIFT) + 1, dur=0.01,
+                  backend="numpy", op="range_scan", rows=1),
+        ]
+
+    def test_cross_process_chains_attribute_to_the_query(self):
+        summary = summarize(self._records())
+        assert len(summary.queries) == 1
+        query = summary.queries[0]
+        # The worker's phase span reached the query through a chain that
+        # crosses two pid namespaces: worker phase -> proc.task ->
+        # parent phase -> query.
+        assert query.phases["scan"] == pytest.approx(0.25 + 0.15)
+        # The dangling-parent kernel span still counts globally.
+        assert summary.kernels["numpy/range_scan"]["count"] == 2
+
+    def test_proc_task_rollup(self):
+        summary = summarize(self._records())
+        assert summary.workers["proc_scan"]["tasks"] == 2
+        assert summary.workers["proc_scan"]["seconds"] == pytest.approx(0.3)
+        assert summary.workers["proc_scan"]["pids"] == {200}
+        assert summary.workers["proc_refine"]["pids"] == {300}
+
+    def test_report_renders_worker_section(self):
+        text = render_report(summarize(self._records()))
+        assert "Worker tasks (proc tier)" in text
+        assert "proc_scan" in text
+
+
+# ------------------------------------------------------- absorb round trip
+
+class TestAbsorb:
+    def test_rebases_reparents_and_folds(self):
+        tracer = obs.enable(sink=ListSink(), metrics=True)
+        try:
+            telemetry = request()
+            assert telemetry is not None and telemetry["trace"]
+            worker = 555 << ID_PID_SHIFT
+            payload = {
+                "pid": 555,
+                "op": "scan",
+                "records": [
+                    _span(worker + 1, "proc.task", parent=None, ts=1.0,
+                          dur=0.2, op="scan", pid=555),
+                    _span(worker + 2, "kernel", parent=worker + 1, ts=1.05,
+                          dur=0.1, backend="numpy", op="range_scan",
+                          rows=64),
+                ],
+                "metrics": [
+                    # Keys travel in the registry's own rendering.
+                    ("kernel.range_scan.rows{backend=numpy}", "counter", 64),
+                    ("parallel.shm_segments", "gauge", 2),
+                ],
+                "submit_unix": telemetry["submit_unix"],
+                "submit_trace": telemetry["submit_trace"],
+                "worker_start_unix": telemetry["submit_unix"] + 0.5,
+                "worker_end_unix": telemetry["submit_unix"] + 0.8,
+                "task_wall": 0.3,
+                "t0": 1.0,
+            }
+            absorb(payload, parent_id=12345, op="proc_scan")
+
+            spans = {
+                r["id"]: r
+                for r in tracer.sink.records
+                if r.get("type") == "span"
+            }
+            root, inner = spans[worker + 1], spans[worker + 2]
+            # Root re-parented under the funding span; internal links kept.
+            assert root["parent"] == 12345
+            assert inner["parent"] == worker + 1
+            # Re-based: worker ts 1.0 (== t0) maps to submit_trace + the
+            # unix-clock gap between submit and worker start (0.5s).
+            assert root["ts"] == pytest.approx(
+                telemetry["submit_trace"] + 0.5, abs=1e-6
+            )
+            assert inner["ts"] - root["ts"] == pytest.approx(0.05, abs=1e-6)
+
+            registry = obs_metrics.REGISTRY
+            assert registry.counter(
+                "kernel.range_scan.rows", backend="numpy"
+            ).snapshot() == 64
+            assert registry.gauge("parallel.shm_segments").snapshot() == 2
+            assert registry.counter(
+                "parallel.proc_tasks_done", op="proc_scan"
+            ).snapshot() == 1
+            dispatch = registry.histogram(
+                "parallel.proc_dispatch_seconds", op="proc_scan"
+            ).snapshot()
+            assert dispatch["count"] == 1
+            assert dispatch["sum"] == pytest.approx(0.5, abs=1e-3)
+            task = registry.histogram(
+                "parallel.proc_task_seconds", op="proc_scan"
+            ).snapshot()
+            assert task["sum"] == pytest.approx(0.3)
+        finally:
+            obs.disable()
+
+    def test_none_payload_and_disabled_planes_are_noops(self):
+        absorb(None, parent_id=1)  # no crash, nothing live
+        assert request() is None  # both planes off -> ship nothing
+
+
+# ------------------------------------------- proc tier vs serial: taxonomy
+
+def _traced_run(backend, procs):
+    """Run one fuzz workload under tracing; returns (records, registry).
+
+    The table is shared and thresholds lowered before the index is
+    built, so with ``procs > 1`` the query path genuinely dispatches to
+    pool workers (same discipline as ``test_procs.run_case_procs``).
+    """
+    par_config.set_workers(1)
+    procpool.set_process_workers(procs)
+    if procs > 1:
+        lower_thresholds()
+    case = FuzzCase(
+        seed=2, kind="duplicate", n_rows=1200, n_dims=2,
+        n_queries=8, size_threshold=64, delta=0.25,
+    )
+    table, queries = build_workload(case)
+    # A full-range probe guarantees every backend scans all rows at
+    # least once — above the lowered fan-out floor, so the proc run
+    # genuinely dispatches regardless of how selective the mix is.
+    queries = list(queries) + [RangeQuery([-np.inf] * 2, [np.inf] * 2)]
+    table.share()
+    index = make_backend(backend, table, case)
+    registry = obs_metrics.REGISTRY
+    registry.reset()
+    tracer = obs.enable(sink=ListSink(), metrics=True)
+    try:
+        answers = []
+        for query in queries:
+            result = index.query(query)
+            answers.append(tuple(np.sort(result.row_ids).tolist()))
+        records = list(tracer.sink.records)
+        counters = {
+            key: metric.snapshot()
+            for key, metric in registry.items()
+            if metric.kind == "counter"
+            # parallel.* counters are fan-out bookkeeping (fanouts,
+            # proc_tasks_done) that only exists on the parallel run.
+            and not key.startswith("parallel.")
+        }
+    finally:
+        obs.disable()
+        registry.reset()
+    del index
+    gc.collect()  # free the shared table's segment before the next run
+    return answers, records, counters
+
+
+def _phase_taxonomy(records):
+    """Per-query sorted (phase, count) signature via the parent walk."""
+    summary = summarize(records)
+    return [
+        sorted(query.phases) for query in summary.queries
+    ], summary
+
+
+# The baselines (quasii, sfc) never route through the parallel executor;
+# under REPRO_PROCS they run serially, so they exercise the pid-namespace
+# and exact-counter claims but produce no worker spans.
+PROC_TIER_BACKENDS = frozenset(BACKENDS) - {"quasii", "sfc"}
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_proc_trace_taxonomy_matches_serial(backend):
+    serial_answers, serial_records, serial_counters = _traced_run(backend, 1)
+    proc_answers, proc_records, proc_counters = _traced_run(backend, 2)
+    assert serial_answers == proc_answers, "answers diverged under tracing"
+
+    serial_phases, _ = _phase_taxonomy(serial_records)
+    proc_phases, proc_summary = _phase_taxonomy(proc_records)
+    # The acceptance claim: bit-identical phase taxonomy per query.
+    assert serial_phases == proc_phases
+
+    # Re-parenting: every span's parent chain must terminate inside the
+    # trace (no dangling worker roots), and worker spans must be
+    # pid-foreign to the parent process.
+    by_id = {
+        r["id"]: r for r in proc_records if r.get("type") == "span"
+    }
+    worker_spans = [
+        r for r in by_id.values() if r.get("name") == "proc.task"
+    ]
+    for record in by_id.values():
+        parent = record.get("parent")
+        assert parent is None or parent in by_id, (
+            f"dangling parent {parent} on {record['name']}"
+        )
+    if backend in PROC_TIER_BACKENDS:
+        assert worker_spans, "proc run produced no worker spans"
+    for record in worker_spans:
+        assert id_pid(record["id"]) != os.getpid()
+        assert id_pid(record["id"]) == record["attrs"]["pid"]
+        assert id_pid(record["parent"]) == os.getpid()
+
+    # Worker metric deltas folded into the parent registry equal the
+    # serial counter totals (kernel rows, index counters — everything).
+    # Progressive backends schedule several pieces per round when fanning
+    # out, shifting refinement charges between queries (same caveat as
+    # TestBitIdentity in test_procs.py) — for those, only the scan-row
+    # totals are comparable.
+    if backend in ("pkd", "gpkd"):
+        for key in list(serial_counters):
+            if key.startswith("kernel.") and key in proc_counters:
+                assert proc_counters[key] == serial_counters[key], key
+    else:
+        assert proc_counters == serial_counters
+
+
+def test_proc_metric_deltas_equal_serial_scan_totals():
+    """The focused counter claim on a bare shm fan-out."""
+    rng = np.random.default_rng(7)
+    n = 4_000
+    block = shm.share_arrays([rng.random(n) for _ in range(2)])
+    try:
+        query = RangeQuery([0.2, 0.1], [0.8, 0.9])
+        registry = obs_metrics.REGISTRY
+
+        par_config.set_workers(1)
+        procpool.set_process_workers(1)
+        obs_metrics.enable()
+        executor.scan_range(block.arrays, 0, n, query, QueryStats())
+        obs_metrics.disable()
+        serial_rows = sum(
+            metric.snapshot()
+            for key, metric in registry.items()
+            if key.startswith("kernel.range_scan.rows")
+        )
+        registry.reset()
+
+        lower_thresholds()
+        procpool.set_process_workers(2)
+        obs_metrics.enable()
+        executor.scan_range(block.arrays, 0, n, query, QueryStats())
+        obs_metrics.disable()
+        proc_rows = sum(
+            metric.snapshot()
+            for key, metric in registry.items()
+            if key.startswith("kernel.range_scan.rows")
+        )
+        tasks_done = registry.counter(
+            "parallel.proc_tasks_done", op="proc_scan"
+        ).snapshot()
+        assert proc_rows == serial_rows == n
+        assert tasks_done == registry.histogram(
+            "parallel.proc_task_seconds", op="proc_scan"
+        ).snapshot()["count"]
+        assert tasks_done > 1  # it really fanned out
+    finally:
+        block.release()
+
+
+# --------------------------------------------- dashboards from a scrape
+
+def _two_process_scrape():
+    return parse_exposition("\n".join([
+        "# TYPE repro_parallel_proc_workers_expected gauge",
+        "repro_parallel_proc_workers_expected 2",
+        "# TYPE repro_parallel_proc_workers_alive gauge",
+        "repro_parallel_proc_workers_alive 2",
+        "# TYPE repro_parallel_proc_tasks_inflight gauge",
+        "repro_parallel_proc_tasks_inflight 1",
+        "# TYPE repro_parallel_proc_tasks_done counter",
+        'repro_parallel_proc_tasks_done{op="proc_scan"} 8',
+        "# TYPE repro_parallel_proc_dispatch_seconds histogram",
+        'repro_parallel_proc_dispatch_seconds_bucket{le="0.001",op="proc_scan"} 6',
+        'repro_parallel_proc_dispatch_seconds_bucket{le="+Inf",op="proc_scan"} 8',
+        'repro_parallel_proc_dispatch_seconds_sum{op="proc_scan"} 0.02',
+        'repro_parallel_proc_dispatch_seconds_count{op="proc_scan"} 8',
+        "# TYPE repro_parallel_proc_task_seconds histogram",
+        'repro_parallel_proc_task_seconds_bucket{le="0.01",op="proc_scan"} 8',
+        'repro_parallel_proc_task_seconds_bucket{le="+Inf",op="proc_scan"} 8',
+        'repro_parallel_proc_task_seconds_sum{op="proc_scan"} 0.04',
+        'repro_parallel_proc_task_seconds_count{op="proc_scan"} 8',
+        "# TYPE repro_parallel_proc_return_seconds histogram",
+        'repro_parallel_proc_return_seconds_bucket{le="+Inf",op="proc_scan"} 8',
+        'repro_parallel_proc_return_seconds_sum{op="proc_scan"} 0.01',
+        'repro_parallel_proc_return_seconds_count{op="proc_scan"} 8',
+        "# TYPE repro_parallel_shm_segments gauge",
+        "repro_parallel_shm_segments 3",
+        "# TYPE repro_parallel_shm_resident_bytes gauge",
+        "repro_parallel_shm_resident_bytes 2097152",
+        "# TYPE repro_shard_scans counter",
+        'repro_shard_scans{index="t",shard="0"} 30',
+        'repro_shard_scans{index="t",shard="1"} 10',
+        "# TYPE repro_shard_zone_pruned counter",
+        'repro_shard_zone_pruned{index="t",shard="1"} 20',
+        "# TYPE repro_shard_refine_rows counter",
+        'repro_shard_refine_rows{index="t",shard="0"} 4000',
+        "# TYPE repro_shard_rows_to_converge gauge",
+        'repro_shard_rows_to_converge{index="t",shard="0"} 100',
+        'repro_shard_rows_to_converge{index="t",shard="1"} 0',
+        "# TYPE repro_shard_converged gauge",
+        'repro_shard_converged{index="t",shard="0"} 0',
+        'repro_shard_converged{index="t",shard="1"} 1',
+    ]))
+
+
+class TestDashboards:
+    def test_top_renders_workers_and_shards_panels(self):
+        frame = render_dashboard(_two_process_scrape(), color=False)
+        assert "WORKERS" in frame
+        assert "2/2 alive" in frame
+        assert "PROC-OP" in frame and "proc_scan" in frame
+        assert "SHARD" in frame
+        assert "t#0" in frame and "t#1" in frame
+        assert "converged" in frame
+        assert "2.0MiB" in frame  # shm residency in the workers header
+
+    def test_top_without_proc_families_omits_the_panels(self):
+        frame = render_dashboard(parse_exposition(""), color=False)
+        assert "WORKERS" not in frame
+        assert "PROC-OP" not in frame
+        assert "t#0" not in frame
+
+    def test_procs_report_renders_all_sections(self):
+        text = render_procs(_two_process_scrape())
+        assert "process pool" in text
+        assert "2/2 alive (healthy)" in text
+        assert "proc_scan" in text
+        assert "shared memory" in text
+        assert "2.0MiB" in text
+        assert "sharded indexes" in text
+        # Shard 1 pruned 20 of its 30 arrivals; the totals line shows
+        # the fleet-wide prune rate 20/(40+20).
+        assert "33.3%" in text
+
+    def test_procs_report_on_empty_scrape(self):
+        text = render_procs(parse_exposition(""))
+        assert "(no process-tier activity in this scrape)" in text
+        assert "(no shm residency gauge in this scrape)" in text
+        assert "(no per-shard telemetry in this scrape)" in text
+
+
+# ------------------------------------------------------- watchdog criticals
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _watchdog(probes, clock):
+    engine = SLOEngine(
+        SLOConfig(
+            stall_seconds=10.0,
+            starvation_seconds=10.0,
+            worker_stall_seconds=10.0,
+            shm_leak_seconds=10.0,
+        ),
+        clock=clock,
+    )
+    state = {"i": 0}
+
+    def probe():
+        i = min(state["i"], len(probes) - 1)
+        state["i"] += 1
+        return probes[i]
+
+    return engine, Watchdog(engine, probe, clock=clock)
+
+
+def _probe(**extra):
+    base = {
+        "slices_run": 1, "unconverged": 0, "allocations": {},
+        "max_lock_wait": 0.0,
+    }
+    base.update(extra)
+    return base
+
+
+class TestWatchdogProcTier:
+    def test_dead_worker_fires_immediately(self):
+        clock = FakeClock()
+        probes = [_probe(proc={
+            "expected": 4, "alive": 3, "pending": 0, "done": 10,
+        })]
+        engine, watchdog = _watchdog(probes, clock)
+        watchdog.check()
+        (event,) = engine.events("critical")
+        assert event["kind"] == "worker_stalled"
+        assert event["details"]["alive"] == 3
+
+    def test_frozen_queue_fires_after_grace_and_is_edge_triggered(self):
+        clock = FakeClock()
+        frozen = _probe(proc={
+            "expected": 2, "alive": 2, "pending": 3, "done": 10,
+        })
+        moving = _probe(proc={
+            "expected": 2, "alive": 2, "pending": 3, "done": 11,
+        })
+        engine, watchdog = _watchdog(
+            [frozen, frozen, frozen, moving], clock
+        )
+        watchdog.check()  # baseline
+        clock.advance(6.0)
+        watchdog.check()
+        assert engine.events("critical") == []  # within grace
+        clock.advance(6.0)
+        watchdog.check()  # 12s with pending work and a frozen done count
+        assert [e["kind"] for e in engine.events("critical")] == [
+            "worker_stalled"
+        ]
+        clock.advance(6.0)
+        watchdog.check()  # done moved: episode clears, no second event
+        assert len(engine.events("critical")) == 1
+
+    def test_probe_without_proc_key_never_fires(self):
+        clock = FakeClock()
+        engine, watchdog = _watchdog([_probe()], clock)
+        for _ in range(3):
+            watchdog.check()
+            clock.advance(20.0)
+        assert engine.events("critical") == []
+
+    def test_unowned_shm_residency_is_a_leak(self):
+        clock = FakeClock()
+        leaked = _probe(shm_resident_bytes=4096, shm_expected=False)
+        engine, watchdog = _watchdog([leaked], clock)
+        watchdog.check()
+        assert engine.events("critical") == []  # teardown grace
+        clock.advance(11.0)
+        watchdog.check()
+        (event,) = engine.events("critical")
+        assert event["kind"] == "shm_leak"
+        assert event["details"]["resident_bytes"] == 4096
+
+    def test_expected_shm_residency_is_not_a_leak(self):
+        clock = FakeClock()
+        owned = _probe(shm_resident_bytes=4096, shm_expected=True)
+        engine, watchdog = _watchdog([owned], clock)
+        for _ in range(3):
+            watchdog.check()
+            clock.advance(11.0)
+        assert engine.events("critical") == []
+
+
+# --------------------------------------------------- shm gauges and health
+
+class TestShardTelemetryLive:
+    """Query a ShardedIndex with the full plane on.  Regression guard:
+    the per-shard handle cache once reused the base class's
+    ``_metric_handles`` slot, so any traced sharded query crashed with
+    ``'list' object has no attribute 'get'``."""
+
+    def test_sharded_query_under_tracing_charges_shard_counters(self):
+        from repro.core import GreedyProgressiveKDTree, Table
+        from repro.core.table_partitioning import ShardedIndex
+
+        rng = np.random.default_rng(5)
+        table = Table([rng.random(2_000) for _ in range(2)])
+        index = ShardedIndex(
+            table,
+            lambda t: GreedyProgressiveKDTree(
+                t, delta=0.25, size_threshold=64
+            ),
+            2,
+        )
+        sink = ListSink()
+        obs.enable(sink=sink, metrics=True)
+        query = RangeQuery([0.2, 0.2], [0.6, 0.6])
+        result = index.query(query)
+        assert len(result.row_ids) > 0
+        snap = obs_metrics.REGISTRY.snapshot()
+        scans = {
+            key: value
+            for key, value in snap.items()
+            if key.startswith(f"shard.scans{{index={index.name},")
+        }
+        # Row-range shards of uniform data share the value-space zone
+        # box, so neither shard prunes: both get charged one scan.
+        assert len(scans) == 2
+        assert all(value == 1 for value in scans.values())
+        assert any(
+            record.get("name") == "query"
+            for record in sink.records
+            if record.get("type") == "span"
+        )
+
+
+class TestShmTelemetry:
+    def test_gauges_track_share_and_release(self):
+        obs_metrics.enable()
+        try:
+            registry = obs_metrics.REGISTRY
+            block = shm.share_arrays([np.arange(1024, dtype=np.float64)])
+            assert shm.resident_bytes() >= 1024 * 8
+            snap = shm.telemetry_snapshot()
+            assert snap["segments"] >= 1
+            assert registry.gauge(
+                "parallel.shm_resident_bytes"
+            ).snapshot() == snap["resident_bytes"]
+            block.release()
+            # The leak gate CI promotes to an assert: zero after teardown.
+            assert shm.resident_bytes() == 0
+            assert registry.gauge("parallel.shm_segments").snapshot() == 0
+            assert registry.gauge(
+                "parallel.shm_resident_bytes"
+            ).snapshot() == 0
+        finally:
+            obs_metrics.disable()
+
+    def test_health_snapshot_ledger(self):
+        base = procpool.health_snapshot()
+        procpool.note_submitted(3)
+        procpool.note_done(2)
+        after = procpool.health_snapshot()
+        assert after["pending"] == base["pending"] + 1
+        procpool.note_done(1)
+        assert procpool.health_snapshot()["pending"] == base["pending"]
+
+    def test_publish_health_feeds_gauges(self):
+        obs_metrics.enable()
+        try:
+            procpool.set_process_workers(2)
+            snapshot = procpool.publish_health()
+            registry = obs_metrics.REGISTRY
+            assert registry.gauge(
+                "parallel.proc_workers_expected"
+            ).snapshot() == snapshot["expected"] == 2
+            assert registry.gauge(
+                "parallel.proc_tasks_inflight"
+            ).snapshot() == snapshot["pending"]
+        finally:
+            obs_metrics.disable()
