@@ -1,0 +1,74 @@
+"""Flat-arena benchmarks: converged lookup latency and batch throughput.
+
+Two gates ride on the arena (:mod:`repro.core.arena`) at full
+benchmarking scale (N=1e6):
+
+* the arena-backed converged lookup must beat the object-tree lookup by
+  >= 1.5x per query (vectorized descent + window scan vs node-by-node
+  Python traversal), and
+* ``query_batch`` at B=64 must beat one-at-a-time ``query`` by >= 3x on
+  a converged arena-backed GPKD (one shared descent pass and one scan
+  fan-out per batch).
+
+Both ratios are measured interleaved best-of-N in the same process —
+the machine drifts between fast and slow clock modes, and block timing
+would bias the ratios.  ``REPRO_BENCH_ARENA_N`` scales the row count
+down for smoke runs, and ``REPRO_BENCH_ARENA_MIN`` /
+``REPRO_BENCH_BATCH_MIN`` relax the floors for noisy CI runners.
+"""
+
+import os
+
+from _bench_utils import emit
+
+from repro.bench.arena_regression import (
+    BATCH_SIZE,
+    BATCH_THRESHOLD,
+    LATENCY_THRESHOLD,
+    arena_metrics,
+)
+from repro.bench.report import format_table
+
+N = int(os.environ.get("REPRO_BENCH_ARENA_N", "1000000"))
+# Full-scale gates; the CI smoke lowers them via env (smaller N shrinks
+# the descent share both ratios feed on, and CI machines are noisy).
+MIN_ARENA_SPEEDUP = float(os.environ.get("REPRO_BENCH_ARENA_MIN", "1.5"))
+MIN_BATCH_SPEEDUP = float(os.environ.get("REPRO_BENCH_BATCH_MIN", "3.0"))
+
+
+def test_arena_lookup_and_batch(benchmark, results_dir):
+    doc = benchmark.pedantic(
+        lambda: arena_metrics(n=N), rounds=1, iterations=1
+    )
+    latency_rows = [
+        [name, doc["latency_us"][name]] for name in ("object", "arena")
+    ]
+    latency_rows.append(["speedup", doc["arena_speedup"]])
+    batch_rows = [
+        [name, doc["batch_us"][name]] for name in ("sequential", "batch")
+    ]
+    batch_rows.append(["speedup", doc["batch_speedup"]])
+    text = (
+        format_table(
+            f"Converged GPKD lookup, N={N:,}, "
+            f"threshold={LATENCY_THRESHOLD} (us/query)",
+            ["path", "value"],
+            latency_rows,
+        )
+        + "\n\n"
+        + format_table(
+            f"query_batch B={BATCH_SIZE}, N={N:,}, "
+            f"threshold={BATCH_THRESHOLD} (us/query)",
+            ["path", "value"],
+            batch_rows,
+        )
+    )
+    emit(results_dir, "arena.txt", text)
+    assert doc["arena_speedup"] >= MIN_ARENA_SPEEDUP, (
+        f"arena lookup {doc['arena_speedup']:.2f}x over the object tree "
+        f"is below the {MIN_ARENA_SPEEDUP}x gate"
+    )
+    assert doc["batch_speedup"] >= MIN_BATCH_SPEEDUP, (
+        f"query_batch B={BATCH_SIZE} {doc['batch_speedup']:.2f}x over "
+        f"sequential is below the {MIN_BATCH_SPEEDUP}x gate"
+    )

@@ -96,6 +96,11 @@ class FullKDTree(BaseIndex):
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)
 
+    def _supports_batch(self) -> bool:
+        # Once built, every query is a pure lookup + piece scan — exactly
+        # the default batch prelude/postlude.
+        return self._tree is not None and self._index is not None
+
     @property
     def converged(self) -> bool:
         return self._tree is not None

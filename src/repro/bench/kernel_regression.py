@@ -327,6 +327,7 @@ class PerfDrift:
 
     problems: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    label: str = "kernel"
 
     @property
     def ok(self) -> bool:
@@ -334,10 +335,10 @@ class PerfDrift:
 
     def __str__(self) -> str:
         if self.ok:
-            return "kernel perf baseline: OK" + (
+            return f"{self.label} perf baseline: OK" + (
                 f" ({'; '.join(self.notes)})" if self.notes else ""
             )
-        return "kernel perf drift — " + "; ".join(self.problems)
+        return f"{self.label} perf drift — " + "; ".join(self.problems)
 
 
 def record(

@@ -165,6 +165,14 @@ class AdaptiveKDTree(BaseIndex):
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)
 
+    def _supports_batch(self) -> bool:
+        # Converged AKD adaptation is a no-op (no above-threshold piece
+        # intersects any query), so a converged query is exactly lookup +
+        # scan — the default batch prelude.
+        return (
+            self.converged and self._tree is not None and self._index is not None
+        )
+
     # -- introspection -----------------------------------------------------------------
 
     @property

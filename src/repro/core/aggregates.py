@@ -74,7 +74,9 @@ class AggregateReader:
 
     def _matches(self, query: RangeQuery, stats: QueryStats):
         for match in self._tree().search(query, stats):
-            covered = not match.check_low.any() and not match.check_high.any()
+            # any() over the flags works for both flag layouts: ndarray
+            # (object-graph search) and tuple (arena search).
+            covered = not any(match.check_low) and not any(match.check_high)
             yield match, covered
 
     def _qualifying_positions(self, match, query, stats) -> np.ndarray:

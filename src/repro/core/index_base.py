@@ -14,7 +14,7 @@ import sys
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -131,44 +131,60 @@ class IndexTable:
         """Columns plus rowids — the arrays partitioning must move together."""
         return self.columns + [self.rowids]
 
+    def zone_shortcut(
+        self, match: PieceMatch, query: RangeQuery, stats: QueryStats
+    ) -> Optional[np.ndarray]:
+        """Data-free zone-map shortcuts for one piece, or ``None``.
+
+        When the piece carries a zone map: if the zone box misses the
+        query box on any dimension the piece is skipped outright
+        (``stats.pruned``, empty result), and if the zone box lies fully
+        inside the query box every row qualifies and the whole rowid
+        range is returned without scanning (``stats.contained``).  Both
+        are pure-Python comparisons over the cached scalar bounds — no
+        array is touched and ``stats.scanned`` stays untouched too.
+        ``None`` means neither shortcut fired and the piece needs a real
+        residual scan.
+        """
+        piece = match.piece
+        zone_lo = piece.zone_lo
+        if zone_lo is None:
+            return None
+        zone_hi = piece.zone_hi
+        lows = query.lows_f
+        highs = query.highs_f
+        contained = True
+        for dim in range(query.n_dims):
+            low = lows[dim]
+            high = highs[dim]
+            zlo = zone_lo[dim]
+            zhi = zone_hi[dim]
+            if high < zlo or low >= zhi:
+                # (low, high] cannot intersect [zlo, zhi]: x > low fails
+                # everywhere when low >= zhi, x <= high when high < zlo.
+                stats.pruned += 1
+                return np.empty(0, dtype=np.int64)
+            if contained and not (low < zlo and zhi <= high):
+                contained = False
+        if contained:
+            stats.contained += 1
+            # Copy: the slice is a view into the reorganisable rowid
+            # column and later partitioning would corrupt it in place.
+            return self.rowids[piece.start : piece.end].copy()
+        return None
+
     def scan_piece(
         self, match: PieceMatch, query: RangeQuery, stats: QueryStats
     ) -> np.ndarray:
         """Scan one piece with the residual predicates and map positions to
         original row ids (Section III-A, "Piece Scan").
 
-        When the piece carries a zone map, two data-free shortcuts apply
-        first: if the zone box misses the query box on any dimension the
-        piece is skipped outright (``stats.pruned``), and if the zone box
-        lies fully inside the query box every row qualifies and the whole
-        rowid range is returned without scanning (``stats.contained``).
-        Both are pure-Python comparisons over the cached scalar bounds —
-        no array is touched and ``stats.scanned`` stays untouched too.
+        Zone-map shortcuts (:meth:`zone_shortcut`) apply first; only
+        pieces they cannot settle pay a kernel scan.
         """
-        piece = match.piece
-        zone_lo = piece.zone_lo
-        if zone_lo is not None:
-            zone_hi = piece.zone_hi
-            lows = query.lows_f
-            highs = query.highs_f
-            contained = True
-            for dim in range(query.n_dims):
-                low = lows[dim]
-                high = highs[dim]
-                zlo = zone_lo[dim]
-                zhi = zone_hi[dim]
-                if high < zlo or low >= zhi:
-                    # (low, high] cannot intersect [zlo, zhi]: x > low fails
-                    # everywhere when low >= zhi, x <= high when high < zlo.
-                    stats.pruned += 1
-                    return np.empty(0, dtype=np.int64)
-                if contained and not (low < zlo and zhi <= high):
-                    contained = False
-            if contained:
-                stats.contained += 1
-                # Copy: the slice is a view into the reorganisable rowid
-                # column and later partitioning would corrupt it in place.
-                return self.rowids[piece.start : piece.end].copy()
+        shortcut = self.zone_shortcut(match, query, stats)
+        if shortcut is not None:
+            return shortcut
         positions = range_scan(
             self.columns,
             match.piece.start,
@@ -281,6 +297,300 @@ class BaseIndex(ABC):
         stats.converged = self.converged
         self.queries_executed += 1
         return QueryResult(row_ids, stats)
+
+    def query_batch(self, queries: Sequence[RangeQuery]) -> List[QueryResult]:
+        """Answer ``queries`` in order; returns one result per query.
+
+        Semantically equivalent to ``[self.query(q) for q in queries]``
+        — same answers, same deterministic work counters per query — but
+        amortised: while the index still adapts, queries drain one at a
+        time (each may reorganise data, so adaptation order must match
+        the sequential path exactly); once the backend reports it can
+        batch (KD family, converged), the remaining queries share one
+        tree descent pass (vectorized over the arena when present) and
+        one morsel/proc scan fan-out for the whole batch.
+
+        Per-query wall-clock ``seconds`` on the batched tail is the batch
+        total divided evenly — the counters, not the clock, are the
+        deterministic signal.
+        """
+        queries = list(queries)
+        for query in queries:
+            if query.n_dims != self.n_dims:
+                raise InvalidQueryError(
+                    f"query has {query.n_dims} dimensions, index covers "
+                    f"{self.n_dims}"
+                )
+        results: List[QueryResult] = []
+        position = 0
+        total = len(queries)
+        while position < total:
+            # Observability wants one span/metric feed per query; the
+            # sequential path provides that for free.
+            if (
+                obs_trace.ENABLED
+                or obs_metrics.ENABLED
+                or total - position == 1
+                or not self._supports_batch()
+            ):
+                results.append(self.query(queries[position]))
+                position += 1
+                continue
+            results.extend(self._query_batch_converged(queries[position:]))
+            position = total
+        return results
+
+    def _supports_batch(self) -> bool:
+        """Whether the batched tail of :meth:`query_batch` may run now.
+
+        KD-family backends return True once converged (no query mutates
+        state any more, so a shared descent cannot reorder adaptation);
+        everything else inherits False and stays on the sequential path.
+        """
+        return False
+
+    def _batch_prelude(
+        self,
+        query: RangeQuery,
+        stats: QueryStats,
+        matches,
+        visited: int,
+        touched: Optional[int] = None,
+    ) -> None:
+        """Replicate the sequential pre-scan stats of one converged query.
+
+        ``matches``/``visited`` come from the shared descent; the default
+        covers backends whose converged query is exactly lookup + scan.
+        The arena pipeline passes ``matches=None`` plus the precomputed
+        ``touched`` row total (the only thing backends read matches for);
+        the object path leaves ``touched`` unset.
+        """
+        stats.lookup_nodes += visited
+
+    def _batch_postlude(
+        self, query: RangeQuery, stats: QueryStats, visited: int
+    ) -> None:
+        """Replicate the sequential post-scan bookkeeping (default: none)."""
+
+    def _batch_postlude_many(self, queries, stats_list, visited) -> None:
+        """Run the postlude for a whole arena batch (``visited`` is a
+        per-query array); same contract as :meth:`_batch_prelude_many`."""
+        for position, (query, stats) in enumerate(zip(queries, stats_list)):
+            self._batch_postlude(query, stats, int(visited[position]))
+
+    def _batch_prelude_many(
+        self, queries, stats_list, visited, touched
+    ) -> None:
+        """Run the prelude for a whole arena batch (``visited``/``touched``
+        are per-query arrays).  Backends whose prelude is pure arithmetic
+        override this with a vectorized twin; the default defers to the
+        scalar hook per query, in query order."""
+        for position, (query, stats) in enumerate(zip(queries, stats_list)):
+            self._batch_prelude(
+                query,
+                stats,
+                None,
+                int(visited[position]),
+                touched=int(touched[position]),
+            )
+
+    def _query_batch_converged(
+        self, queries: List[RangeQuery]
+    ) -> List[QueryResult]:
+        """The batched tail: shared descent, one scan fan-out, per-query
+        stats replicated via the prelude/postlude hooks.
+
+        With an arena present and a guaranteed-serial scan tier, the
+        whole batch runs array-native (:meth:`_batch_arena_core`) — no
+        :class:`PieceMatch` objects exist at any point.  Otherwise the
+        object-graph path assembles per-query match jobs and hands them
+        to the executor, which may fan them out.  Both produce the same
+        answers and counters.
+        """
+        from ..parallel import executor as parallel_executor
+
+        tree = self.tree
+        index_table = self.index_table
+        begin = time.perf_counter()
+        with kernels.pinned():
+            arena = getattr(tree, "arena", None)
+            if arena is not None and parallel_executor.batch_scan_serial():
+                stats_list, rows_per = self._batch_arena_core(
+                    arena, index_table, queries, parallel_executor
+                )
+            else:
+                stats_list, rows_per = self._batch_object_core(
+                    tree, arena, index_table, queries, parallel_executor
+                )
+        share = (time.perf_counter() - begin) / len(queries)
+        results: List[QueryResult] = []
+        converged = self.converged
+        for stats, row_ids in zip(stats_list, rows_per):
+            stats.seconds = share
+            stats.phase_seconds["scan"] += share
+            stats.converged = converged
+            self.queries_executed += 1
+            results.append(QueryResult(row_ids, stats))
+        return results
+
+    def _batch_object_core(
+        self, tree, arena, index_table, queries, parallel_executor
+    ):
+        """Converged batch over PieceMatch objects (parallel-capable)."""
+        if arena is not None:
+            descents = arena.search_batch(queries)
+        else:
+            descents = []
+            for query in queries:
+                probe = QueryStats()
+                descents.append(
+                    (tree.search(query, probe), probe.lookup_nodes)
+                )
+        stats_list = [QueryStats() for _ in queries]
+        jobs = []
+        for query, stats, (matches, visited) in zip(
+            queries, stats_list, descents
+        ):
+            self._batch_prelude(query, stats, matches, visited)
+            jobs.append((matches, query, stats))
+        parts_per = parallel_executor.scan_match_sets(index_table, jobs)
+        rows_per: List[np.ndarray] = []
+        for query, stats, (matches, visited), parts in zip(
+            queries, stats_list, descents, parts_per
+        ):
+            filled = [part for part in parts if part.size]
+            if not filled:
+                row_ids = np.empty(0, dtype=np.int64)
+            elif len(filled) == 1:
+                row_ids = filled[0]
+            else:
+                row_ids = np.concatenate(filled)
+            self._batch_postlude(query, stats, visited)
+            rows_per.append(row_ids)
+        return stats_list, rows_per
+
+    def _batch_arena_core(
+        self, arena, index_table, queries, parallel_executor
+    ):
+        """Array-native converged batch: descent, zone shortcuts, check
+        flags, and residual scans all computed over the arena snapshot.
+
+        Bit-identical to :meth:`_batch_object_core` by construction —
+        the zone tests replicate :meth:`IndexTable.zone_shortcut`, the
+        check flags come from the same stored path bounds the scalar
+        search compares against, and the residual scan shares
+        :func:`repro.parallel.executor.scan_windows` with the fused
+        object scan.  Result arrays may be views into shared buffers; a
+        converged index never reorganises rows again, so they stay
+        valid.
+        """
+        (
+            leaf_query, leaf_node, visited, boundaries, lows2d, highs2d,
+            snapshot,
+        ) = arena.search_batch_raw(queries)
+        los = snapshot["los"]
+        his = snapshot["his"]
+        n_queries = len(queries)
+        n_leaves = int(leaf_node.size)
+        sizes = his[leaf_node] - los[leaf_node]
+        size_cum = np.zeros(n_leaves + 1, dtype=np.int64)
+        np.cumsum(sizes, out=size_cum[1:])
+        touched_per = size_cum[boundaries[1:]] - size_cum[boundaries[:-1]]
+        stats_list = [QueryStats() for _ in queries]
+        self._batch_prelude_many(queries, stats_list, visited, touched_per)
+
+        # Zone shortcuts, vectorized: same interval tests as
+        # IndexTable.zone_shortcut, evaluated for every leaf at once.
+        query_lo = lows2d[leaf_query]
+        query_hi = highs2d[leaf_query]
+        has_zone = snapshot["has_zone"][leaf_node]
+        zone_lo = snapshot["zone_lo2"][leaf_node]
+        zone_hi = snapshot["zone_hi2"][leaf_node]
+        pruned = has_zone & (
+            (query_hi < zone_lo) | (query_lo >= zone_hi)
+        ).any(axis=1)
+        contained = (
+            has_zone
+            & ~pruned
+            & ((query_lo < zone_lo) & (zone_hi <= query_hi)).all(axis=1)
+        )
+        for query_index in leaf_query[pruned]:
+            stats_list[query_index].pruned += 1
+        for query_index in leaf_query[contained]:
+            stats_list[query_index].contained += 1
+
+        # Residual scans: one shared vector pass over every window the
+        # zone shortcuts could not settle.
+        parts: List[Optional[np.ndarray]] = [None] * n_leaves
+        residual = np.flatnonzero(~(pruned | contained))
+        if residual.size:
+            res_node = leaf_node[residual]
+            res_query = leaf_query[residual]
+            res_lows = lows2d[res_query]
+            res_highs = highs2d[res_query]
+            # isfinite(lows) is exactly RangeQuery.finite_lows.
+            need_low = (
+                res_lows > snapshot["path_lo2"][res_node]
+            ) & np.isfinite(res_lows)
+            need_high = (
+                res_highs < snapshot["path_hi2"][res_node]
+            ) & np.isfinite(res_highs)
+            ids, bounds, scanned = parallel_executor.scan_windows(
+                index_table.columns,
+                index_table.rowids,
+                los[res_node],
+                sizes[residual],
+                (need_low | need_high).T,
+                np.where(need_low, res_lows, -np.inf).T,
+                np.where(need_high, res_highs, np.inf).T,
+            )
+            for position, (leaf_index, query_index) in enumerate(
+                zip(residual, res_query)
+            ):
+                stats_list[query_index].scanned += int(scanned[position])
+                parts[leaf_index] = ids[
+                    bounds[position] : bounds[position + 1]
+                ]
+
+        rowids = index_table.rowids
+        rows_per: List[np.ndarray] = []
+        bounds_list = boundaries.tolist()
+        pruned_list = pruned.tolist()
+        empty_ids = np.empty(0, dtype=np.int64)
+        for position in range(n_queries):
+            start = bounds_list[position]
+            stop = bounds_list[position + 1]
+            if stop - start == 1 and not pruned_list[start]:
+                # Fast path: converged point lookups almost always reach
+                # exactly one unpruned leaf.
+                part = parts[start]
+                if part is None:  # contained: the whole rowid range
+                    node = leaf_node[start]
+                    part = rowids[los[node] : his[node]]
+                row_ids = part if part.size else empty_ids
+            else:
+                row_parts = []
+                for leaf_index in range(start, stop):
+                    if pruned_list[leaf_index]:
+                        continue
+                    part = parts[leaf_index]
+                    if part is None:  # contained: the whole rowid range
+                        node = leaf_node[leaf_index]
+                        part = rowids[los[node] : his[node]]
+                    if part.size:
+                        row_parts.append(part)
+                if not row_parts:
+                    row_ids = empty_ids
+                elif len(row_parts) == 1:
+                    row_ids = row_parts[0]
+                else:
+                    row_ids = np.concatenate(row_parts)
+            rows_per.append(row_ids)
+        # All scan charges are final here, so the postludes (which read
+        # the finished counters) run in query order exactly as the
+        # sequential path interleaves them.
+        self._batch_postlude_many(queries, stats_list, visited)
+        return stats_list, rows_per
 
     def _observed_query(self, query: RangeQuery, stats: QueryStats) -> QueryResult:
         """The traced/metered twin of :meth:`query`'s hot path.

@@ -10,13 +10,13 @@ incrementally partition the index table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import IndexStateError
 from ..obs import trace as obs_trace
+from . import arena as arena_mod
 from .metrics import QueryStats
 from .node import AnyNode, KDNode, Piece
 from .query import RangeQuery
@@ -24,24 +24,46 @@ from .query import RangeQuery
 __all__ = ["KDTree", "PieceMatch"]
 
 
-@dataclass
 class PieceMatch:
     """A leaf piece returned by an index lookup.
 
     ``check_low`` / ``check_high`` flag, per dimension, which predicate
     sides the tree path does *not* already imply and therefore still need
-    to be tested while scanning the piece.
+    to be tested while scanning the piece.  Slotted: a broad range query
+    materialises one instance per candidate leaf on every lookup.
     """
 
-    piece: Piece
-    check_low: np.ndarray  # bool, shape (d,)
-    check_high: np.ndarray  # bool, shape (d,)
+    __slots__ = ("piece", "check_low", "check_high")
+
+    def __init__(
+        self,
+        piece: Piece,
+        check_low: np.ndarray,  # bool, shape (d,)
+        check_high: np.ndarray,  # bool, shape (d,)
+    ) -> None:
+        self.piece = piece
+        self.check_low = check_low
+        self.check_high = check_high
+
+    def __repr__(self) -> str:
+        return f"PieceMatch({self.piece!r})"
 
 
 class KDTree:
-    """A KD-Tree over the row range ``[0, n_rows)`` of an index table."""
+    """A KD-Tree over the row range ``[0, n_rows)`` of an index table.
 
-    def __init__(self, n_rows: int, n_dims: int) -> None:
+    When the arena default is on (:func:`repro.core.arena.arena_default`,
+    i.e. unless ``REPRO_ARENA=0``), the tree additionally maintains a
+    flat structure-of-arrays mirror (:class:`~repro.core.arena.Arena`):
+    every :meth:`split_leaf` patches it in place, and :meth:`search`
+    descends the flat arrays instead of the object graph — bit-identical
+    matches, residual-check flags, and ``lookup_nodes`` accounting, at a
+    fraction of the per-node cost.
+    """
+
+    def __init__(
+        self, n_rows: int, n_dims: int, use_arena: Optional[bool] = None
+    ) -> None:
         if n_rows < 0:
             raise IndexStateError(f"negative table size {n_rows}")
         if n_dims <= 0:
@@ -51,6 +73,22 @@ class KDTree:
         self.root: AnyNode = Piece(0, n_rows, level=0)
         self.node_count = 0  # internal nodes
         self.leaf_count = 1
+        if use_arena is None:
+            use_arena = arena_mod.arena_default()
+        self.arena: Optional[arena_mod.Arena] = None
+        if use_arena:
+            self.arena = arena_mod.Arena(n_dims)
+            self.arena.register_root(self.root)
+
+    def attach_arena(self) -> arena_mod.Arena:
+        """(Re)build the flat arena mirror from the current object graph.
+
+        Used by the snapshot decoder (which assembles the object graph
+        bottom-up, bypassing :meth:`split_leaf`) and by tests that flip
+        the arena on for an existing tree.
+        """
+        self.arena = arena_mod.Arena.from_tree(self)
+        return self.arena
 
     # -- structural edits ----------------------------------------------------
 
@@ -89,6 +127,8 @@ class KDTree:
         self._replace(piece, node)
         self.node_count += 1
         self.leaf_count += 1
+        if self.arena is not None:
+            self.arena.apply_split(piece, dim, key, split, left, right)
         if obs_trace.ENABLED:
             obs_trace.TRACER.event(
                 "split",
@@ -120,6 +160,8 @@ class KDTree:
             raise IndexStateError("root zone must be seeded before any split")
         self.root.zone_lo = tuple(float(b) for b in zone_lo)
         self.root.zone_hi = tuple(float(b) for b in zone_hi)
+        if self.arena is not None:
+            self.arena.sync_zone(self.root)
 
     def _replace(self, old: AnyNode, new: AnyNode) -> None:
         parent = old.parent
@@ -143,7 +185,15 @@ class KDTree:
         Implements the recursive descent of Section III-A ("Index Lookup"),
         pruning subtrees the query cannot reach and recording which
         predicate sides remain unchecked for each returned piece.
+
+        With an arena attached the descent runs over the flat arrays
+        (:meth:`Arena.search <repro.core.arena.Arena.search>`), which is
+        bit-identical — same match order (right subtree first), same
+        residual-check flags, same ``lookup_nodes`` charge — without the
+        per-node bound-vector copies below.
         """
+        if self.arena is not None:
+            return self.arena.search(query, stats)
         matches: List[PieceMatch] = []
         neg_inf = np.full(self.n_dims, -np.inf)
         pos_inf = np.full(self.n_dims, np.inf)

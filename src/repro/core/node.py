@@ -93,6 +93,10 @@ class Piece:
         on splits; may be conservative (wider than the true min/max) but
         never narrower.  ``None`` on both means the piece carries no
         synopsis and scans proceed as before.
+    arena_id:
+        This leaf's slot in the tree's flat arena mirror
+        (:class:`~repro.core.arena.Arena`), or ``None`` when the tree
+        carries no arena (or the piece was split and retired).
     """
 
     __slots__ = (
@@ -107,6 +111,7 @@ class Piece:
         "parent",
         "zone_lo",
         "zone_hi",
+        "arena_id",
     )
 
     def __init__(self, start: int, end: int, level: int = 0) -> None:
@@ -121,6 +126,7 @@ class Piece:
         self.parent: Optional[KDNode] = None
         self.zone_lo: Optional[Tuple[float, ...]] = None
         self.zone_hi: Optional[Tuple[float, ...]] = None
+        self.arena_id: Optional[int] = None
 
     @property
     def size(self) -> int:

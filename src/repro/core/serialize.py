@@ -9,16 +9,21 @@ original did at snapshot time (no further adaptation).
 
 The tree is stored as three parallel arrays in preorder (dim, key, split),
 which reconstruct uniquely because every internal node's ranges are
-determined by its parent's range and split.
+determined by its parent's range and split.  Two optional preorder-by-d
+float arrays carry the leaf zone maps (NaN rows for internal nodes and
+for leaves without a synopsis), so a reloaded index prunes and
+short-circuits scans exactly like the original — and its flat arena
+mirror (:mod:`repro.core.arena`) reconstructs byte-for-byte.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import IndexStateError
+from .arena import arena_default
 from .index_base import BaseIndex, IndexDebugState, IndexTable
 from .kdtree import KDTree
 from .metrics import PhaseTimer, QueryStats
@@ -32,20 +37,33 @@ __all__ = ["snapshot_index", "save_index", "load_index", "FrozenKDIndex"]
 LEAF = -1
 
 
-def _encode_tree(tree: KDTree) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _encode_tree(
+    tree: KDTree,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     dims: List[int] = []
     keys: List[float] = []
     splits: List[int] = []
+    zone_lo: List[Tuple[float, ...]] = []
+    zone_hi: List[Tuple[float, ...]] = []
+    nan_row = tuple([float("nan")] * tree.n_dims)
 
     def visit(node) -> None:
         if isinstance(node, Piece):
             dims.append(LEAF)
             keys.append(0.0)
             splits.append(int(node.converged))
+            if node.zone_lo is not None and node.zone_hi is not None:
+                zone_lo.append(tuple(node.zone_lo))
+                zone_hi.append(tuple(node.zone_hi))
+            else:
+                zone_lo.append(nan_row)
+                zone_hi.append(nan_row)
         else:
             dims.append(node.dim)
             keys.append(node.key)
             splits.append(node.split)
+            zone_lo.append(nan_row)
+            zone_hi.append(nan_row)
             visit(node.left)
             visit(node.right)
 
@@ -54,45 +72,62 @@ def _encode_tree(tree: KDTree) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         np.asarray(dims, dtype=np.int64),
         np.asarray(keys, dtype=np.float64),
         np.asarray(splits, dtype=np.int64),
+        np.asarray(zone_lo, dtype=np.float64).reshape(len(dims), tree.n_dims),
+        np.asarray(zone_hi, dtype=np.float64).reshape(len(dims), tree.n_dims),
     )
 
 
 def _decode_tree(
-    dims: np.ndarray, keys: np.ndarray, splits: np.ndarray, n_rows: int, n_cols: int
+    dims: np.ndarray,
+    keys: np.ndarray,
+    splits: np.ndarray,
+    n_rows: int,
+    n_cols: int,
+    zone_lo: Optional[np.ndarray] = None,
+    zone_hi: Optional[np.ndarray] = None,
 ) -> KDTree:
-    tree = KDTree(n_rows, n_cols)
+    # The object graph is assembled bottom-up here, bypassing split_leaf,
+    # so the incremental arena mirror cannot track it; rebuild it from the
+    # finished tree below instead.
+    tree = KDTree(n_rows, n_cols, use_arena=False)
     cursor = [0]
 
-    def build(start: int, end: int):
+    def build(start: int, end: int, level: int):
         position = cursor[0]
         cursor[0] += 1
         if position >= dims.shape[0]:
             raise IndexStateError("truncated tree encoding")
         if dims[position] == LEAF:
-            piece = Piece(start, end)
+            piece = Piece(start, end, level=level)
+            tree.leaf_count += 1
             piece.converged = bool(splits[position])
+            if zone_lo is not None and zone_hi is not None:
+                lo_row = zone_lo[position]
+                hi_row = zone_hi[position]
+                if not (np.isnan(lo_row).any() or np.isnan(hi_row).any()):
+                    piece.zone_lo = tuple(float(b) for b in lo_row)
+                    piece.zone_hi = tuple(float(b) for b in hi_row)
             return piece
         split = int(splits[position])
         if not (start < split < end):
             raise IndexStateError(
                 f"corrupt tree encoding: split {split} outside ({start},{end})"
             )
-        left = build(start, split)
-        right = build(split, end)
+        left = build(start, split, level + 1)
+        right = build(split, end, level + 1)
         node = KDNode(
             int(dims[position]), float(keys[position]), start, split, end,
             left, right,
         )
         tree.node_count += 1
-        tree.leaf_count += 1
         return node
 
     tree.leaf_count = 0
-    tree.root = build(0, n_rows)
-    if isinstance(tree.root, Piece):
-        tree.leaf_count = 1
+    tree.root = build(0, n_rows, 0)
     if cursor[0] != dims.shape[0]:
         raise IndexStateError("trailing data in tree encoding")
+    if arena_default():
+        tree.attach_arena()
     return tree
 
 
@@ -105,7 +140,7 @@ def snapshot_index(index: BaseIndex) -> dict:
             f"{type(index).__name__} has no materialised KD-Tree state to "
             "snapshot (run at least one query first)"
         )
-    dims, keys, splits = _encode_tree(tree)
+    dims, keys, splits, zone_lo, zone_hi = _encode_tree(tree)
     payload = {
         "n_rows": np.asarray([index_table.n_rows], dtype=np.int64),
         "n_cols": np.asarray([len(index_table.columns)], dtype=np.int64),
@@ -113,6 +148,8 @@ def snapshot_index(index: BaseIndex) -> dict:
         "tree_dims": dims,
         "tree_keys": keys,
         "tree_splits": splits,
+        "tree_zone_lo": zone_lo,
+        "tree_zone_hi": zone_hi,
     }
     for position, column in enumerate(index_table.columns):
         payload[f"column_{position}"] = column
@@ -167,6 +204,9 @@ class FrozenKDIndex(BaseIndex):
             payload["tree_splits"],
             n_rows,
             n_cols,
+            # Older snapshots carry no zone arrays; load them without.
+            payload.get("tree_zone_lo"),
+            payload.get("tree_zone_hi"),
         )
         index_table = IndexTable(columns, rowids)
         frozen = cls(index_table, tree)
@@ -181,6 +221,9 @@ class FrozenKDIndex(BaseIndex):
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)
+
+    def _supports_batch(self) -> bool:
+        return True
 
     @property
     def converged(self) -> bool:

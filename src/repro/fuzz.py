@@ -25,7 +25,12 @@ lowered so the tiny tables actually split), checking that answers,
 invariants — including the I9 ownership protocol — and converged
 structures survive multi-threaded execution.  ``--procs N`` does the
 same over the process pool: index tables land in shared memory and
-scans/refinement fan out across worker processes.
+scans/refinement fan out across worker processes.  ``--arena`` forces
+the flat-arena mirror on (regardless of ``REPRO_ARENA``) — so every
+answer flows through the arena descent and every invariant sweep runs
+the I11 mirror check — and additionally re-drives each clean workload
+through :meth:`~repro.core.index_base.BaseIndex.query_batch`, checking
+the batched answers against the same oracle.
 
 Every run is reproducible from its seed.  On failure the fuzzer shrinks
 the workload with a delta-debugging pass, saves a JSON repro file, and
@@ -41,7 +46,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -120,6 +125,9 @@ class FuzzCase:
     n_queries: int
     size_threshold: int = 64
     delta: float = 0.25
+    #: Drive the workload through ``query_batch`` instead of per-query
+    #: ``query`` calls (the ``--arena`` sweep's second pass).
+    batch: bool = False
 
     def rng(self) -> np.random.Generator:
         return np.random.default_rng(
@@ -138,8 +146,9 @@ class FuzzFailure:
     query_indices: List[int] = field(default_factory=list)
 
     def describe(self) -> str:
+        label = self.case.kind + ("+batch" if self.case.batch else "")
         head = (
-            f"{self.backend}/{self.case.kind}: FAILED at query "
+            f"{self.backend}/{label}: FAILED at query "
             f"#{self.query_position} (minimized to "
             f"{len(self.query_indices)} queries)"
         )
@@ -317,6 +326,8 @@ def run_backend_case(
     """
     index = make_backend(backend, table, case)
     monitor = InvariantMonitor(index)
+    if case.batch:
+        return _run_batch_case(index, monitor, table, queries)
     for position, query in enumerate(queries):
         try:
             got = np.sort(index.query(query).row_ids)
@@ -343,6 +354,46 @@ def run_backend_case(
         problems = convergence_determinism_errors(index)
         if problems:
             return len(queries) - 1, problems
+    return None, []
+
+
+def _run_batch_case(
+    index,
+    monitor: InvariantMonitor,
+    table: Table,
+    queries: Sequence[RangeQuery],
+) -> Tuple[Optional[int], List[str]]:
+    """Drive one workload through ``query_batch`` in one call.
+
+    Adaptive backends drain the batch sequentially until converged and
+    answer the rest with the shared arena descent, so this exercises the
+    mid-refinement hand-off as well as the converged fast path.  The
+    invariant sweep runs once at the end (mid-batch state is not
+    observable from outside).
+    """
+    try:
+        answers = index.query_batch(list(queries))
+    except Exception as error:  # noqa: BLE001 - the fuzzer reports it
+        return 0, [f"query_batch raised {type(error).__name__}: {error}"]
+    if len(answers) != len(queries):
+        return 0, [
+            f"query_batch returned {len(answers)} answers "
+            f"for {len(queries)} queries"
+        ]
+    for position, (query, answer) in enumerate(zip(queries, answers)):
+        got = np.sort(answer.row_ids)
+        want = _reference(table, query)
+        if not np.array_equal(got, want):
+            missing = np.setdiff1d(want, got)
+            unexpected = np.setdiff1d(got, want)
+            return position, [
+                f"query_batch answer mismatch: got {got.size} rows, "
+                f"expected {want.size} ({missing.size} missing, "
+                f"{unexpected.size} unexpected) for {query!r}"
+            ]
+    problems = monitor.observe()
+    if problems:
+        return len(queries) - 1, problems
     return None, []
 
 
@@ -396,9 +447,14 @@ def run_fuzz(
     delta: float = 0.25,
     save_dir: Optional[str] = None,
     verbose: bool = False,
+    batch: bool = False,
     log: Callable[[str], None] = print,
 ) -> FuzzReport:
-    """The full differential sweep: every kind x every backend."""
+    """The full differential sweep: every kind x every backend.
+
+    ``batch=True`` adds a second pass per (kind, backend) cell that
+    replays the same workload through ``query_batch`` on a fresh index.
+    """
     backend_names = list(BACKENDS) if backends is None else list(backends)
     kind_names = WORKLOAD_KINDS if kinds is None else list(kinds)
     for kind in kind_names:
@@ -420,47 +476,57 @@ def run_fuzz(
             delta=delta,
         )
         table, workload = build_workload(case)
+        variants = [case]
+        if batch:
+            variants.append(replace(case, batch=True))
         for backend in backend_names:
-            position, problems = run_backend_case(backend, table, workload, case)
-            report.cases_run += 1
-            report.queries_run += (
-                len(workload) if position is None else position + 1
-            )
-            if obs_metrics.ENABLED:
-                registry = obs_metrics.REGISTRY
-                registry.counter("fuzz.cases", backend=backend, kind=kind).inc()
-                registry.counter("fuzz.queries", backend=backend, kind=kind).inc(
+            for variant in variants:
+                tag = f"{kind}+batch" if variant.batch else kind
+                position, problems = run_backend_case(
+                    backend, table, workload, variant
+                )
+                report.cases_run += 1
+                report.queries_run += (
                     len(workload) if position is None else position + 1
                 )
-                if position is not None:
+                if obs_metrics.ENABLED:
+                    registry = obs_metrics.REGISTRY
+                    registry.counter("fuzz.cases", backend=backend, kind=tag).inc()
                     registry.counter(
-                        "fuzz.failures", backend=backend, kind=kind
-                    ).inc()
-            if position is None:
-                if verbose:
-                    log(f"{backend}/{kind}: OK ({len(workload)} queries)")
-                continue
-            indices = minimize_queries(
-                backend, table, workload, case, position
-            )
-            failure = FuzzFailure(
-                backend=backend,
-                case=case,
-                query_position=position,
-                problems=problems,
-                query_indices=indices,
-            )
-            report.failures.append(failure)
-            log(failure.describe())
-            if save_dir is not None:
-                path = (
-                    f"{save_dir.rstrip('/')}/"
-                    f"fuzz-failure-{backend}-{kind}-seed{seed}.json"
+                        "fuzz.queries", backend=backend, kind=tag
+                    ).inc(len(workload) if position is None else position + 1)
+                    if position is not None:
+                        registry.counter(
+                            "fuzz.failures", backend=backend, kind=tag
+                        ).inc()
+                if position is None:
+                    if verbose:
+                        log(f"{backend}/{tag}: OK ({len(workload)} queries)")
+                    continue
+                indices = minimize_queries(
+                    backend, table, workload, variant, position
                 )
-                with open(path, "w") as handle:
-                    handle.write(failure.to_json())
-                log(f"    repro saved; replay with: python -m repro.fuzz "
-                    f"--replay {path}")
+                failure = FuzzFailure(
+                    backend=backend,
+                    case=variant,
+                    query_position=position,
+                    problems=problems,
+                    query_indices=indices,
+                )
+                report.failures.append(failure)
+                log(failure.describe())
+                if save_dir is not None:
+                    suffix = "-batch" if variant.batch else ""
+                    path = (
+                        f"{save_dir.rstrip('/')}/"
+                        f"fuzz-failure-{backend}-{kind}{suffix}-seed{seed}.json"
+                    )
+                    with open(path, "w") as handle:
+                        handle.write(failure.to_json())
+                    log(
+                        f"    repro saved; replay with: python -m repro.fuzz "
+                        f"--replay {path}"
+                    )
     return report
 
 
@@ -644,6 +710,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "tiny fuzz tables reach the process tier)",
     )
     parser.add_argument(
+        "--arena",
+        action="store_true",
+        help="force the flat-arena mirror on for the whole run (overrides "
+        "REPRO_ARENA) and replay every workload through query_batch as a "
+        "second pass per (kind, backend) cell",
+    )
+    parser.add_argument(
         "--sessions",
         type=int,
         default=None,
@@ -660,6 +733,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
+
+    if args.arena:
+        from .core.arena import set_arena_default
+
+        set_arena_default(True)
 
     if args.kernels is not None:
         activated = kernels.use(args.kernels)
@@ -727,6 +805,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         delta=args.delta,
         save_dir=args.save_dir,
         verbose=args.verbose,
+        batch=args.arena,
     )
     status = "OK" if report.ok else f"{len(report.failures)} FAILURE(S)"
     print(

@@ -55,6 +55,12 @@ I10 **Shard partition** — a :class:`~repro.core.table_partitioning.
     shard order, each shard's column views alias exactly its base-table
     row range, every shard's zone box contains all of its rows, and
     every inner index passes the full I1–I9 sweep over its own shard.
+I11 **Arena mirror** — when a KD-Tree carries a flat arena
+    (:mod:`repro.core.arena`), the arena agrees with the object graph
+    node for node: structure (dim/key/split/range, child adjacency),
+    leaf identity (the live piece object, back-linked via
+    ``arena_id``), zone-map columns, and the stored path bounds the
+    residual-check flags derive from; no orphan slots.
 
 Backends whose structure is not a KD-Tree participate through
 :meth:`BaseIndex.self_check` (QUASII hierarchy, cracker columns).
@@ -529,8 +535,9 @@ def structural_errors(index: BaseIndex) -> List[str]:
 
     The per-query workhorse: tree invariants (I1/I2) when a KD-Tree is
     materialised, alignment (I3), paused partitions (I4), convergence
-    flags (I5), zone maps (I7/I8), refinement ownership (I9), the PKD
-    creation-phase contract, and the backend's own
+    flags (I5), zone maps (I7/I8), refinement ownership (I9), the arena
+    mirror (I11) when the tree carries one, the PKD creation-phase
+    contract, and the backend's own
     :meth:`~repro.core.index_base.BaseIndex.self_check`.  Cross-query
     monotonicity and determinism need state or convergence and live in
     :class:`InvariantMonitor` / :func:`convergence_determinism_errors`.
@@ -543,6 +550,9 @@ def structural_errors(index: BaseIndex) -> List[str]:
         problems.extend(partition_job_errors(state))
         problems.extend(convergence_errors(state))
         problems.extend(zone_map_errors(state))
+        arena = getattr(state.tree, "arena", None)
+        if arena is not None:  # I11
+            problems.extend(arena.consistency_errors(state.tree))
     if state.extras.get("skip_alignment") is not True:
         problems.extend(alignment_errors(state))
     problems.extend(creation_state_errors(state))

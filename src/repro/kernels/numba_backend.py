@@ -1,8 +1,8 @@
 """Optional Numba JIT kernels.
 
-Scalar ``@njit`` loops for the same four primitives: the candidate-list
-scan passes, the stable-partition permutation, and the incremental
-Hoare chunk classify/swap.  The Python-side wrappers keep all
+Scalar ``@njit`` loops for the same hot primitives: the candidate-list
+scan passes, the stable-partition permutation, the incremental Hoare
+chunk classify/swap, and the flat-arena batch descent.  The Python-side wrappers keep all
 ``QueryStats`` accounting and all pointer arithmetic identical to the
 reference backend, so the compiled kernels only replace the innermost
 array traversals — the behavioural contract (bit-identical positions,
@@ -129,6 +129,57 @@ def _swap_rows(array, left_rows, right_rows):
         array[right] = held
 
 
+@njit(cache=True)
+def _arena_descend(dims, keys, lefts, los, his, lows2d, highs2d):
+    """Scalar stack descent over the flat arena for B queries at once.
+
+    Contract (see ``KernelBackend.arena_descend``): ``visited`` counts
+    every popped node per query, empty leaves included; only non-empty
+    leaves are emitted; emission order is free — the arena re-sorts by
+    (query, descending piece start).
+    """
+    n_queries = lows2d.shape[0]
+    n_nodes = dims.shape[0]
+    visited = np.zeros(n_queries, dtype=np.int64)
+    cap = 64
+    out_query = np.empty(cap, dtype=np.int64)
+    out_node = np.empty(cap, dtype=np.int64)
+    count = 0
+    stack = np.empty(n_nodes + 1, dtype=np.int64)
+    for q in range(n_queries):
+        top = 0
+        stack[top] = 0
+        top += 1
+        while top > 0:
+            top -= 1
+            node = stack[top]
+            visited[q] += 1
+            dim = dims[node]
+            if dim < 0:
+                if his[node] > los[node]:
+                    if count == cap:
+                        cap *= 2
+                        grown_q = np.empty(cap, dtype=np.int64)
+                        grown_n = np.empty(cap, dtype=np.int64)
+                        grown_q[:count] = out_query
+                        grown_n[:count] = out_node
+                        out_query = grown_q
+                        out_node = grown_n
+                    out_query[count] = q
+                    out_node[count] = node
+                    count += 1
+                continue
+            key = keys[node]
+            left = lefts[node]
+            if lows2d[q, dim] < key:
+                stack[top] = left
+                top += 1
+            if highs2d[q, dim] > key:
+                stack[top] = left + 1
+                top += 1
+    return out_query[:count].copy(), out_node[:count].copy(), visited
+
+
 class NumbaBackend(KernelBackend):
     """``@njit``-compiled scalar kernels behind the reference accounting."""
 
@@ -221,3 +272,31 @@ class NumbaBackend(KernelBackend):
     ) -> None:
         for array in arrays:
             _swap_rows(array, left_rows, right_rows)
+
+    # Shared across thread-local instances: the JIT cache is per
+    # function, so one successful probe covers every instance.
+    _arena_kernel = None
+    _arena_probe_failed = False
+
+    def arena_descend(self):
+        """The compiled batch descent, or ``None`` if JIT compilation
+        fails (silent fallback to the arena's NumPy frontier loop)."""
+        cls = NumbaBackend
+        if cls._arena_probe_failed:
+            return None
+        if cls._arena_kernel is None:
+            try:
+                _arena_descend(
+                    np.full(1, -1, dtype=np.int32),
+                    np.zeros(1, dtype=np.float64),
+                    np.full(1, -1, dtype=np.int32),
+                    np.zeros(1, dtype=np.int64),
+                    np.ones(1, dtype=np.int64),
+                    np.zeros((1, 1), dtype=np.float64),
+                    np.ones((1, 1), dtype=np.float64),
+                )
+            except Exception:  # pragma: no cover - depends on numba env
+                cls._arena_probe_failed = True
+                return None
+            cls._arena_kernel = _arena_descend
+        return cls._arena_kernel

@@ -56,7 +56,7 @@ from ..obs import procbridge
 from ..obs import trace as obs_trace
 from . import config, procpool, shm
 
-__all__ = ["scan_range", "scan_pieces", "advance_jobs"]
+__all__ = ["scan_range", "scan_pieces", "scan_match_sets", "advance_jobs"]
 
 
 def _procs_eligible() -> int:
@@ -432,6 +432,363 @@ def _scan_pieces_procs(
         if obs_metrics.ENABLED:
             procpool.publish_health()
     return parts
+
+
+# ---------------------------------------------------- batched piece scans
+
+def scan_match_sets(index_table, jobs) -> List[List[np.ndarray]]:
+    """Scan many queries' candidate-piece lists in one shared fan-out.
+
+    ``jobs`` is a sequence of ``(matches, query, stats)`` triples — one
+    per query of a batch (:meth:`BaseIndex.query_batch
+    <repro.core.index_base.BaseIndex.query_batch>`).  Returns one
+    parts-list per job, in job order, with each parts-list identical to
+    the serial ``[scan_piece(m) for m in matches]`` loop for that query
+    and each job's stats receiving exactly its own query's additive
+    charges.  The whole batch shares a single chunking/dispatch round —
+    the point of batching: B queries pay one fan-out, not B.
+    """
+    workers = config.get_workers()
+    procs = _procs_eligible()
+    tagged: List[Tuple[int, object]] = []
+    total_rows = 0
+    for job_index, (matches, _query, _stats) in enumerate(jobs):
+        for match in matches:
+            tagged.append((job_index, match))
+            total_rows += match.piece.size
+    if (
+        (workers <= 1 and not procs)
+        or len(tagged) < 2
+        or total_rows < config.MIN_PARALLEL_ROWS
+        or config.in_worker()
+    ):
+        return _scan_match_sets_fused(index_table, jobs)
+    queries = [query for _matches, query, _stats in jobs]
+    if procs:
+        column_handles = shm.handles_of(index_table.columns)
+        rowid_handle = shm.handle_of(index_table.rowids)
+        if column_handles is not None and rowid_handle is not None:
+            parts = _scan_match_sets_procs(
+                column_handles, rowid_handle, tagged, total_rows, jobs,
+                queries, procs,
+            )
+            if parts is not None:
+                return parts
+    if workers <= 1:
+        return _scan_match_sets_fused(index_table, jobs)
+    chunks = _chunk_tagged(tagged, total_rows, workers)
+    if len(chunks) < 2:
+        return _scan_match_sets_fused(index_table, jobs)
+    backend_name = kernels.current_backend().name
+    stats_cls = type(jobs[0][2])
+    _note_fanout("batch_scan", len(chunks), workers)
+    futures = [
+        config.pool().submit(
+            _scan_match_sets_task,
+            backend_name,
+            index_table,
+            chunk,
+            queries,
+            stats_cls,
+        )
+        for chunk in chunks
+    ]
+    parts_per_job: List[List[np.ndarray]] = [[] for _ in jobs]
+    for future in futures:
+        tagged_parts, per_job_stats = future.result()
+        for job_index, part in tagged_parts:
+            parts_per_job[job_index].append(part)
+        for job_index, worker_stats in per_job_stats:
+            jobs[job_index][2].merge(worker_stats)
+    return parts_per_job
+
+
+def batch_scan_serial() -> bool:
+    """True when :func:`scan_match_sets` would take its serial fused path
+    regardless of the job list — no workers, no process tier, or already
+    inside a pool worker.  Lets converged batch callers skip the
+    object-graph job assembly and run the array-native shortcut instead;
+    when this is False the caller builds real matches and the fan-out
+    logic decides per batch.
+    """
+    return (
+        config.get_workers() <= 1 and not _procs_eligible()
+    ) or config.in_worker()
+
+
+def _scan_match_sets_serial(index_table, jobs) -> List[List[np.ndarray]]:
+    return [
+        [index_table.scan_piece(match, query, stats) for match in matches]
+        for matches, query, stats in jobs
+    ]
+
+
+def _scan_match_sets_fused(index_table, jobs) -> List[List[np.ndarray]]:
+    """Serial batch scan with one vectorized pass over all residual pieces.
+
+    Bit-identical to :func:`_scan_match_sets_serial` — same parts, same
+    per-query counter charges — but instead of one kernel call per
+    (query, piece) pair (whose fixed NumPy overhead dominates converged
+    point lookups over <=threshold-sized pieces), every pair the zone
+    shortcuts cannot settle joins a single concatenated window and the
+    whole batch pays ~one set of vector operations.
+    """
+    parts_per_job: List[List[np.ndarray]] = []
+    pending: List[tuple] = []  # (match, query, stats, parts, slot)
+    for matches, query, stats in jobs:
+        parts: List[np.ndarray] = []
+        for match in matches:
+            shortcut = index_table.zone_shortcut(match, query, stats)
+            if shortcut is None:
+                pending.append((match, query, stats, parts, len(parts)))
+                parts.append(_EMPTY_IDS)  # placeholder, filled below
+            else:
+                parts.append(shortcut)
+        parts_per_job.append(parts)
+    if len(pending) > 1:
+        for part, (_m, _q, _s, parts, slot) in zip(
+            _scan_pairs(index_table, pending), pending
+        ):
+            parts[slot] = part
+    elif pending:
+        match, query, stats, parts, slot = pending[0]
+        positions = kernels.range_scan(
+            index_table.columns,
+            match.piece.start,
+            match.piece.end,
+            query,
+            stats,
+            match.check_low,
+            match.check_high,
+        )
+        parts[slot] = index_table.rowids[positions]
+    return parts_per_job
+
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+def _scan_pairs(index_table, pairs) -> List[np.ndarray]:
+    """One vectorized residual scan over many (query, piece) pairs.
+
+    Replicates the per-pair kernel scan exactly:
+
+    * **results** — each pair's qualifying rowids, in piece order.  A
+      residual bound the tree path already implies (check flag False) or
+      an infinite query bound is replaced by ``±inf``, which every value
+      passes — the same rows the per-pair scan's skip-the-dimension rule
+      admits.
+    * **counters** — ``stats.scanned`` per pair charges the full window
+      for the pair's first checked dimension and the pre-filter survivor
+      count for each later checked one, with survivors-zero dimensions
+      charging nothing; exactly the accounting every kernel backend
+      applies (it is backend-invariant by design), so batch-vs-serial
+      and arena-vs-object comparisons stay bit-identical.
+
+    The first dimension is evaluated across the full concatenated
+    window; later dimensions only touch the surviving candidate list —
+    the vector twin of the kernels' density switch.
+    """
+    n_pairs = len(pairs)
+    n_dims = pairs[0][1].n_dims
+    pieces = [pair[0].piece for pair in pairs]
+    starts = np.fromiter((piece.start for piece in pieces), np.int64, n_pairs)
+    lens = np.fromiter((piece.size for piece in pieces), np.int64, n_pairs)
+    cat_end = np.cumsum(lens)
+
+    all_checked = (True,) * n_dims
+    check_low = np.array(
+        [
+            pair[0].check_low if pair[0].check_low is not None else all_checked
+            for pair in pairs
+        ],
+        dtype=bool,
+    )
+    check_high = np.array(
+        [
+            pair[0].check_high
+            if pair[0].check_high is not None
+            else all_checked
+            for pair in pairs
+        ],
+        dtype=bool,
+    )
+    lows2d = np.array([pair[1].lows_f for pair in pairs])
+    highs2d = np.array([pair[1].highs_f for pair in pairs])
+    need_low = check_low & np.array(
+        [pair[1].finite_lows for pair in pairs], dtype=bool
+    )
+    need_high = check_high & np.array(
+        [pair[1].finite_highs for pair in pairs], dtype=bool
+    )
+    checked = (need_low | need_high).T  # (n_dims, n_pairs)
+    eff_lo = np.where(need_low, lows2d, -np.inf).T
+    eff_hi = np.where(need_high, highs2d, np.inf).T
+
+    ids, bounds, scanned = scan_windows(
+        index_table.columns, index_table.rowids, starts, lens,
+        checked, eff_lo, eff_hi,
+    )
+    for (_match, _query, stats, _parts, _slot), charge in zip(pairs, scanned):
+        stats.scanned += int(charge)
+    return [
+        ids[bounds[position] : bounds[position + 1]]
+        for position in range(n_pairs)
+    ]
+
+
+def scan_windows(
+    columns, rowids, starts, lens, checked, eff_lo, eff_hi
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vector core shared by :func:`_scan_pairs` and the arena batch path.
+
+    Scans ``n_pairs`` row windows (``starts[i] : starts[i] + lens[i]``)
+    against per-window effective bounds ``(eff_lo, eff_hi)`` of shape
+    ``(n_dims, n_pairs)``; a side the caller does not need checked must
+    hold ``±inf``.  Returns ``(ids, bounds, scanned)``: qualifying
+    rowids for all windows back to back in window order,
+    ``bounds[i]:bounds[i+1]`` slicing window ``i``'s ids, and the
+    per-window ``stats.scanned`` charge under the kernel accounting
+    rules (full window for the first checked dimension, pre-filter
+    survivor count for each later checked one).
+    """
+    n_pairs = starts.size
+    n_dims = checked.shape[0]
+    cat_end = np.cumsum(lens)
+    scanned = np.where(checked[0], lens, 0)
+    column0 = columns[0]
+    starts_list = starts.tolist()
+    values = np.concatenate(
+        [
+            column0[start : start + length]
+            for start, length in zip(starts_list, lens.tolist())
+        ]
+    )
+    bounds0 = np.repeat(np.vstack((eff_lo[0], eff_hi[0])), lens, axis=1)
+    keep = values > bounds0[0]
+    keep &= values <= bounds0[1]
+    survivors_cat = np.flatnonzero(keep)
+    cand_pair = np.searchsorted(cat_end, survivors_cat, side="right")
+    # Concatenated index -> absolute row position, per surviving row.
+    cand_pos = survivors_cat + (starts - cat_end + lens).take(cand_pair)
+    for dim in range(1, n_dims):
+        if checked[dim].any():
+            survivors = np.bincount(cand_pair, minlength=n_pairs)
+            scanned += np.where(checked[dim], survivors, 0)
+        values = columns[dim].take(cand_pos)
+        keep = values > eff_lo[dim].take(cand_pair)
+        keep &= values <= eff_hi[dim].take(cand_pair)
+        cand_pos = cand_pos[keep]
+        cand_pair = cand_pair[keep]
+    ids = rowids.take(cand_pos)
+    bounds = np.zeros(n_pairs + 1, dtype=np.int64)
+    np.cumsum(np.bincount(cand_pair, minlength=n_pairs), out=bounds[1:])
+    return ids, bounds, scanned
+
+
+def _chunk_tagged(tagged, total_rows: int, workers: int) -> List[list]:
+    """Contiguous size-balanced chunks of tagged ``(job, match)`` items.
+
+    Same geometry policy as :func:`_chunk_matches`; chunks may span job
+    boundaries — the tags route every part and stat back to its query.
+    """
+    target = max(1, total_rows // (workers * 4))
+    chunks: List[list] = []
+    current: list = []
+    current_rows = 0
+    for item in tagged:
+        current.append(item)
+        current_rows += item[1].piece.size
+        if current_rows >= target:
+            chunks.append(current)
+            current = []
+            current_rows = 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _scan_match_sets_task(
+    backend_name: str,
+    index_table,
+    chunk,
+    queries,
+    stats_cls,
+):
+    # No trace span: query_batch falls back to sequential execution when
+    # tracing or metrics are live, so batch fan-outs never run observed.
+    config.enter_worker()
+    try:
+        per_job: dict = {}
+        tagged_parts = []
+        backend = kernels.thread_instance(backend_name)
+        with kernels.pinned(backend):
+            for job_index, match in chunk:
+                worker_stats = per_job.get(job_index)
+                if worker_stats is None:
+                    worker_stats = per_job[job_index] = stats_cls()
+                tagged_parts.append(
+                    (
+                        job_index,
+                        index_table.scan_piece(
+                            match, queries[job_index], worker_stats
+                        ),
+                    )
+                )
+        return tagged_parts, sorted(per_job.items())
+    finally:
+        config.exit_worker()
+
+
+def _scan_match_sets_procs(
+    column_handles, rowid_handle, tagged, total_rows, jobs, queries, procs
+):
+    """Batched piece-chunk fan-out over the process pool.
+
+    Chunks carry ``(job, piece-spec)`` tags; workers return tagged parts
+    plus per-job private stats, merged here in submission order — the
+    same contract as :func:`_scan_pieces_procs`, widened to many queries
+    per dispatch.  ``None`` when the batch is too small to be worth a
+    process hop; the caller falls through to threads/serial.
+    """
+    chunks = _chunk_tagged(tagged, total_rows, procs)
+    if len(chunks) < 2:
+        return None
+    backend_name = kernels.current_backend().name
+    _note_fanout("proc_batch_scan", len(chunks), procs)
+    pool = procpool.proc_pool()
+    procpool.note_submitted(len(chunks))
+    futures = [
+        pool.submit(
+            procpool.scan_match_sets_task,
+            backend_name,
+            column_handles,
+            rowid_handle,
+            [
+                (job_index, procpool.piece_spec(match))
+                for job_index, match in chunk
+            ],
+            queries,
+        )
+        for chunk in chunks
+    ]
+    parts_per_job: List[List[np.ndarray]] = [[] for _ in jobs]
+    received = 0
+    try:
+        for future in futures:
+            tagged_parts, per_job_stats = future.result()
+            procpool.note_done()
+            received += 1
+            for job_index, part in tagged_parts:
+                parts_per_job[job_index].append(part)
+            for job_index, worker_stats in per_job_stats:
+                jobs[job_index][2].merge(worker_stats)
+    finally:
+        if received != len(futures):  # failed fan-out: settle the ledger
+            procpool.note_done(len(futures) - received)
+        if obs_metrics.ENABLED:
+            procpool.publish_health()
+    return parts_per_job
 
 
 # ----------------------------------------------------- refinement advances

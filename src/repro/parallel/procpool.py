@@ -373,6 +373,52 @@ def scan_pieces_task(
     return parts, worker_stats, payload
 
 
+def scan_match_sets_task(
+    backend_name: str,
+    column_handles: Sequence[shm.ArrayHandle],
+    rowid_handle: shm.ArrayHandle,
+    tagged_specs: Sequence[tuple],
+    queries: Sequence[object],
+):
+    """Scan a batch chunk of ``(job_index, piece-spec)`` items.
+
+    The batched scan path never runs under live tracing (query_batch
+    falls back to sequential execution there), so unlike the per-query
+    tasks above this one carries no telemetry capture.  Returns tagged
+    parts plus per-job private stats for submission-order merge.
+    """
+    from .. import kernels
+    from ..core.index_base import IndexTable
+    from ..core.metrics import QueryStats
+
+    columns = [shm.attach(handle) for handle in column_handles]
+    rowids = shm.attach(rowid_handle)
+    index_table = IndexTable(columns, rowids)
+    backend = kernels.thread_instance(backend_name)
+    per_job = {}
+    tagged_parts: List[tuple] = []
+    with kernels.pinned(backend):
+        for job_index, spec in tagged_specs:
+            start, end, zone_lo, zone_hi, check_low, check_high = spec
+            worker_stats = per_job.get(job_index)
+            if worker_stats is None:
+                worker_stats = per_job[job_index] = QueryStats()
+            match = _MatchShim(
+                _PieceShim(start, end, zone_lo, zone_hi),
+                check_low,
+                check_high,
+            )
+            tagged_parts.append(
+                (
+                    job_index,
+                    index_table.scan_piece(
+                        match, queries[job_index], worker_stats
+                    ),
+                )
+            )
+    return tagged_parts, sorted(per_job.items())
+
+
 def advance_task(
     backend_name: str,
     handles: Sequence[shm.ArrayHandle],

@@ -123,6 +123,27 @@ class ServeClient:
             fields["trace"] = trace
         return self.request("query", **fields)
 
+    def batch(
+        self,
+        session: str,
+        table: str,
+        bounds_list,
+        return_ids: bool = False,
+    ) -> Dict[str, object]:
+        """Run many range queries in one request.  ``bounds_list`` holds
+        one bounds dict per query (same shape as :meth:`query`); the
+        response's ``results`` list answers them in order."""
+        return self.request(
+            "batch",
+            session=session,
+            table=table,
+            queries=[
+                {column: list(pair) for column, pair in bounds.items()}
+                for bounds in bounds_list
+            ],
+            return_ids=return_ids,
+        )
+
     def check(self, table: Optional[str] = None) -> Dict[str, object]:
         fields = {} if table is None else {"table": table}
         return self.request("check", **fields)

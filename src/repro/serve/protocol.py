@@ -9,7 +9,11 @@ optional client-chosen ``id`` that the response echoes; responses carry
 is worth re-sending after a backoff).
 
 Ops: ``hello``, ``register``, ``open_session``, ``close_session``,
-``query``, ``check``, ``stats``, ``metrics`` (Prometheus text
+``query``, ``batch`` (many queries in one dispatch: ``queries`` holds a
+list of bounds dicts; the response's ``results`` list carries one
+``count``/``checksum``/``seconds`` payload per query, in order —
+converged KD indexes answer the whole batch with one shared descent and
+one scan fan-out), ``check``, ``stats``, ``metrics`` (Prometheus text
 exposition of the server's telemetry), ``slo`` (per-tenant latency-SLO
 state plus recent watchdog events), ``shutdown``.  ``query``
 additionally accepts a ``trace`` field — a client-chosen request id

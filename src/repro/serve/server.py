@@ -622,6 +622,95 @@ class IndexServer:
             ).tolist()
         return response
 
+    def execute_batch(
+        self,
+        session_id: str,
+        table_name: str,
+        bounds_list: List[Dict[str, object]],
+        return_ids: bool = False,
+    ) -> Dict[str, object]:
+        """Run many queries for a session in one blocking dispatch.
+
+        Queries group by queried column set; each group holds its
+        index's writer lock once and runs :meth:`~repro.core.index_base.
+        BaseIndex.query_batch` — so a converged KD index answers the
+        whole group with one shared (arena-vectorized) descent and one
+        scan fan-out instead of per-request lock/dispatch round trips.
+        Batches always run in adaptive mode: while the index still
+        adapts the batch drains sequentially inside ``query_batch``,
+        with adaptation order identical to separate ``query`` requests.
+        """
+        if not bounds_list:
+            raise InvalidQueryError("a batch needs at least one query")
+        session = self._session(session_id)
+        shared = self._table(table_name)
+        resolved = []
+        for bounds in bounds_list:
+            parsed = {
+                column: tuple(bound) if isinstance(bound, list) else bound
+                for column, bound in bounds.items()
+            }
+            resolved.append(
+                resolve_group_query(shared.encoded, table_name, parsed)
+            )
+        by_group: Dict[Tuple[str, ...], List[int]] = {}
+        for slot, (group_key, _positions, _query) in enumerate(resolved):
+            by_group.setdefault(group_key, []).append(slot)
+        payloads: List[Optional[Dict[str, object]]] = [None] * len(resolved)
+        begin = time.perf_counter()
+        with self.admission.inflight(session.tenant):
+            for group_key, slots in by_group.items():
+                entry = self._session_index(
+                    session, table_name, group_key,
+                    resolved[slots[0]][1], shared,
+                )
+                queries = [resolved[slot][2] for slot in slots]
+                entry.lock.acquire_write()
+                try:
+                    with _thread_kernels():
+                        answers = entry.index.query_batch(queries)
+                finally:
+                    entry.lock.release_write()
+                for slot, answer in zip(slots, answers):
+                    payload: Dict[str, object] = {
+                        "count": answer.count,
+                        "checksum": answer_checksum(answer.row_ids),
+                        "seconds": answer.stats.seconds,
+                        "converged": bool(answer.stats.converged),
+                        "columns": list(group_key),
+                    }
+                    if return_ids:
+                        payload["row_ids"] = np.sort(
+                            np.asarray(answer.row_ids, dtype=np.int64)
+                        ).tolist()
+                    payloads[slot] = payload
+        elapsed = time.perf_counter() - begin
+        share = elapsed / len(resolved)
+        for _ in resolved:
+            # Per-query amortised latency: the honest signal for the
+            # tenant's per-query interactivity objective.
+            self.slo.observe(session.tenant, share)
+        self.scheduler.poke()
+        with self._lock:
+            session.queries_run += len(resolved)
+            shared.queries_run += len(resolved)
+            self._queries_total += len(resolved)
+        if obs_metrics.ENABLED:
+            registry = obs_metrics.REGISTRY
+            tenant = session.tenant
+            registry.counter("serve.batches", tenant=tenant).inc()
+            registry.counter(
+                "serve.queries", tenant=tenant, mode="batch"
+            ).inc(len(resolved))
+            registry.histogram(
+                "serve.batch_seconds", tenant=tenant
+            ).observe(elapsed)
+        return {
+            "results": payloads,
+            "batch": len(resolved),
+            "seconds": elapsed,
+        }
+
     # ----------------------------------------------------------- integrity
 
     def check(self, table_name: Optional[str] = None) -> Dict[str, List[str]]:
@@ -799,6 +888,15 @@ class IndexServer:
                 return_ids=bool(request.get("return_ids", False)),
                 trace=None if trace is None else str(trace),
                 enqueued=request.get("_enqueued"),
+            )
+            return ok_response(request, **payload)
+        if op == "batch":
+            queries = request.get("queries") or []
+            payload = self.execute_batch(
+                session_id=str(request.get("session", "")),
+                table_name=str(request.get("table", "")),
+                bounds_list=[dict(bounds) for bounds in queries],
+                return_ids=bool(request.get("return_ids", False)),
             )
             return ok_response(request, **payload)
         if op == "check":

@@ -293,25 +293,7 @@ class ExplorationSession:
         group_key, positions, query = resolve_group_query(
             registered.encoded, table_name, bounds
         )
-        index = registered.indexes.get(group_key)
-        if index is None:
-            projected = registered.encoded.table.project(positions)
-            if self.shards > 1:
-                from .core.table_partitioning import ShardedIndex
-
-                index = ShardedIndex(
-                    projected,
-                    lambda table: TECHNIQUES[self.technique](table, self),
-                    self.shards,
-                )
-            else:
-                index = TECHNIQUES[self.technique](projected, self)
-            registered.indexes[group_key] = index
-            if self.background_refine and isinstance(index, ProgressiveKDTree):
-                from .parallel.background import BackgroundRefiner
-
-                index._background = BackgroundRefiner(index)
-                self._refiners.append(index._background)
+        index = self._index_for(registered, group_key, positions)
         refiner = getattr(index, "_background", None)
         # Quiesce the background refiner for the duration of the query
         # (and of the validation pass): the lock is the ownership handoff
@@ -350,6 +332,89 @@ class ExplorationSession:
             table_name=table_name,
             _session=self,
         )
+
+    def _index_for(
+        self,
+        registered: _RegisteredTable,
+        group_key: Tuple[str, ...],
+        positions: List[int],
+    ) -> BaseIndex:
+        """The incremental index for one column group, created on first use."""
+        index = registered.indexes.get(group_key)
+        if index is None:
+            projected = registered.encoded.table.project(positions)
+            if self.shards > 1:
+                from .core.table_partitioning import ShardedIndex
+
+                index = ShardedIndex(
+                    projected,
+                    lambda table: TECHNIQUES[self.technique](table, self),
+                    self.shards,
+                )
+            else:
+                index = TECHNIQUES[self.technique](projected, self)
+            registered.indexes[group_key] = index
+            if self.background_refine and isinstance(index, ProgressiveKDTree):
+                from .parallel.background import BackgroundRefiner
+
+                index._background = BackgroundRefiner(index)
+                self._refiners.append(index._background)
+        return index
+
+    def run_batch(
+        self, table_name: str, bounds_list: Sequence[Dict[str, object]]
+    ) -> List[SessionResult]:
+        """Answer many queries against ``table_name`` in one call.
+
+        ``bounds_list`` holds one bounds dict per query, each shaped like
+        the keyword arguments of :meth:`query` (column name -> ``(low,
+        high)``).  Queries are grouped by queried column set and each
+        group runs through its index's :meth:`~repro.core.index_base.
+        BaseIndex.query_batch` — so a converged KD index answers the
+        whole group with one shared descent and one scan fan-out instead
+        of per-query dispatches.  Results come back in submission order;
+        within a column group the answers and work counters are exactly
+        what the equivalent :meth:`query` loop would have produced.
+        """
+        registered = self._lookup(table_name)
+        resolved = [
+            resolve_group_query(registered.encoded, table_name, bounds)
+            for bounds in bounds_list
+        ]
+        by_group: Dict[Tuple[str, ...], List[int]] = {}
+        for slot, (group_key, _positions, _query) in enumerate(resolved):
+            by_group.setdefault(group_key, []).append(slot)
+        results: List[Optional[SessionResult]] = [None] * len(resolved)
+        for group_key, slots in by_group.items():
+            index = self._index_for(registered, group_key, resolved[slots[0]][1])
+            refiner = getattr(index, "_background", None)
+            quiesce = refiner.paused() if refiner is not None else nullcontext()
+            queries = [resolved[slot][2] for slot in slots]
+            with quiesce:
+                begin = time.perf_counter()
+                answers = index.query_batch(queries)
+                elapsed = time.perf_counter() - begin
+                if self.validate:
+                    from .invariants import assert_invariants
+
+                    assert_invariants(index)
+            if refiner is not None:
+                refiner.poke()
+            if obs_metrics.ENABLED:
+                obs_metrics.REGISTRY.counter(
+                    "session.queries", table=table_name
+                ).inc(len(slots))
+            registered.queries_run += len(slots)
+            share = elapsed / len(slots)
+            for slot, answer in zip(slots, answers):
+                results[slot] = SessionResult(
+                    row_ids=answer.row_ids,
+                    seconds=share,
+                    columns=group_key,
+                    table_name=table_name,
+                    _session=self,
+                )
+        return results
 
     def fetch(self, table_name: str, column: str, row_ids: np.ndarray) -> np.ndarray:
         """Decoded values of ``column`` for the given original row ids."""

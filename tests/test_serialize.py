@@ -170,3 +170,78 @@ class TestPartialProgressiveRoundTrip:
         save_index(index, path)
         frozen = load_index(path)
         assert_invariants(frozen)
+
+
+class TestZoneMapRoundTrip:
+    """Zone maps (I7/I8 metadata) and leaf levels survive the snapshot,
+    so a reloaded index prunes identically and the rebuilt flat arena is
+    byte-for-byte the one the original tree carried."""
+
+    def _leaves(self, tree):
+        return [piece for piece, _, __ in tree.iter_leaves_with_bounds()]
+
+    def test_zone_maps_survive(self, tmp_path):
+        _, __, index = warmed_index(AdaptiveKDTree)
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        original = self._leaves(index.tree)
+        reloaded = self._leaves(frozen.tree)
+        assert len(original) == len(reloaded)
+        zoned = 0
+        for want, got in zip(original, reloaded):
+            assert (got.start, got.end) == (want.start, want.end)
+            assert got.level == want.level
+            assert got.zone_lo == want.zone_lo
+            assert got.zone_hi == want.zone_hi
+            zoned += want.zone_lo is not None
+        assert zoned > 0  # the fixture actually exercises zone payloads
+
+    def test_pruning_counters_survive(self, tmp_path):
+        """Same zones => same pruned/contained shortcut counters.
+
+        (Full up-front build: the original must not adapt between the
+        two measurements or the comparison is meaningless.)"""
+        table, _, index = warmed_index(AverageKDTree)
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        for query in make_queries(table, 10, width_fraction=0.3, seed=54):
+            want = index.query(query).stats
+            got = frozen.query(query).stats
+            assert (got.pruned, got.contained) == (want.pruned, want.contained)
+            assert got.scanned == want.scanned
+
+    def test_frozen_counters_are_exact(self, tmp_path):
+        _, __, index = warmed_index(AdaptiveKDTree)
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        assert frozen.tree.leaf_count == index.tree.leaf_count
+        assert frozen.tree.node_count == index.tree.node_count
+
+    def test_arena_attached_and_consistent(self, tmp_path):
+        from repro.core.arena import arena_default
+
+        assert arena_default()
+        _, __, index = warmed_index(AdaptiveKDTree)
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        frozen = load_index(path)
+        arena = frozen.tree.arena
+        assert arena is not None
+        assert arena.consistency_errors(frozen.tree) == []
+
+    def test_old_snapshot_without_zones_still_loads(self, tmp_path):
+        """Backward compat: pre-zone payloads decode (zones just absent)."""
+        from tests.conftest import reference_answer
+
+        table, _, index = warmed_index(AdaptiveKDTree)
+        payload = snapshot_index(index)
+        payload.pop("tree_zone_lo")
+        payload.pop("tree_zone_hi")
+        frozen = FrozenKDIndex.from_snapshot(payload)
+        assert all(p.zone_lo is None for p in self._leaves(frozen.tree))
+        for query in make_queries(table, 5, width_fraction=0.3, seed=55):
+            got = np.sort(frozen.query(query).row_ids)
+            assert np.array_equal(got, reference_answer(table, query))
